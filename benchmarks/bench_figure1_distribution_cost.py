@@ -1,0 +1,12 @@
+"""Figure 1 — the price of distribution (throughput/latency of distributed txns)."""
+
+from repro.experiments import format_figure1, run_figure1
+
+
+def test_figure1_distribution_cost(benchmark):
+    rows = benchmark(run_figure1, 5)
+    print()
+    print(format_figure1(rows))
+    # Paper shape: distributed transactions roughly halve throughput.
+    for row in rows[1:]:
+        assert 0.35 < row.throughput_ratio < 0.65

@@ -1,0 +1,34 @@
+"""Figure 4 — distributed-transaction fraction of Schism vs baselines, 9 workloads."""
+
+import pytest
+
+from repro.experiments import FIGURE4_EXPERIMENTS, format_figure4, run_figure4_experiment
+
+_SCALE = 0.5  # laptop-scale; raise toward 1.0+ to approach paper sizes
+
+
+@pytest.mark.parametrize(
+    "experiment", FIGURE4_EXPERIMENTS, ids=[e.key for e in FIGURE4_EXPERIMENTS]
+)
+def test_figure4_experiment(benchmark, experiment):
+    row, _result = benchmark.pedantic(
+        run_figure4_experiment, args=(experiment,), kwargs={"scale": _SCALE, "seed": 0},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_figure4([row]))
+    # Qualitative shape: Schism's selected strategy never loses badly to the
+    # primary-key hashing baseline, and the validation picks an expected kind.
+    assert row.schism_selected <= row.hashing + 0.05
+    if experiment.expected_recommendation:
+        assert row.recommendation in experiment.expected_recommendation
+    # Where the paper has a manual baseline, Schism's best fine-grained
+    # candidate (lookup table or range predicates) is within a few points of
+    # it (matching TPC-C / YCSB) or better (Epinions).
+    if row.manual is not None:
+        best_schism = min(
+            value
+            for value in (row.schism_selected, row.schism_lookup, row.schism_range)
+            if value is not None
+        )
+        assert best_schism <= row.manual + 0.15

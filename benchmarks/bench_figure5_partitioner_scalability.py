@@ -1,0 +1,29 @@
+"""Figure 5 — graph partitioner runtime vs number of partitions and graph size."""
+
+from repro.experiments import format_figure5, run_figure5
+from repro.experiments.figure5 import synthetic_access_graph
+from repro.graph.partitioner import PartitionerOptions, partition_graph
+
+_SPECS = (("epinions", 3000, 25000), ("tpcc-50w", 8000, 64000), ("tpce", 10000, 100000))
+
+
+def test_figure5_partition_count_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_figure5,
+        kwargs={"partition_counts": (2, 8, 32), "graph_specs": _SPECS},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_figure5(rows))
+    # Paper shape: runtime grows far more with graph size than with k.
+    by_graph = {}
+    for row in rows:
+        by_graph.setdefault(row.graph_name, []).append(row.seconds)
+    assert sum(by_graph["tpce"]) > sum(by_graph["epinions"])
+
+
+def test_figure5_single_partition_call(benchmark):
+    graph = synthetic_access_graph(3000, 25000, seed=0)
+    assignment = benchmark(partition_graph, graph, 8, PartitionerOptions(seed=0, initial_trials=4))
+    assert len(assignment) == graph.num_nodes

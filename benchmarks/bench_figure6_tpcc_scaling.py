@@ -1,0 +1,21 @@
+"""Figure 6 — end-to-end TPC-C throughput scaling (scale-out vs scale-up)."""
+
+from repro.experiments import format_figure6, run_figure6
+
+
+def test_figure6_tpcc_scaling(benchmark):
+    def run_both():
+        fixed_total = run_figure6(machine_counts=(1, 2, 4, 8), num_transactions=200)
+        per_machine = run_figure6(
+            machine_counts=(1, 2, 4, 8), warehouses_per_machine=16, num_transactions=200
+        )
+        return fixed_total, per_machine
+
+    fixed_total, per_machine = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    print()
+    print(format_figure6(fixed_total, per_machine))
+    # Paper shape: 16 warehouses total caps out well below linear (4.7x at 8
+    # machines in the paper), 16 warehouses per machine is nearly linear (7.7x).
+    assert 3.0 < fixed_total[-1].speedup < 6.0
+    assert 6.5 < per_machine[-1].speedup < 8.5
+    assert per_machine[-1].speedup > fixed_total[-1].speedup

@@ -1,0 +1,19 @@
+"""Table 1 — sizes of the tuple-access graphs for the three large workloads."""
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_graph_sizes(benchmark):
+    rows = benchmark.pedantic(run_table1, kwargs={"scale": 0.5}, iterations=1, rounds=1)
+    print()
+    print(format_table1(rows))
+    by_name = {row.dataset: row for row in rows}
+    # Paper shape: the TPC-C 50W graph is by far the largest of the three
+    # (65M edges in Table 1), and every graph has at least as many nodes as
+    # represented tuples (replication stars only ever add nodes).
+    assert by_name["tpcc-50w"].graph_edges == max(row.graph_edges for row in rows)
+    assert by_name["tpcc-50w"].database_tuples == max(row.database_tuples for row in rows)
+    for row in rows:
+        assert row.graph_nodes >= row.graph_tuples > 0
+        # The graphs stay dense: several edges per node, as in the paper.
+        assert row.graph_edges > row.graph_nodes

@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows, so running ``pytest benchmarks/ --benchmark-only -s``
+reproduces the evaluation section end to end (at laptop scale).
+"""

@@ -1,0 +1,49 @@
+"""Quickstart: partition a small TPC-C database with Schism.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script generates a 2-warehouse TPC-C instance, runs the full Schism
+pipeline (graph construction, min-cut partitioning, decision-tree
+explanation, final validation) and prints the recommended strategy together
+with the range predicates it found — which should be the classic
+"partition by warehouse, replicate the item table" design.
+"""
+
+from repro import Schism, SchismOptions, evaluate_strategy, split_workload
+from repro.workloads import TpccConfig, generate_tpcc
+
+
+def main() -> None:
+    config = TpccConfig(
+        warehouses=2,
+        districts_per_warehouse=4,
+        customers_per_district=20,
+        items=100,
+    )
+    bundle = generate_tpcc(config, num_transactions=600)
+    print(f"generated {bundle.name}: {bundle.database.row_count()} tuples, "
+          f"{len(bundle.workload)} transactions")
+
+    training, test = split_workload(bundle.workload, train_fraction=0.7)
+    options = SchismOptions(num_partitions=2, hash_columns=bundle.hash_columns)
+    result = Schism(options).run(bundle.database, training, test)
+
+    print()
+    print(result.describe())
+    print()
+    print("range predicates discovered by the explanation phase:")
+    print(result.explanation.describe())
+
+    manual = bundle.manual_strategy(2)
+    if manual is not None:
+        report = evaluate_strategy(manual, result.test_trace, bundle.database)
+        print()
+        print(f"manual (by-warehouse) baseline: {report.distributed_fraction:.1%} distributed")
+        print(f"schism selected {result.recommendation}: "
+              f"{result.distributed_fraction():.1%} distributed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Schism: workload-driven database replication and partitioning (VLDB 2010).
+
+A pure-Python reproduction of Curino, Jones, Zhang and Madden's Schism
+system: it takes a database, a representative OLTP workload, and a number of
+partitions, and produces a replication/partitioning strategy that minimises
+distributed transactions while keeping partitions balanced.
+
+Typical use::
+
+    from repro import Schism, SchismOptions
+    from repro.workloads import generate_tpcc
+
+    bundle = generate_tpcc()
+    result = Schism(SchismOptions(num_partitions=2)).run(bundle.database, bundle.workload)
+    print(result.describe())
+"""
+
+from repro.core.schism import Schism, SchismOptions, SchismResult, run_schism
+from repro.core.strategies import (
+    CompositePartitioning,
+    FullReplication,
+    HashPartitioning,
+    LookupTablePartitioning,
+    PartitioningStrategy,
+    RangePredicatePartitioning,
+)
+from repro.core.cost import CostReport, evaluate_strategy
+from repro.core.validation import validate_strategies
+from repro.engine.database import Database
+from repro.workload.trace import Transaction, Workload
+from repro.workload.rwsets import extract_access_trace
+from repro.workload.splitter import split_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompositePartitioning",
+    "CostReport",
+    "Database",
+    "FullReplication",
+    "HashPartitioning",
+    "LookupTablePartitioning",
+    "PartitioningStrategy",
+    "RangePredicatePartitioning",
+    "Schism",
+    "SchismOptions",
+    "SchismResult",
+    "Transaction",
+    "Workload",
+    "__version__",
+    "evaluate_strategy",
+    "extract_access_trace",
+    "run_schism",
+    "split_workload",
+    "validate_strategies",
+]

@@ -1,0 +1,14 @@
+"""Database catalog: schemas, tables, columns, keys, and tuple identity."""
+
+from repro.catalog.schema import Column, ColumnType, ForeignKey, Schema, Table
+from repro.catalog.tuples import TupleId, tuple_id_for_row
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "Schema",
+    "Table",
+    "TupleId",
+    "tuple_id_for_row",
+]

@@ -1,0 +1,44 @@
+"""Tuple identity.
+
+Every component of the pipeline (read/write sets, the partitioning graph,
+lookup tables, the cost model) refers to tuples by a :class:`TupleId`: the
+table name plus the primary-key value(s).  Keeping the identity explicit and
+hashable lets us move tuples between representations without carrying the full
+row around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.catalog.schema import Table
+
+
+@dataclass(frozen=True, order=True)
+class TupleId:
+    """Identity of a tuple: ``(table, primary-key values)``."""
+
+    table: str
+    key: tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.key, tuple):
+            # Accept a bare scalar for the common single-column primary key.
+            object.__setattr__(self, "key", (self.key,))
+
+    @property
+    def single_key(self) -> object:
+        """Return the key value for single-column primary keys."""
+        if len(self.key) != 1:
+            raise ValueError(f"tuple {self} has a composite key")
+        return self.key[0]
+
+    def __str__(self) -> str:
+        key_repr = self.key[0] if len(self.key) == 1 else self.key
+        return f"{self.table}:{key_repr}"
+
+
+def tuple_id_for_row(table: Table, row: Mapping[str, object]) -> TupleId:
+    """Build the :class:`TupleId` for ``row`` of ``table``."""
+    return TupleId(table.name, table.primary_key_of(row))

@@ -1,0 +1,39 @@
+"""Schism's core: partitioning strategies, the cost model, validation, and the pipeline."""
+
+from repro.core.strategies import (
+    CompositePartitioning,
+    FullReplication,
+    HashPartitioning,
+    LookupTablePartitioning,
+    PartitioningStrategy,
+    RangePredicatePartitioning,
+    RoundRobinPartitioning,
+    TablePolicy,
+    hash_on,
+    range_on,
+    replicate,
+)
+from repro.core.cost import CostReport, evaluate_strategy
+from repro.core.validation import ValidationResult, validate_strategies
+from repro.core.schism import Schism, SchismOptions, SchismResult
+
+__all__ = [
+    "CompositePartitioning",
+    "CostReport",
+    "FullReplication",
+    "HashPartitioning",
+    "LookupTablePartitioning",
+    "PartitioningStrategy",
+    "RangePredicatePartitioning",
+    "RoundRobinPartitioning",
+    "Schism",
+    "SchismOptions",
+    "SchismResult",
+    "TablePolicy",
+    "ValidationResult",
+    "evaluate_strategy",
+    "hash_on",
+    "range_on",
+    "replicate",
+    "validate_strategies",
+]

@@ -1,0 +1,283 @@
+"""The Schism pipeline (Section 2's five steps).
+
+1. **Data pre-processing** — execute the training workload against the loaded
+   database and record per-statement read/write sets.
+2. **Creating the graph** — build the tuple-access graph, with the sampling /
+   filtering / coalescing heuristics and optional replication stars.
+3. **Partitioning the graph** — run the multilevel balanced min-cut
+   partitioner and map node labels back to per-tuple replica sets.
+4. **Explaining the partition** — train the decision-tree classifier over the
+   frequently-used WHERE attributes and extract range-predicate rule sets.
+5. **Final validation** — compare lookup-table, range-predicate, hash, and
+   full-replication strategies on a held-out test trace and pick the winner
+   (simplest on a tie).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost import CostReport, evaluate_strategy
+from repro.core.strategies import (
+    FullReplication,
+    HashPartitioning,
+    LookupTablePartitioning,
+    PartitioningStrategy,
+    RangePredicatePartitioning,
+)
+from repro.core.validation import ValidationResult, validate_strategies
+from repro.engine.database import Database
+from repro.explain.explainer import Explainer, ExplainerOptions, Explanation
+from repro.graph.assignment import PartitionAssignment
+from repro.graph.builder import GraphBuildOptions, TupleGraph, build_tuple_graph
+from repro.graph.partitioner import GraphPartitioner, PartitionerOptions, cut_weight
+from repro.utils.timer import Timer
+from repro.workload.rwsets import AccessTrace, extract_access_trace
+from repro.workload.trace import Workload
+
+
+@dataclass
+class SchismOptions:
+    """Configuration of a Schism run."""
+
+    num_partitions: int
+    graph: GraphBuildOptions = field(default_factory=GraphBuildOptions)
+    partitioner: PartitionerOptions = field(default_factory=PartitionerOptions)
+    explainer: ExplainerOptions = field(default_factory=ExplainerOptions)
+    #: policy for tuples missing from the lookup table: "hash", "replicate",
+    #: or "auto" (replicate when the workload is read-mostly, hash otherwise).
+    lookup_default_policy: str = "auto"
+    #: fallback for tables without range rules: "replicate" or "hash".
+    range_fallback: str = "replicate"
+    #: absolute tolerance on the distributed fraction for the simplicity tie-break.
+    tie_tolerance: float = 0.01
+    #: relative tolerance serving the same purpose (see validate_strategies).
+    relative_tie_tolerance: float = 0.10
+    #: reject candidates whose per-partition load imbalance (max/mean) exceeds this.
+    max_load_imbalance: float = 1.6
+    #: also evaluate a hash strategy on the given columns per table (optional).
+    hash_columns: dict[str, tuple[str, ...]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if self.lookup_default_policy not in ("hash", "replicate", "auto"):
+            raise ValueError("lookup_default_policy must be 'hash', 'replicate' or 'auto'")
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent in each pipeline phase."""
+
+    extraction: float = 0.0
+    graph_build: float = 0.0
+    partitioning: float = 0.0
+    explanation: float = 0.0
+    validation: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total pipeline time."""
+        return (
+            self.extraction
+            + self.graph_build
+            + self.partitioning
+            + self.explanation
+            + self.validation
+        )
+
+
+@dataclass
+class SchismResult:
+    """Everything produced by one Schism run."""
+
+    options: SchismOptions
+    tuple_graph: TupleGraph
+    assignment: PartitionAssignment
+    explanation: Explanation
+    validation: ValidationResult
+    graph_cut: float
+    timings: PhaseTimings
+    training_trace: AccessTrace
+    test_trace: AccessTrace
+
+    @property
+    def recommended_strategy(self) -> PartitioningStrategy:
+        """The strategy selected by the final validation."""
+        return self.validation.winner
+
+    @property
+    def recommendation(self) -> str:
+        """Name of the selected strategy."""
+        return self.validation.recommendation
+
+    @property
+    def reports(self) -> dict[str, CostReport]:
+        """Cost reports of every candidate strategy on the test trace."""
+        return self.validation.reports
+
+    def distributed_fraction(self, strategy_name: str | None = None) -> float:
+        """Distributed-transaction fraction of a candidate (default: the winner)."""
+        if strategy_name is None:
+            return self.validation.winner_report.distributed_fraction
+        return self.validation.reports[strategy_name].distributed_fraction
+
+    def describe(self) -> str:
+        """Multi-line report of the run."""
+        lines = [
+            f"Schism run: {self.options.num_partitions} partitions",
+            f"graph: {self.tuple_graph.num_nodes} nodes, {self.tuple_graph.num_edges} edges, "
+            f"{self.tuple_graph.num_tuples} tuples, {self.tuple_graph.num_transactions} transactions",
+            f"cut weight: {self.graph_cut:.1f}; replicated tuples: {self.assignment.replicated_count}",
+            f"timings: {self.timings.total:.2f}s "
+            f"(graph {self.timings.graph_build:.2f}s, partition {self.timings.partitioning:.2f}s, "
+            f"explain {self.timings.explanation:.2f}s, validate {self.timings.validation:.2f}s)",
+            "candidates:",
+            self.validation.describe(),
+        ]
+        return "\n".join(lines)
+
+
+class Schism:
+    """The end-to-end workload-driven partitioner."""
+
+    def __init__(self, options: SchismOptions) -> None:
+        self.options = options
+
+    def run(
+        self,
+        database: Database,
+        training_workload: Workload,
+        test_workload: Workload | None = None,
+        training_trace: AccessTrace | None = None,
+        test_trace: AccessTrace | None = None,
+    ) -> SchismResult:
+        """Run the full pipeline.
+
+        Parameters
+        ----------
+        database:
+            The loaded database.  The workloads are executed against it to
+            extract read/write sets (write statements mutate it).
+        training_workload:
+            Workload used to build the graph and train the explanation.
+        test_workload:
+            Held-out workload for the final validation; defaults to the
+            training workload when omitted (as the paper does for the
+            smallest experiments).
+        training_trace, test_trace:
+            Pre-extracted access traces; when provided the corresponding
+            workload is not re-executed.
+        """
+        options = self.options
+        timings = PhaseTimings()
+
+        with Timer() as timer:
+            if training_trace is None:
+                training_trace = extract_access_trace(database, training_workload)
+            if test_trace is None:
+                if test_workload is None:
+                    test_trace = training_trace
+                else:
+                    test_trace = extract_access_trace(database, test_workload)
+        timings.extraction = timer.elapsed
+
+        with Timer() as timer:
+            tuple_graph = build_tuple_graph(training_trace, database, options.graph)
+        timings.graph_build = timer.elapsed
+
+        with Timer() as timer:
+            partitioner = GraphPartitioner(options.partitioner)
+            node_assignment = partitioner.partition(tuple_graph.graph, options.num_partitions)
+            assignment = tuple_graph.to_partition_assignment(
+                node_assignment, options.num_partitions
+            )
+            graph_cut = cut_weight(tuple_graph.graph, node_assignment)
+        timings.partitioning = timer.elapsed
+
+        with Timer() as timer:
+            explainer = Explainer(options.explainer)
+            explanation = explainer.explain(assignment, database, training_workload)
+        timings.explanation = timer.elapsed
+
+        with Timer() as timer:
+            candidates = self._candidate_strategies(assignment, explanation, training_trace)
+            validation = validate_strategies(
+                candidates,
+                test_trace,
+                database,
+                tie_tolerance=options.tie_tolerance,
+                relative_tie_tolerance=options.relative_tie_tolerance,
+                max_load_imbalance=options.max_load_imbalance,
+            )
+        timings.validation = timer.elapsed
+
+        return SchismResult(
+            options=options,
+            tuple_graph=tuple_graph,
+            assignment=assignment,
+            explanation=explanation,
+            validation=validation,
+            graph_cut=graph_cut,
+            timings=timings,
+            training_trace=training_trace,
+            test_trace=test_trace,
+        )
+
+    # -- candidates ----------------------------------------------------------------------
+    def _candidate_strategies(
+        self,
+        assignment: PartitionAssignment,
+        explanation: Explanation,
+        training_trace: AccessTrace,
+    ) -> list[PartitioningStrategy]:
+        options = self.options
+        lookup_policy = options.lookup_default_policy
+        if lookup_policy == "auto":
+            lookup_policy = "replicate" if self._is_read_mostly(training_trace) else "hash"
+        candidates: list[PartitioningStrategy] = [
+            LookupTablePartitioning(options.num_partitions, assignment, lookup_policy),
+            HashPartitioning(options.num_partitions),
+            FullReplication(options.num_partitions),
+        ]
+        rule_sets = explanation.rule_sets()
+        if rule_sets:
+            candidates.insert(
+                1,
+                RangePredicatePartitioning(
+                    options.num_partitions, rule_sets, fallback=options.range_fallback
+                ),
+            )
+        if options.hash_columns:
+            candidates.append(
+                HashPartitioning(options.num_partitions, options.hash_columns)
+            )
+        return candidates
+
+    @staticmethod
+    def _is_read_mostly(trace: AccessTrace, threshold: float = 0.1) -> bool:
+        """True when fewer than ``threshold`` of tuple accesses are writes."""
+        reads = 0
+        writes = 0
+        for access in trace:
+            reads += len(access.read_set)
+            writes += len(access.write_set)
+        total = reads + writes
+        if total == 0:
+            return False
+        return writes / total < threshold
+
+
+def run_schism(
+    database: Database,
+    training_workload: Workload,
+    num_partitions: int,
+    test_workload: Workload | None = None,
+    options: SchismOptions | None = None,
+) -> SchismResult:
+    """Convenience one-call entry point used by the examples and experiments."""
+    if options is None:
+        options = SchismOptions(num_partitions=num_partitions)
+    elif options.num_partitions != num_partitions:
+        raise ValueError("num_partitions argument and options.num_partitions disagree")
+    return Schism(options).run(database, training_workload, test_workload)

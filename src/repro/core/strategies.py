@@ -1,0 +1,454 @@
+"""Partitioning/replication strategies.
+
+Every strategy answers two questions:
+
+* **storage**: which partition(s) store a given tuple
+  (:meth:`PartitioningStrategy.partitions_for_tuple`), which is what the
+  distributed-transaction cost model needs;
+* **routing**: which partitions could hold the tuples matching a set of
+  equality conditions (:meth:`PartitioningStrategy.partitions_for_conditions`),
+  which is what the middleware router needs; ``None`` means "cannot tell —
+  broadcast".
+
+The concrete strategies mirror the candidates compared in the paper's final
+validation phase: fine-grained lookup tables, range predicates produced by
+the explanation phase, hash partitioning, full-table replication, plus
+round-robin and composable per-table manual strategies used as baselines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.catalog.tuples import TupleId
+from repro.explain.rules import RuleSet, decode_label
+from repro.graph.assignment import PartitionAssignment
+from repro.sqlparse.predicates import AttributeCondition
+
+
+def stable_hash(value: object) -> int:
+    """A process-independent hash for partitioning (Python's ``hash`` is salted)."""
+    digest = hashlib.blake2b(repr(value).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class PartitioningStrategy(ABC):
+    """Base class for all strategies."""
+
+    #: human-readable name used in reports ("lookup-table", "hashing", ...).
+    name: str = "strategy"
+    #: relative complexity used for tie-breaking in the final validation
+    #: (lower is simpler and therefore preferred on a tie).
+    complexity: int = 1
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.num_partitions = num_partitions
+
+    # -- storage ------------------------------------------------------------------------
+    @abstractmethod
+    def partitions_for_tuple(
+        self, tuple_id: TupleId, row: Mapping[str, object] | None = None
+    ) -> frozenset[int]:
+        """Partitions that store ``tuple_id`` (always non-empty)."""
+
+    # -- routing ------------------------------------------------------------------------
+    def partitions_for_conditions(
+        self, table: str, conditions: Sequence[AttributeCondition]
+    ) -> frozenset[int] | None:
+        """Partitions a statement restricted by ``conditions`` may need to touch.
+
+        ``None`` means the strategy cannot narrow the destination set and the
+        statement must be broadcast to every partition holding the table.
+        The default implementation routes only when the conditions pin down
+        the full primary key via a synthesized row; subclasses override with
+        cheaper/smarter logic.
+        """
+        return None
+
+    @property
+    def all_partitions(self) -> frozenset[int]:
+        """The set of every partition id."""
+        return frozenset(range(self.num_partitions))
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return f"{self.name} over {self.num_partitions} partitions"
+
+
+# ---------------------------------------------------------------------------
+# Hash partitioning
+# ---------------------------------------------------------------------------
+class HashPartitioning(PartitioningStrategy):
+    """Hash partitioning on the primary key or on chosen columns per table.
+
+    With no ``columns_per_table`` every tuple is hashed on its primary key —
+    the paper's "hashing" baseline.  Providing columns (e.g. ``w_id`` for all
+    TPC-C tables) turns it into an attribute-based hash scheme.
+    """
+
+    name = "hashing"
+    complexity = 1
+
+    def __init__(
+        self,
+        num_partitions: int,
+        columns_per_table: Mapping[str, tuple[str, ...]] | None = None,
+    ) -> None:
+        super().__init__(num_partitions)
+        self.columns_per_table = dict(columns_per_table or {})
+        if self.columns_per_table:
+            # Distinguish attribute hashing from primary-key hashing in reports.
+            self.name = "attribute-hashing"
+
+    def partitions_for_tuple(
+        self, tuple_id: TupleId, row: Mapping[str, object] | None = None
+    ) -> frozenset[int]:
+        columns = self.columns_per_table.get(tuple_id.table)
+        if columns is None:
+            # Primary-key hashing: include the table name so same-valued keys
+            # of different tables do not artificially co-locate.
+            return frozenset({stable_hash((tuple_id.table, tuple_id.key)) % self.num_partitions})
+        if row is not None and all(column in row for column in columns):
+            value: tuple[object, ...] = tuple(row[column] for column in columns)
+        else:
+            value = tuple_id.key
+        # Attribute hashing deliberately omits the table name so that tuples of
+        # different tables sharing the attribute value (e.g. TPC-C w_id) co-locate.
+        return frozenset({stable_hash(value) % self.num_partitions})
+
+    def partitions_for_conditions(
+        self, table: str, conditions: Sequence[AttributeCondition]
+    ) -> frozenset[int] | None:
+        columns = self.columns_per_table.get(table)
+        if columns is None:
+            return None
+        values: dict[str, tuple[object, ...]] = {}
+        for condition in conditions:
+            if condition.column in columns:
+                candidates = condition.candidate_values()
+                if candidates:
+                    values[condition.column] = candidates
+        if set(values) != set(columns):
+            return None
+        partitions: set[int] = set()
+        self._expand(columns, values, (), partitions)
+        return frozenset(partitions)
+
+    def _expand(
+        self,
+        columns: tuple[str, ...],
+        values: dict[str, tuple[object, ...]],
+        prefix: tuple[object, ...],
+        out: set[int],
+    ) -> None:
+        if len(prefix) == len(columns):
+            out.add(stable_hash(prefix) % self.num_partitions)
+            return
+        for value in values[columns[len(prefix)]]:
+            self._expand(columns, values, prefix + (value,), out)
+
+
+class RoundRobinPartitioning(PartitioningStrategy):
+    """Round-robin placement: tuples are spread evenly with no locality at all."""
+
+    name = "round-robin"
+    complexity = 1
+
+    def __init__(self, num_partitions: int) -> None:
+        super().__init__(num_partitions)
+        self._assigned: dict[TupleId, int] = {}
+        self._next = 0
+
+    def partitions_for_tuple(
+        self, tuple_id: TupleId, row: Mapping[str, object] | None = None
+    ) -> frozenset[int]:
+        partition = self._assigned.get(tuple_id)
+        if partition is None:
+            partition = self._next
+            self._assigned[tuple_id] = partition
+            self._next = (self._next + 1) % self.num_partitions
+        return frozenset({partition})
+
+
+# ---------------------------------------------------------------------------
+# Full replication
+# ---------------------------------------------------------------------------
+class FullReplication(PartitioningStrategy):
+    """Every tuple is stored on every partition.
+
+    Reads are always local; every write becomes a distributed transaction.
+    """
+
+    name = "replication"
+    complexity = 0
+
+    def partitions_for_tuple(
+        self, tuple_id: TupleId, row: Mapping[str, object] | None = None
+    ) -> frozenset[int]:
+        return self.all_partitions
+
+    def partitions_for_conditions(
+        self, table: str, conditions: Sequence[AttributeCondition]
+    ) -> frozenset[int] | None:
+        # Any single partition can answer a read; the router handles replica
+        # choice, so reporting the full set keeps the semantics "stored here".
+        return self.all_partitions
+
+
+# ---------------------------------------------------------------------------
+# Range-predicate partitioning (output of the explanation phase)
+# ---------------------------------------------------------------------------
+class RangePredicatePartitioning(PartitioningStrategy):
+    """Partitioning described by per-table predicate rule sets.
+
+    Tables without a rule set follow the ``fallback`` policy: ``"replicate"``
+    stores their tuples everywhere (the safe choice for read-mostly reference
+    tables), ``"hash"`` hashes them on their primary key.
+    """
+
+    name = "range-predicates"
+    complexity = 2
+
+    def __init__(
+        self,
+        num_partitions: int,
+        rule_sets: Mapping[str, RuleSet],
+        fallback: str = "replicate",
+    ) -> None:
+        super().__init__(num_partitions)
+        if fallback not in ("replicate", "hash"):
+            raise ValueError("fallback must be 'replicate' or 'hash'")
+        self.rule_sets = dict(rule_sets)
+        self.fallback = fallback
+
+    def partitions_for_tuple(
+        self, tuple_id: TupleId, row: Mapping[str, object] | None = None
+    ) -> frozenset[int]:
+        rule_set = self.rule_sets.get(tuple_id.table)
+        if rule_set is None:
+            return self._fallback_partitions(tuple_id)
+        attributes = dict(row) if row is not None else {}
+        partitions = rule_set.partitions_for_row(attributes)
+        valid = frozenset(p for p in partitions if 0 <= p < self.num_partitions)
+        if not valid:
+            return self._fallback_partitions(tuple_id)
+        return valid
+
+    def _fallback_partitions(self, tuple_id: TupleId) -> frozenset[int]:
+        if self.fallback == "replicate":
+            return self.all_partitions
+        return frozenset({stable_hash((tuple_id.table, tuple_id.key)) % self.num_partitions})
+
+    def partitions_for_conditions(
+        self, table: str, conditions: Sequence[AttributeCondition]
+    ) -> frozenset[int] | None:
+        rule_set = self.rule_sets.get(table)
+        if rule_set is None:
+            if self.fallback == "replicate":
+                return self.all_partitions
+            return None
+        # Route by synthesising a row from equality conditions on the rule
+        # attributes.  Range conditions cannot pin a single rule path, so any
+        # missing attribute forces a broadcast.
+        row: dict[str, object] = {}
+        for condition in conditions:
+            values = condition.candidate_values()
+            if len(values) == 1:
+                row[condition.column] = values[0]
+        if not all(attribute in row for attribute in rule_set.attributes):
+            return None
+        return frozenset(
+            p for p in rule_set.partitions_for_row(row) if 0 <= p < self.num_partitions
+        ) or None
+
+    def describe(self) -> str:
+        tables = ", ".join(sorted(self.rule_sets)) or "-"
+        return f"{self.name} over {self.num_partitions} partitions (tables: {tables})"
+
+
+# ---------------------------------------------------------------------------
+# Lookup-table partitioning (fine-grained, per-tuple)
+# ---------------------------------------------------------------------------
+class LookupTablePartitioning(PartitioningStrategy):
+    """Fine-grained per-tuple placement backed by the graph phase's assignment.
+
+    Tuples not present in the lookup table (not touched by the training
+    trace, or inserted later) follow ``default_policy``:
+
+    * ``"hash"`` — hash on the primary key (the paper's "random partition
+      until the partitioning is re-evaluated");
+    * ``"replicate"`` — store everywhere (used for read-mostly workloads such
+      as Epinions in the paper).
+    """
+
+    name = "lookup-table"
+    complexity = 3
+
+    def __init__(
+        self,
+        num_partitions: int,
+        assignment: PartitionAssignment,
+        default_policy: str = "hash",
+    ) -> None:
+        super().__init__(num_partitions)
+        if default_policy not in ("hash", "replicate"):
+            raise ValueError("default_policy must be 'hash' or 'replicate'")
+        self.assignment = assignment
+        self.default_policy = default_policy
+
+    def partitions_for_tuple(
+        self, tuple_id: TupleId, row: Mapping[str, object] | None = None
+    ) -> frozenset[int]:
+        placement = self.assignment.partitions_of(tuple_id)
+        if placement:
+            return placement
+        if self.default_policy == "replicate":
+            return self.all_partitions
+        return frozenset({stable_hash((tuple_id.table, tuple_id.key)) % self.num_partitions})
+
+    def partitions_for_conditions(
+        self, table: str, conditions: Sequence[AttributeCondition]
+    ) -> frozenset[int] | None:
+        # The router resolves lookup tables through its LookupTable backend
+        # (which can answer key-equality conditions); at the strategy level we
+        # can only answer when the full key is pinned by the conditions.
+        return None
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} over {self.num_partitions} partitions "
+            f"({len(self.assignment)} tuples, {self.assignment.replicated_count} replicated, "
+            f"default={self.default_policy})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Composite (manual) partitioning
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TablePolicy:
+    """Per-table policy used by :class:`CompositePartitioning`.
+
+    ``kind`` is one of ``"hash"``, ``"replicate"``, ``"range"``.
+    """
+
+    kind: str
+    columns: tuple[str, ...] = ()
+    #: for range policies: sorted upper boundaries; partition i holds values
+    #: <= boundaries[i], the last partition holds the rest.
+    boundaries: tuple[float, ...] = ()
+
+
+def hash_on(*columns: str) -> TablePolicy:
+    """Policy: hash the table on ``columns``."""
+    return TablePolicy("hash", tuple(columns))
+
+
+def replicate() -> TablePolicy:
+    """Policy: replicate the table on every partition."""
+    return TablePolicy("replicate")
+
+
+def range_on(column: str, boundaries: Sequence[float]) -> TablePolicy:
+    """Policy: range-partition the table on ``column`` with the given upper bounds."""
+    return TablePolicy("range", (column,), tuple(boundaries))
+
+
+class CompositePartitioning(PartitioningStrategy):
+    """Manual, per-table partitioning (used for the paper's "manual" baselines)."""
+
+    name = "manual"
+    complexity = 2
+
+    def __init__(
+        self,
+        num_partitions: int,
+        table_policies: Mapping[str, TablePolicy],
+        default_policy: TablePolicy | None = None,
+        name: str = "manual",
+    ) -> None:
+        super().__init__(num_partitions)
+        self.table_policies = dict(table_policies)
+        self.default_policy = default_policy or TablePolicy("hash")
+        self.name = name
+
+    def partitions_for_tuple(
+        self, tuple_id: TupleId, row: Mapping[str, object] | None = None
+    ) -> frozenset[int]:
+        policy = self.table_policies.get(tuple_id.table, self.default_policy)
+        return self._apply_policy(policy, tuple_id, row)
+
+    def _apply_policy(
+        self, policy: TablePolicy, tuple_id: TupleId, row: Mapping[str, object] | None
+    ) -> frozenset[int]:
+        if policy.kind == "replicate":
+            return self.all_partitions
+        if policy.kind == "hash":
+            value: object
+            if policy.columns and row is not None and all(c in row for c in policy.columns):
+                value = tuple(row[c] for c in policy.columns)
+            elif policy.columns and row is None:
+                # No row available: fall back to the key so the answer stays deterministic.
+                value = tuple_id.key
+            else:
+                value = (tuple_id.table, tuple_id.key)
+            return frozenset({stable_hash(value) % self.num_partitions})
+        if policy.kind == "range":
+            column = policy.columns[0]
+            if row is None or column not in row:
+                return frozenset({stable_hash(tuple_id.key) % self.num_partitions})
+            try:
+                numeric = float(row[column])  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return frozenset({stable_hash(row[column]) % self.num_partitions})
+            for partition, boundary in enumerate(policy.boundaries):
+                if numeric <= boundary:
+                    return frozenset({min(partition, self.num_partitions - 1)})
+            return frozenset({self.num_partitions - 1})
+        raise ValueError(f"unknown policy kind {policy.kind!r}")
+
+    def partitions_for_conditions(
+        self, table: str, conditions: Sequence[AttributeCondition]
+    ) -> frozenset[int] | None:
+        policy = self.table_policies.get(table, self.default_policy)
+        if policy.kind == "replicate":
+            return self.all_partitions
+        values: dict[str, tuple[object, ...]] = {}
+        for condition in conditions:
+            if condition.column in policy.columns:
+                candidates = condition.candidate_values()
+                if candidates:
+                    values[condition.column] = candidates
+        if policy.kind == "hash":
+            if not policy.columns or set(values) != set(policy.columns):
+                return None
+            partitions: set[int] = set()
+            self._expand_hash(policy.columns, values, (), partitions)
+            return frozenset(partitions)
+        if policy.kind == "range":
+            column = policy.columns[0]
+            if column not in values:
+                return None
+            partitions = set()
+            for value in values[column]:
+                partitions.update(self._apply_policy(policy, TupleId(table, (value,)), {column: value}))
+            return frozenset(partitions)
+        return None
+
+    def _expand_hash(
+        self,
+        columns: tuple[str, ...],
+        values: dict[str, tuple[object, ...]],
+        prefix: tuple[object, ...],
+        out: set[int],
+    ) -> None:
+        if len(prefix) == len(columns):
+            out.add(stable_hash(prefix) % self.num_partitions)
+            return
+        for value in values[columns[len(prefix)]]:
+            self._expand_hash(columns, values, prefix + (value,), out)

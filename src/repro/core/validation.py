@@ -1,0 +1,109 @@
+"""Final validation phase (Section 4.4).
+
+Compare the candidate strategies — fine-grained lookup table, range
+predicates, hash partitioning, full replication — by the number of
+distributed transactions they incur on a held-out test trace, and pick the
+winner.  When several strategies are within a small tolerance of the best,
+the *simplest* one wins (hash or replication before range predicates, range
+predicates before lookup tables), which is how the paper ends up recommending
+plain hashing for YCSB-A and the Random workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.catalog.tuples import TupleId
+from repro.core.cost import CostReport, evaluate_strategy
+from repro.core.strategies import PartitioningStrategy
+from repro.engine.database import Database
+from repro.workload.rwsets import AccessTrace
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of the final validation."""
+
+    winner: PartitioningStrategy
+    winner_report: CostReport
+    reports: dict[str, CostReport] = field(default_factory=dict)
+    strategies: dict[str, PartitioningStrategy] = field(default_factory=dict)
+
+    @property
+    def recommendation(self) -> str:
+        """Name of the selected strategy."""
+        return self.winner.name
+
+    def describe(self) -> str:
+        """Multi-line comparison of all candidates, winner marked."""
+        lines = []
+        for name, report in sorted(self.reports.items(), key=lambda item: item[1].distributed_fraction):
+            marker = " <= selected" if name == self.winner.name else ""
+            lines.append(f"{report.describe()}{marker}")
+        return "\n".join(lines)
+
+
+def validate_strategies(
+    candidates: Sequence[PartitioningStrategy],
+    test_trace: AccessTrace,
+    database: Database | None = None,
+    row_cache: Mapping[TupleId, Mapping[str, object]] | None = None,
+    tie_tolerance: float = 0.01,
+    relative_tie_tolerance: float = 0.10,
+    max_load_imbalance: float = 1.6,
+) -> ValidationResult:
+    """Pick the best strategy by distributed-transaction fraction.
+
+    Parameters
+    ----------
+    candidates:
+        Strategies to compare (order does not matter).
+    test_trace:
+        Access trace of the held-out test workload.
+    database, row_cache:
+        Attribute sources for strategies that need row values.
+    tie_tolerance:
+        Absolute tolerance on the distributed fraction within which a simpler
+        strategy is preferred over a better-scoring complex one.
+    relative_tie_tolerance:
+        Relative tolerance serving the same purpose for larger fractions
+        (50% vs 52% is "the same" for all practical purposes).
+    max_load_imbalance:
+        Strategies whose per-partition transaction load is more imbalanced
+        than this (max/mean) are rejected unless nothing else survives: a
+        degenerate "everything on one node" placement trivially avoids
+        distributed transactions but defeats the purpose of partitioning.
+    """
+    if not candidates:
+        raise ValueError("at least one candidate strategy is required")
+    reports: dict[str, CostReport] = {}
+    strategies: dict[str, PartitioningStrategy] = {}
+    for strategy in candidates:
+        report = evaluate_strategy(strategy, test_trace, database, row_cache)
+        reports[strategy.name] = report
+        strategies[strategy.name] = strategy
+    balanced = [
+        strategy
+        for strategy in candidates
+        if reports[strategy.name].partition_load_imbalance() <= max_load_imbalance
+    ]
+    pool = balanced if balanced else list(candidates)
+    best_fraction = min(reports[strategy.name].distributed_fraction for strategy in pool)
+    threshold = max(best_fraction + tie_tolerance, best_fraction * (1.0 + relative_tie_tolerance))
+    # Among strategies within the tolerance of the best, pick the simplest;
+    # break remaining ties by the fraction itself, then by name for determinism.
+    eligible = [
+        strategy
+        for strategy in pool
+        if reports[strategy.name].distributed_fraction <= threshold
+    ]
+    winner = min(
+        eligible,
+        key=lambda strategy: (
+            strategy.complexity,
+            reports[strategy.name].distributed_fraction,
+            strategy.name,
+        ),
+    )
+    return ValidationResult(winner, reports[winner.name], reports, strategies)

@@ -1,0 +1,24 @@
+"""Distributed execution substrate.
+
+Stands in for the paper's MySQL cluster: a :class:`Cluster` holds one
+in-memory partition database per node, the :class:`TwoPhaseCommitCoordinator`
+executes routed transactions against it while counting messages and
+participants, and :class:`ThroughputSimulator` turns workload characteristics
+(statements per transaction, distributed fraction, contention) into the
+throughput/latency curves reported in Figures 1 and 6.
+"""
+
+from repro.distributed.cluster import Cluster
+from repro.distributed.coordinator import TransactionOutcome, TwoPhaseCommitCoordinator
+from repro.distributed.node import NodeCostModel
+from repro.distributed.simulation import SimulationParameters, SimulationResult, ThroughputSimulator
+
+__all__ = [
+    "Cluster",
+    "NodeCostModel",
+    "SimulationParameters",
+    "SimulationResult",
+    "ThroughputSimulator",
+    "TransactionOutcome",
+    "TwoPhaseCommitCoordinator",
+]

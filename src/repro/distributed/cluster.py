@@ -1,0 +1,58 @@
+"""A shared-nothing cluster of partition databases."""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Schema
+from repro.catalog.tuples import TupleId
+from repro.core.strategies import PartitioningStrategy
+from repro.engine.database import Database
+
+
+class Cluster:
+    """One in-memory :class:`Database` per partition."""
+
+    def __init__(self, schema: Schema, num_partitions: int) -> None:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.schema = schema
+        self.num_partitions = num_partitions
+        self.partition_databases = [Database(schema) for _ in range(num_partitions)]
+
+    @classmethod
+    def from_database(cls, database: Database, strategy: PartitioningStrategy) -> "Cluster":
+        """Materialise a cluster by placing every tuple of ``database`` per ``strategy``.
+
+        This is the physical "data migration" step: each tuple is copied to
+        every partition the strategy assigns it to (replicated tuples appear
+        on several partitions).
+        """
+        cluster = cls(database.schema, strategy.num_partitions)
+        for table in database.schema.tables:
+            storage = database.storage(table.name)
+            for key, row in storage.rows():
+                placements = strategy.partitions_for_tuple(TupleId(table.name, key), row)
+                for partition in placements:
+                    cluster.partition_databases[partition].insert_row(table.name, dict(row))
+        return cluster
+
+    def database(self, partition: int) -> Database:
+        """The database instance backing ``partition``."""
+        if not 0 <= partition < self.num_partitions:
+            raise IndexError(f"partition {partition} out of range")
+        return self.partition_databases[partition]
+
+    def row_counts(self) -> list[int]:
+        """Number of rows stored on each partition (replicas counted everywhere)."""
+        return [db.row_count() for db in self.partition_databases]
+
+    def total_rows(self) -> int:
+        """Total stored rows across the cluster (including replicas)."""
+        return sum(self.row_counts())
+
+    def imbalance(self) -> float:
+        """Max/mean ratio of per-partition row counts (1.0 = perfectly even)."""
+        counts = self.row_counts()
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 1.0
+        return max(counts) / mean

@@ -1,0 +1,59 @@
+"""Per-node cost parameters used by the analytic throughput simulator.
+
+The defaults are calibrated so that the simulator reproduces the *relative*
+behaviour measured in the paper (Figure 1: distributed transactions halve
+throughput and double latency; Figure 6: lock contention caps TPC-C scaling
+at ~4.7x with 2 warehouses per machine while 16 warehouses per machine scales
+nearly linearly).  Absolute numbers depend on hardware the paper used and are
+not claimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NodeCostModel:
+    """CPU / coordination costs of one database node, in milliseconds."""
+
+    #: CPU time to execute one simple statement (index lookup / single-row update).
+    statement_service_ms: float = 0.09
+    #: CPU time for a local (single-partition) commit.
+    local_commit_ms: float = 0.02
+    #: extra CPU per participant of a two-phase commit (prepare + commit handling).
+    twopc_participant_ms: float = 0.10
+    #: CPU spent by the coordinator per distributed transaction.
+    coordinator_ms: float = 0.03
+    #: network round-trip between client/coordinator and a server.
+    network_rtt_ms: float = 0.35
+
+    def local_transaction_work(self, statements: int) -> float:
+        """Total server CPU of a single-partition transaction."""
+        return statements * self.statement_service_ms + self.local_commit_ms
+
+    def distributed_transaction_work(self, statements: int, participants: int) -> float:
+        """Total CPU (all servers + coordinator) of a distributed transaction."""
+        participants = max(2, participants)
+        return (
+            statements * self.statement_service_ms
+            + participants * self.twopc_participant_ms
+            + self.coordinator_ms
+        )
+
+    def local_latency(self, statements: int) -> float:
+        """Client-perceived latency of a single-partition transaction (unloaded)."""
+        # One round trip per statement plus the commit round trip.
+        return (statements + 1) * self.network_rtt_ms + self.local_transaction_work(statements)
+
+    def distributed_latency(self, statements: int, participants: int) -> float:
+        """Client-perceived latency of a distributed transaction (unloaded)."""
+        participants = max(2, participants)
+        # Statements still take one round trip each; two-phase commit adds two
+        # more rounds (prepare, commit) to every participant, which proceed in
+        # parallel but still cost a round trip each.
+        return (
+            (statements + 2) * self.network_rtt_ms
+            + self.distributed_transaction_work(statements, participants)
+            + self.network_rtt_ms  # extra ack round absorbed by the coordinator
+        )

@@ -1,0 +1,177 @@
+"""Analytic throughput/latency simulator.
+
+The paper's throughput experiments (Figure 1 and Figure 6) ran on a MySQL
+cluster we do not have; this simulator replaces the hardware with a small
+capacity model whose inputs come from the rest of the library:
+
+* the per-transaction statement count and the *fraction of distributed
+  transactions* are measured by the cost model / coordinator for the chosen
+  partitioning strategy;
+* the per-node CPU costs come from :class:`~repro.distributed.node.NodeCostModel`;
+* optional *contention groups* model row-level lock serialisation (for TPC-C:
+  one group per warehouse, since nearly every transaction updates its
+  warehouse's district rows).
+
+Throughput is the minimum of three bounds — CPU capacity, lock contention,
+and the closed-loop client population — and latency follows from the closed
+loop (``latency = clients / throughput`` when saturated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distributed.node import NodeCostModel
+
+
+@dataclass
+class SimulationParameters:
+    """Inputs describing one simulated configuration."""
+
+    num_servers: int
+    num_clients: int
+    statements_per_transaction: float
+    #: fraction of transactions that touch more than one server.
+    distributed_fraction: float = 0.0
+    #: mean number of participants of a distributed transaction.
+    mean_participants: float = 2.0
+    #: number of independent serialisation groups (e.g. TPC-C warehouses);
+    #: None disables the contention bound.
+    contention_groups: int | None = None
+    #: fraction of transactions that update their serialisation group's hot rows.
+    contention_fraction: float = 1.0
+    #: lock hold time of a local transaction on its group's hot rows (ms).
+    lock_hold_ms: float = 5.0
+    #: additional lock hold time when the holding transaction is distributed (ms);
+    #: locks stay held across the two-phase-commit rounds.
+    distributed_lock_hold_ms: float = 150.0
+    node: NodeCostModel = field(default_factory=NodeCostModel)
+
+    def __post_init__(self) -> None:
+        if self.num_servers <= 0:
+            raise ValueError("num_servers must be positive")
+        if self.num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if not 0.0 <= self.distributed_fraction <= 1.0:
+            raise ValueError("distributed_fraction must be in [0, 1]")
+
+
+@dataclass
+class SimulationResult:
+    """Output of one simulation."""
+
+    throughput_tps: float
+    latency_ms: float
+    bottleneck: str
+    cpu_bound_tps: float
+    contention_bound_tps: float | None
+    client_bound_tps: float
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.throughput_tps:10.1f} tps, {self.latency_ms:6.2f} ms latency "
+            f"(bottleneck: {self.bottleneck})"
+        )
+
+
+class ThroughputSimulator:
+    """Turns workload + strategy characteristics into throughput and latency."""
+
+    def simulate(self, parameters: SimulationParameters) -> SimulationResult:
+        """Simulate one configuration."""
+        node = parameters.node
+        statements = parameters.statements_per_transaction
+        distributed = parameters.distributed_fraction
+        participants = max(2.0, parameters.mean_participants)
+
+        local_work = node.local_transaction_work(statements)
+        distributed_work = node.distributed_transaction_work(statements, round(participants))
+        mean_work = (1.0 - distributed) * local_work + distributed * distributed_work
+        cpu_bound = parameters.num_servers / (mean_work / 1000.0)
+
+        contention_bound: float | None = None
+        if parameters.contention_groups:
+            hold = (
+                (1.0 - distributed) * parameters.lock_hold_ms
+                + distributed * parameters.distributed_lock_hold_ms
+            )
+            per_group = 1000.0 / hold
+            contention_bound = (
+                parameters.contention_groups * per_group / max(parameters.contention_fraction, 1e-9)
+            )
+
+        local_latency = node.local_latency(statements)
+        distributed_latency = node.distributed_latency(statements, round(participants))
+        unloaded_latency = (1.0 - distributed) * local_latency + distributed * distributed_latency
+        client_bound = parameters.num_clients / (unloaded_latency / 1000.0)
+
+        bounds = {"cpu": cpu_bound, "clients": client_bound}
+        if contention_bound is not None:
+            bounds["contention"] = contention_bound
+        bottleneck = min(bounds, key=lambda name: bounds[name])
+        throughput = bounds[bottleneck]
+        # Closed loop: when the system is the bottleneck, latency stretches to
+        # clients/throughput; when the clients are the bottleneck, latency is
+        # the unloaded latency.
+        latency = max(unloaded_latency, parameters.num_clients / throughput * 1000.0)
+        return SimulationResult(
+            throughput_tps=throughput,
+            latency_ms=latency,
+            bottleneck=bottleneck,
+            cpu_bound_tps=cpu_bound,
+            contention_bound_tps=contention_bound,
+            client_bound_tps=client_bound,
+        )
+
+    # -- convenience wrappers -------------------------------------------------------------
+    def simulate_simplecount(
+        self,
+        num_servers: int,
+        distributed: bool,
+        num_clients: int = 150,
+        node: NodeCostModel | None = None,
+    ) -> SimulationResult:
+        """Figure 1 configuration: two single-row reads per transaction.
+
+        ``distributed=False`` co-locates both rows (single-partition
+        transactions); ``distributed=True`` forces the two rows onto different
+        servers whenever more than one server exists.
+        """
+        distributed_fraction = 0.0 if not distributed or num_servers == 1 else 1.0
+        parameters = SimulationParameters(
+            num_servers=num_servers,
+            num_clients=num_clients,
+            statements_per_transaction=2.0,
+            distributed_fraction=distributed_fraction,
+            mean_participants=2.0,
+            node=node or NodeCostModel(),
+        )
+        return self.simulate(parameters)
+
+    def simulate_tpcc(
+        self,
+        num_servers: int,
+        total_warehouses: int,
+        distributed_fraction: float,
+        num_clients: int | None = None,
+        statements_per_transaction: float = 32.0,
+        node: NodeCostModel | None = None,
+        lock_hold_ms: float = 5.0,
+        distributed_lock_hold_ms: float = 150.0,
+    ) -> SimulationResult:
+        """Figure 6 configuration: TPC-C with warehouse-level contention."""
+        node = node or NodeCostModel(statement_service_ms=0.22, twopc_participant_ms=0.5)
+        parameters = SimulationParameters(
+            num_servers=num_servers,
+            num_clients=num_clients if num_clients is not None else 32 * num_servers,
+            statements_per_transaction=statements_per_transaction,
+            distributed_fraction=distributed_fraction,
+            mean_participants=2.0,
+            contention_groups=total_warehouses,
+            contention_fraction=1.0,
+            lock_hold_ms=lock_hold_ms,
+            distributed_lock_hold_ms=distributed_lock_hold_ms,
+            node=node,
+        )
+        return self.simulate(parameters)

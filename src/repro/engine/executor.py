@@ -1,0 +1,284 @@
+"""Statement execution against :class:`~repro.engine.storage.TableStorage`.
+
+The executor's primary job for Schism is not query answers but *read/write
+sets*: for every statement it reports exactly which tuples were read and
+which were written, identified by :class:`~repro.catalog.tuples.TupleId`.
+That is the information the paper extracts from SQL traces (Section 5.3) to
+build the partitioning graph, and it also drives the distributed-transaction
+cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.catalog.tuples import TupleId
+from repro.sqlparse.ast import (
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from repro.sqlparse.predicates import (
+    conjunctive_conditions,
+    evaluate_predicate,
+    iter_join_conditions,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.storage import TableStorage
+
+
+@dataclass
+class StatementResult:
+    """Outcome of executing one statement."""
+
+    rows: list[dict[str, object]] = field(default_factory=list)
+    read_set: set[TupleId] = field(default_factory=set)
+    write_set: set[TupleId] = field(default_factory=set)
+
+    @property
+    def touched(self) -> set[TupleId]:
+        """Union of read and write sets."""
+        return self.read_set | self.write_set
+
+
+class Executor:
+    """Executes statements against a mapping of table name -> storage."""
+
+    def __init__(self, storages: Mapping[str, "TableStorage"]) -> None:
+        self._storages = storages
+
+    # -- public API -------------------------------------------------------------------
+    def execute(self, statement: Statement) -> StatementResult:
+        """Execute one statement and return its rows and read/write sets."""
+        if isinstance(statement, SelectStatement):
+            if statement.is_join:
+                return self._execute_join_select(statement)
+            return self._execute_select(statement)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement)
+        raise TypeError(f"unsupported statement type {type(statement).__name__}")
+
+    # -- helpers -----------------------------------------------------------------------
+    def _storage(self, table: str) -> "TableStorage":
+        storage = self._storages.get(table)
+        if storage is None:
+            raise KeyError(f"unknown table {table!r}")
+        return storage
+
+    def _matching_keys(
+        self, storage: "TableStorage", statement: Statement
+    ) -> list[tuple[object, ...]]:
+        """Find primary keys of rows matching the statement's WHERE clause.
+
+        Uses the primary key or a secondary index for conjunctive equality
+        conditions and falls back to a full scan otherwise.
+        """
+        where = getattr(statement, "where", None)
+        if where is None:
+            return list(storage.keys())
+        table = storage.table
+        conditions = conjunctive_conditions(where)
+        # Fast path 1: full primary key bound by equality conditions.
+        key_values: dict[str, object] = {}
+        for condition in conditions:
+            if condition.operator == "=" and condition.column in table.primary_key:
+                if condition.table in (None, table.name):
+                    key_values[condition.column] = condition.value
+        if len(key_values) == len(table.primary_key):
+            key = tuple(key_values[column] for column in table.primary_key)
+            if key in storage:
+                row = storage.get(key)
+                assert row is not None
+                if evaluate_predicate(where, row):
+                    return [key]
+            return []
+        # Fast path 2: single equality condition on an indexed column.
+        for condition in conditions:
+            usable_table = condition.table in (None, table.name)
+            if condition.operator == "=" and usable_table and condition.column in storage.indexed_columns:
+                candidates = storage.lookup_equal(condition.column, condition.value)
+                matches = []
+                for key in candidates:
+                    row = storage.get(key)
+                    if row is not None and evaluate_predicate(where, row):
+                        matches.append(key)
+                return matches
+        # IN over the primary key (single-column primary keys only).
+        if len(table.primary_key) == 1:
+            for condition in conditions:
+                on_pk = condition.column == table.primary_key[0]
+                if condition.operator == "in" and on_pk and condition.table in (None, table.name):
+                    matches = []
+                    for value in condition.values:
+                        key = (value,)
+                        row = storage.get(key)
+                        if row is not None and evaluate_predicate(where, row):
+                            matches.append(key)
+                    return matches
+        # Slow path: full scan.
+        return [key for key, row in storage.rows() if evaluate_predicate(where, row)]
+
+    # -- statement kinds ----------------------------------------------------------------
+    def _execute_select(self, statement: SelectStatement) -> StatementResult:
+        storage = self._storage(statement.tables[0])
+        result = StatementResult()
+        keys = self._matching_keys(storage, statement)
+        if statement.limit is not None:
+            keys = keys[: statement.limit]
+        for key in keys:
+            row = storage.get(key)
+            assert row is not None
+            result.rows.append(self._project(row, statement))
+            result.read_set.add(TupleId(storage.table.name, key))
+        return result
+
+    def _execute_join_select(self, statement: SelectStatement) -> StatementResult:
+        """Nested-loop equi-join over two or more tables.
+
+        Every table named in the FROM clause is filtered by its own
+        conjunctive conditions first, then joined pairwise on the equality
+        join conditions.  The read set includes the matching rows of every
+        table (they must all be fetched to answer the query).
+        """
+        result = StatementResult()
+        conditions = conjunctive_conditions(statement.where)
+        joins = list(iter_join_conditions(statement.where))
+        per_table_rows: dict[str, list[tuple[tuple[object, ...], dict[str, object]]]] = {}
+        for table_name in statement.tables:
+            storage = self._storage(table_name)
+            table_conditions = [
+                condition
+                for condition in conditions
+                if condition.table == table_name
+                or (condition.table is None and storage.table.has_column(condition.column))
+            ]
+            keys = self._filter_keys(storage, table_conditions)
+            per_table_rows[table_name] = [(key, storage.get(key) or {}) for key in keys]
+        # Build joined rows incrementally, table by table.
+        joined: list[dict[str, object]] = [{}]
+        contributing: list[set[TupleId]] = [set()]
+        for table_name in statement.tables:
+            new_joined: list[dict[str, object]] = []
+            new_contributing: list[set[TupleId]] = []
+            for partial, sources in zip(joined, contributing):
+                for key, row in per_table_rows[table_name]:
+                    candidate = dict(partial)
+                    for column, value in row.items():
+                        candidate[f"{table_name}.{column}"] = value
+                        candidate.setdefault(column, value)
+                    if self._joins_satisfied(candidate, joins, statement.tables, table_name):
+                        new_joined.append(candidate)
+                        new_contributing.append(sources | {TupleId(table_name, key)})
+            joined = new_joined
+            contributing = new_contributing
+        rows = joined
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+            contributing = contributing[: statement.limit]
+        for row, sources in zip(rows, contributing):
+            result.rows.append(row)
+            result.read_set.update(sources)
+        return result
+
+    @staticmethod
+    def _joins_satisfied(
+        candidate: Mapping[str, object],
+        joins: list,
+        tables: tuple[str, ...],
+        last_table: str,
+    ) -> bool:
+        """Check join conditions whose two sides are already present in ``candidate``."""
+        for join in joins:
+            left_key = f"{join.left.table}.{join.left.name}" if join.left.table else join.left.name
+            right_key = (
+                f"{join.right.table}.{join.right.name}" if join.right.table else join.right.name
+            )
+            if left_key in candidate and right_key in candidate:
+                if candidate[left_key] != candidate[right_key]:
+                    return False
+        return True
+
+    def _filter_keys(self, storage: "TableStorage", conditions: list) -> list[tuple[object, ...]]:
+        """Filter one table by its own attribute conditions (no join logic)."""
+        if not conditions:
+            return list(storage.keys())
+        # Equality on an indexed or primary-key column narrows the scan.
+        for condition in conditions:
+            if condition.operator == "=" and condition.column in storage.indexed_columns:
+                candidates = storage.lookup_equal(condition.column, condition.value)
+                return [
+                    key
+                    for key in candidates
+                    if self._row_matches_conditions(storage.get(key) or {}, conditions)
+                ]
+        return [
+            key
+            for key, row in storage.rows()
+            if self._row_matches_conditions(row, conditions)
+        ]
+
+    @staticmethod
+    def _row_matches_conditions(row: Mapping[str, object], conditions: list) -> bool:
+        for condition in conditions:
+            value = row.get(condition.column)
+            if value is None and condition.column not in row:
+                return False
+            operator = condition.operator
+            if operator == "=" and not value == condition.value:
+                return False
+            if operator == "<>" and not value != condition.value:
+                return False
+            if operator == "<" and not value < condition.value:  # type: ignore[operator]
+                return False
+            if operator == "<=" and not value <= condition.value:  # type: ignore[operator]
+                return False
+            if operator == ">" and not value > condition.value:  # type: ignore[operator]
+                return False
+            if operator == ">=" and not value >= condition.value:  # type: ignore[operator]
+                return False
+            if operator == "between" and not condition.low <= value <= condition.high:  # type: ignore[operator]
+                return False
+            if operator == "in" and value not in condition.values:
+                return False
+        return True
+
+    @staticmethod
+    def _project(row: dict[str, object], statement: SelectStatement) -> dict[str, object]:
+        if not statement.columns:
+            return dict(row)
+        projected: dict[str, object] = {}
+        for column in statement.columns:
+            if column.name in row:
+                projected[column.name] = row[column.name]
+        return projected
+
+    def _execute_insert(self, statement: InsertStatement) -> StatementResult:
+        storage = self._storage(statement.table)
+        tuple_id = storage.insert(statement.row)
+        result = StatementResult()
+        result.write_set.add(tuple_id)
+        return result
+
+    def _execute_update(self, statement: UpdateStatement) -> StatementResult:
+        storage = self._storage(statement.table)
+        result = StatementResult()
+        for key in self._matching_keys(storage, statement):
+            storage.update(key, statement.assignments)
+            result.write_set.add(TupleId(storage.table.name, key))
+        return result
+
+    def _execute_delete(self, statement: DeleteStatement) -> StatementResult:
+        storage = self._storage(statement.table)
+        result = StatementResult()
+        for key in self._matching_keys(storage, statement):
+            storage.delete(key)
+            result.write_set.add(TupleId(storage.table.name, key))
+        return result

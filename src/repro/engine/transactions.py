@@ -1,0 +1,101 @@
+"""A minimal row-level lock manager.
+
+The throughput simulator (:mod:`repro.distributed.simulation`) uses this to
+model the lock contention that limits TPC-C scaling in Figure 6 of the paper:
+transactions that update the same warehouse/district rows conflict and cannot
+proceed concurrently.  The manager implements shared/exclusive row locks with
+conflict detection; there is no blocking or deadlock detection because the
+simulator resolves conflicts analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.catalog.tuples import TupleId
+
+
+class LockMode(Enum):
+    """Shared (read) or exclusive (write) lock."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class LockConflict(RuntimeError):
+    """Raised when a lock request conflicts with locks held by another owner."""
+
+    def __init__(self, tuple_id: TupleId, requested: LockMode, holder: str) -> None:
+        super().__init__(f"{requested.value} lock on {tuple_id} conflicts with holder {holder!r}")
+        self.tuple_id = tuple_id
+        self.requested = requested
+        self.holder = holder
+
+
+@dataclass
+class _LockEntry:
+    mode: LockMode
+    owners: set[str] = field(default_factory=set)
+
+
+class LockManager:
+    """Tracks row locks per :class:`TupleId` keyed by an owner identifier."""
+
+    def __init__(self) -> None:
+        self._locks: dict[TupleId, _LockEntry] = {}
+        self._owned: dict[str, set[TupleId]] = {}
+
+    def acquire(self, owner: str, tuple_id: TupleId, mode: LockMode) -> None:
+        """Acquire a lock or raise :class:`LockConflict`.
+
+        Lock upgrades (shared -> exclusive by the sole shared holder) succeed.
+        """
+        entry = self._locks.get(tuple_id)
+        if entry is None:
+            self._locks[tuple_id] = _LockEntry(mode, {owner})
+            self._owned.setdefault(owner, set()).add(tuple_id)
+            return
+        if owner in entry.owners and len(entry.owners) == 1:
+            # Re-entrant acquisition / upgrade by the only holder.
+            if mode is LockMode.EXCLUSIVE:
+                entry.mode = LockMode.EXCLUSIVE
+            return
+        if mode is LockMode.SHARED and entry.mode is LockMode.SHARED:
+            entry.owners.add(owner)
+            self._owned.setdefault(owner, set()).add(tuple_id)
+            return
+        if owner in entry.owners and entry.mode is LockMode.EXCLUSIVE:
+            return
+        other = next(iter(entry.owners - {owner}), next(iter(entry.owners)))
+        raise LockConflict(tuple_id, mode, other)
+
+    def would_conflict(self, owner: str, tuple_id: TupleId, mode: LockMode) -> bool:
+        """Return whether acquiring would conflict, without acquiring."""
+        entry = self._locks.get(tuple_id)
+        if entry is None:
+            return False
+        if entry.owners == {owner}:
+            return False
+        if mode is LockMode.SHARED and entry.mode is LockMode.SHARED:
+            return False
+        return True
+
+    def release_all(self, owner: str) -> None:
+        """Release every lock held by ``owner`` (commit/abort)."""
+        for tuple_id in self._owned.pop(owner, set()):
+            entry = self._locks.get(tuple_id)
+            if entry is None:
+                continue
+            entry.owners.discard(owner)
+            if not entry.owners:
+                del self._locks[tuple_id]
+
+    def holders(self, tuple_id: TupleId) -> frozenset[str]:
+        """Owners currently holding a lock on ``tuple_id``."""
+        entry = self._locks.get(tuple_id)
+        return frozenset(entry.owners) if entry is not None else frozenset()
+
+    def locked_count(self) -> int:
+        """Number of tuples currently locked (useful for tests)."""
+        return len(self._locks)

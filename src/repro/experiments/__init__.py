@@ -1,0 +1,39 @@
+"""Experiment harness: one module per figure/table of the paper's evaluation.
+
+Every experiment returns plain dataclasses/dicts and has a ``format_*``
+helper that prints the same rows/series the paper reports, so the benchmark
+suite and the examples can share them.  Scales default to laptop-friendly
+sizes; pass ``scale`` or explicit configs to approach paper sizes.
+"""
+
+from repro.experiments.figure1 import Figure1Row, format_figure1, run_figure1
+from repro.experiments.figure4 import (
+    Figure4Row,
+    format_figure4,
+    run_figure4,
+    run_figure4_experiment,
+    FIGURE4_EXPERIMENTS,
+)
+from repro.experiments.figure5 import Figure5Row, format_figure5, run_figure5
+from repro.experiments.figure6 import Figure6Row, format_figure6, run_figure6
+from repro.experiments.table1 import Table1Row, format_table1, run_table1
+
+__all__ = [
+    "FIGURE4_EXPERIMENTS",
+    "Figure1Row",
+    "Figure4Row",
+    "Figure5Row",
+    "Figure6Row",
+    "Table1Row",
+    "format_figure1",
+    "format_figure4",
+    "format_figure5",
+    "format_figure6",
+    "format_table1",
+    "run_figure1",
+    "run_figure4",
+    "run_figure4_experiment",
+    "run_figure5",
+    "run_figure6",
+    "run_table1",
+]

@@ -1,0 +1,66 @@
+"""Figure 1 — "The Price of Distribution".
+
+Throughput (and latency) of the simplecount workload when every transaction
+is single-partition versus when every transaction is distributed across two
+servers, for 1–5 servers.  The paper's headline numbers: distributed
+transactions roughly halve throughput and double latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.simulation import ThroughputSimulator
+
+
+@dataclass
+class Figure1Row:
+    """One point of Figure 1."""
+
+    servers: int
+    single_partition_tps: float
+    distributed_tps: float
+    single_partition_latency_ms: float
+    distributed_latency_ms: float
+
+    @property
+    def throughput_ratio(self) -> float:
+        """Distributed / single-partition throughput."""
+        if self.single_partition_tps == 0:
+            return 0.0
+        return self.distributed_tps / self.single_partition_tps
+
+
+def run_figure1(max_servers: int = 5, num_clients: int = 150) -> list[Figure1Row]:
+    """Simulate the Figure 1 sweep for 1..max_servers servers."""
+    simulator = ThroughputSimulator()
+    rows: list[Figure1Row] = []
+    for servers in range(1, max_servers + 1):
+        local = simulator.simulate_simplecount(servers, distributed=False, num_clients=num_clients)
+        remote = simulator.simulate_simplecount(servers, distributed=True, num_clients=num_clients)
+        rows.append(
+            Figure1Row(
+                servers=servers,
+                single_partition_tps=local.throughput_tps,
+                distributed_tps=remote.throughput_tps,
+                single_partition_latency_ms=local.latency_ms,
+                distributed_latency_ms=remote.latency_ms,
+            )
+        )
+    return rows
+
+
+def format_figure1(rows: list[Figure1Row]) -> str:
+    """Render the Figure 1 series as a text table."""
+    lines = [
+        "Figure 1: throughput of single-partition vs distributed transactions",
+        f"{'servers':>8} {'single tps':>12} {'distrib tps':>12} {'ratio':>7} "
+        f"{'single ms':>10} {'distrib ms':>11}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.servers:>8} {row.single_partition_tps:>12.0f} {row.distributed_tps:>12.0f} "
+            f"{row.throughput_ratio:>7.2f} {row.single_partition_latency_ms:>10.2f} "
+            f"{row.distributed_latency_ms:>11.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Figure 6 — end-to-end TPC-C throughput scaling.
+
+Two configurations, as in the paper:
+
+* **scale-out**: 16 warehouses total spread across 1, 2, 4, 8 machines.
+  Contention on the (few) warehouses per machine caps the speed-up at ~4.7x.
+* **scale-up**: 16 warehouses *per machine* (so the database grows with the
+  cluster).  Contention never binds and scaling is nearly linear (~7.7x).
+
+The distributed-transaction fraction fed into the throughput simulator is
+*measured* with the cost model: a TPC-C workload is generated for the
+configuration's warehouse count and evaluated against Schism's
+warehouse-range partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost import evaluate_strategy
+from repro.distributed.simulation import ThroughputSimulator
+from repro.workload.rwsets import extract_access_trace
+from repro.workloads.tpcc import TpccConfig, generate_tpcc, tpcc_manual_strategy
+
+
+@dataclass
+class Figure6Row:
+    """One point of Figure 6."""
+
+    machines: int
+    total_warehouses: int
+    distributed_fraction: float
+    throughput_tps: float
+    speedup: float
+    bottleneck: str
+
+
+def _measure_distributed_fraction(
+    total_warehouses: int, machines: int, num_transactions: int, seed: int
+) -> float:
+    """Measure TPC-C's distributed fraction under warehouse-range partitioning."""
+    if machines == 1:
+        return 0.0
+    config = TpccConfig(
+        warehouses=total_warehouses,
+        districts_per_warehouse=3,
+        customers_per_district=10,
+        items=50,
+        seed=seed,
+    )
+    bundle = generate_tpcc(config, num_transactions=num_transactions, name="tpcc-fig6")
+    trace = extract_access_trace(bundle.database, bundle.workload)
+    strategy = tpcc_manual_strategy(machines, total_warehouses)
+    report = evaluate_strategy(strategy, trace, bundle.database)
+    return report.distributed_fraction
+
+
+def run_figure6(
+    machine_counts: tuple[int, ...] = (1, 2, 4, 8),
+    warehouses_per_machine: int | None = None,
+    total_warehouses: int = 16,
+    num_transactions: int = 400,
+    seed: int = 0,
+) -> list[Figure6Row]:
+    """Run one Figure 6 curve.
+
+    ``warehouses_per_machine=None`` gives the fixed-total (scale-out) curve;
+    an integer gives the per-machine (scale-up) curve.
+    """
+    simulator = ThroughputSimulator()
+    rows: list[Figure6Row] = []
+    baseline: float | None = None
+    for machines in machine_counts:
+        warehouses = (
+            total_warehouses
+            if warehouses_per_machine is None
+            else warehouses_per_machine * machines
+        )
+        distributed_fraction = _measure_distributed_fraction(
+            warehouses, machines, num_transactions, seed
+        )
+        result = simulator.simulate_tpcc(
+            num_servers=machines,
+            total_warehouses=warehouses,
+            distributed_fraction=distributed_fraction,
+        )
+        if baseline is None:
+            baseline = result.throughput_tps
+        rows.append(
+            Figure6Row(
+                machines=machines,
+                total_warehouses=warehouses,
+                distributed_fraction=distributed_fraction,
+                throughput_tps=result.throughput_tps,
+                speedup=result.throughput_tps / baseline if baseline else 0.0,
+                bottleneck=result.bottleneck,
+            )
+        )
+    return rows
+
+
+def format_figure6(fixed_total: list[Figure6Row], per_machine: list[Figure6Row]) -> str:
+    """Render both Figure 6 curves as a text table."""
+    lines = [
+        "Figure 6: TPC-C throughput scaling",
+        f"{'machines':>9} {'config':>22} {'warehouses':>11} {'dist txn':>9} "
+        f"{'tps':>9} {'speedup':>8} {'bottleneck':>11}",
+    ]
+    for label, rows in (("16 warehouses total", fixed_total), ("16 warehouses / machine", per_machine)):
+        for row in rows:
+            lines.append(
+                f"{row.machines:>9} {label:>22} {row.total_warehouses:>11} "
+                f"{row.distributed_fraction:>9.1%} {row.throughput_tps:>9.0f} "
+                f"{row.speedup:>8.2f} {row.bottleneck:>11}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Table 1 — sizes of the graphs built for Epinions, TPCC-50W and TPC-E.
+
+The paper reports tuples, transactions, nodes and edges after applying the
+size-reduction heuristics.  We regenerate the same table on scaled-down
+instances and additionally report the original database size, so the effect
+of sampling/filtering/coalescing is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.builder import GraphBuildOptions, build_tuple_graph
+from repro.workload.rwsets import extract_access_trace
+from repro.workloads import (
+    EpinionsConfig,
+    TpccConfig,
+    TpceConfig,
+    generate_epinions,
+    generate_tpcc,
+    generate_tpce,
+)
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1."""
+
+    dataset: str
+    database_tuples: int
+    transactions: int
+    graph_nodes: int
+    graph_edges: int
+    graph_tuples: int
+
+
+def run_table1(scale: float = 1.0, seed: int = 0) -> list[Table1Row]:
+    """Build the three graphs and report their sizes."""
+
+    def scaled(value: int, minimum: int = 1) -> int:
+        return max(minimum, int(round(value * scale)))
+
+    bundles = [
+        (
+            "epinions",
+            generate_epinions(
+                EpinionsConfig(
+                    num_users=scaled(300), num_items=scaled(300), num_communities=10, seed=seed
+                ),
+                num_transactions=scaled(2000),
+            ),
+        ),
+        (
+            "tpcc-50w",
+            generate_tpcc(
+                TpccConfig(
+                    warehouses=10,
+                    districts_per_warehouse=scaled(3),
+                    customers_per_district=scaled(10),
+                    items=scaled(100),
+                    seed=seed,
+                ),
+                num_transactions=scaled(1000),
+                name="tpcc-50w",
+            ),
+        ),
+        (
+            "tpce",
+            generate_tpce(
+                TpceConfig(customers=scaled(200), securities=scaled(80), seed=seed),
+                num_transactions=scaled(2000),
+            ),
+        ),
+    ]
+    rows: list[Table1Row] = []
+    for name, bundle in bundles:
+        trace = extract_access_trace(bundle.database, bundle.workload)
+        tuple_graph = build_tuple_graph(trace, bundle.database, GraphBuildOptions(seed=seed))
+        rows.append(
+            Table1Row(
+                dataset=name,
+                database_tuples=bundle.database.row_count(),
+                transactions=len(trace),
+                graph_nodes=tuple_graph.num_nodes,
+                graph_edges=tuple_graph.num_edges,
+                graph_tuples=tuple_graph.num_tuples,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render Table 1 as a text table."""
+    lines = [
+        "Table 1: graph sizes",
+        f"{'dataset':>12} {'db tuples':>10} {'txns':>8} {'graph tuples':>13} {'nodes':>9} {'edges':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.dataset:>12} {row.database_tuples:>10} {row.transactions:>8} "
+            f"{row.graph_tuples:>13} {row.graph_nodes:>9} {row.graph_edges:>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Training-set construction for the explanation phase.
+
+For every table with tuples placed by the graph phase we emit one
+:class:`LabeledSample` per (sampled) tuple: the candidate attribute values of
+the tuple's row and the partition label assigned by the graph partitioner
+(replicated tuples get a virtual ``R...`` label combining their destination
+partitions, exactly as described in Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.tuples import TupleId
+from repro.engine.database import Database
+from repro.graph.assignment import PartitionAssignment
+from repro.utils.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class LabeledSample:
+    """One training example: attribute values plus a partition label."""
+
+    attributes: dict[str, object]
+    label: str
+    tuple_id: TupleId | None = None
+
+    def __hash__(self) -> int:  # attributes dict is small; hash on tuple id + label
+        return hash((self.tuple_id, self.label))
+
+
+@dataclass
+class Dataset:
+    """A labelled dataset for one table."""
+
+    table: str
+    attribute_names: tuple[str, ...]
+    samples: list[LabeledSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def labels(self) -> list[str]:
+        """Labels in sample order."""
+        return [sample.label for sample in self.samples]
+
+    def label_counts(self) -> dict[str, int]:
+        """Histogram of labels."""
+        counts: dict[str, int] = {}
+        for sample in self.samples:
+            counts[sample.label] = counts.get(sample.label, 0) + 1
+        return counts
+
+    def majority_label(self) -> str:
+        """The most common label (ties broken lexicographically for determinism)."""
+        counts = self.label_counts()
+        best = max(counts.values())
+        return sorted(label for label, count in counts.items() if count == best)[0]
+
+
+def build_training_sets(
+    assignment: PartitionAssignment,
+    database: Database,
+    candidate_attributes: dict[str, tuple[str, ...]],
+    max_samples_per_table: int | None = None,
+    rng: SeededRng | None = None,
+) -> dict[str, Dataset]:
+    """Build one :class:`Dataset` per table from a partition assignment.
+
+    Parameters
+    ----------
+    assignment:
+        The per-tuple placement produced by the graph phase.
+    database:
+        Used to fetch the attribute values of each placed tuple.
+    candidate_attributes:
+        Mapping of table -> attributes to include (the frequent attribute
+        sets from the workload analysis).  Tables not listed are skipped.
+    max_samples_per_table:
+        Optional cap per table (the paper trains on a few hundred tuples per
+        table); sampling is uniform and seeded.
+    rng:
+        Randomness source for the sampling.
+    """
+    rng = rng or SeededRng(0)
+    per_table_tuples: dict[str, list[TupleId]] = {}
+    for tuple_id in assignment:
+        if tuple_id.table in candidate_attributes:
+            per_table_tuples.setdefault(tuple_id.table, []).append(tuple_id)
+    datasets: dict[str, Dataset] = {}
+    for table, tuple_ids in sorted(per_table_tuples.items()):
+        attributes = candidate_attributes[table]
+        if not attributes:
+            continue
+        tuple_ids = sorted(tuple_ids)
+        if max_samples_per_table is not None and len(tuple_ids) > max_samples_per_table:
+            tuple_ids = rng.fork(table).sample(tuple_ids, max_samples_per_table)
+        dataset = Dataset(table, tuple(attributes))
+        for tuple_id in tuple_ids:
+            row = database.get_row(tuple_id)
+            if row is None:
+                continue
+            values = {attribute: row.get(attribute) for attribute in attributes}
+            if any(value is None for value in values.values()):
+                continue
+            dataset.samples.append(
+                LabeledSample(values, assignment.replication_label(tuple_id), tuple_id)
+            )
+        if dataset.samples:
+            datasets[table] = dataset
+    return datasets

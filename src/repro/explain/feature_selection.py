@@ -1,0 +1,174 @@
+"""Attribute selection for the explanation phase.
+
+Implements a correlation-based feature selection (CFS) in the style of the
+Weka component the paper uses: attributes are scored by their symmetrical
+uncertainty with the partition label, and a greedy forward search maximises
+the CFS merit, which rewards attributes correlated with the class and
+penalises attributes correlated with each other.  For TPC-C's ``stock`` table
+this is the step that discards ``s_i_id`` and keeps ``s_w_id``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.explain.dataset import LabeledSample
+
+
+def symmetrical_uncertainty(
+    samples: Sequence[LabeledSample],
+    attribute: str,
+    other_attribute: str | None = None,
+    bins: int = 10,
+) -> float:
+    """Symmetrical uncertainty between an attribute and the label (or another attribute).
+
+    Numeric attributes are discretised into equal-frequency bins.  Returns a
+    value in [0, 1]: 0 means independent, 1 means perfectly predictive.
+    """
+    first = [_discretise([s.attributes.get(attribute) for s in samples], bins)]
+    if other_attribute is None:
+        second = [[sample.label for sample in samples]]
+    else:
+        second = [_discretise([s.attributes.get(other_attribute) for s in samples], bins)]
+    x_values = first[0]
+    y_values = second[0]
+    entropy_x = _entropy_of(x_values)
+    entropy_y = _entropy_of(y_values)
+    if entropy_x <= 1e-12 and entropy_y <= 1e-12:
+        return 0.0
+    mutual_information = entropy_x + entropy_y - _joint_entropy(x_values, y_values)
+    denominator = entropy_x + entropy_y
+    if denominator <= 1e-12:
+        return 0.0
+    return max(0.0, 2.0 * mutual_information / denominator)
+
+
+def cfs_merit(
+    samples: Sequence[LabeledSample],
+    attributes: Sequence[str],
+    class_correlations: dict[str, float],
+    pairwise_cache: dict[tuple[str, str], float],
+    bins: int = 10,
+) -> float:
+    """CFS merit of an attribute subset (Hall, 1999)."""
+    count = len(attributes)
+    if count == 0:
+        return 0.0
+    mean_class_correlation = sum(class_correlations[a] for a in attributes) / count
+    if count == 1:
+        return mean_class_correlation
+    total_pairwise = 0.0
+    pairs = 0
+    for index, first in enumerate(attributes):
+        for second in attributes[index + 1 :]:
+            key = (first, second) if first <= second else (second, first)
+            if key not in pairwise_cache:
+                pairwise_cache[key] = symmetrical_uncertainty(samples, key[0], key[1], bins)
+            total_pairwise += pairwise_cache[key]
+            pairs += 1
+    mean_pairwise = total_pairwise / pairs if pairs else 0.0
+    denominator = math.sqrt(count + count * (count - 1) * mean_pairwise)
+    if denominator <= 1e-12:
+        return 0.0
+    return count * mean_class_correlation / denominator
+
+
+def select_attributes(
+    samples: Sequence[LabeledSample],
+    candidate_attributes: Sequence[str],
+    min_class_correlation: float = 0.01,
+    bins: int = 10,
+) -> list[str]:
+    """Select attributes correlated with the partition label.
+
+    Greedy forward selection on the CFS merit; attributes whose individual
+    correlation with the label is below ``min_class_correlation`` are never
+    considered.  Returns at least one attribute (the best one) when any
+    candidate shows non-zero correlation, otherwise an empty list.
+    """
+    if not samples:
+        return []
+    class_correlations = {
+        attribute: symmetrical_uncertainty(samples, attribute, None, bins)
+        for attribute in candidate_attributes
+    }
+    viable = [
+        attribute
+        for attribute in candidate_attributes
+        if class_correlations[attribute] >= min_class_correlation
+    ]
+    if not viable:
+        return []
+    pairwise_cache: dict[tuple[str, str], float] = {}
+    selected: list[str] = []
+    best_merit = 0.0
+    improved = True
+    while improved:
+        improved = False
+        best_candidate = None
+        for attribute in viable:
+            if attribute in selected:
+                continue
+            merit = cfs_merit(samples, selected + [attribute], class_correlations, pairwise_cache, bins)
+            if merit > best_merit + 1e-9:
+                best_merit = merit
+                best_candidate = attribute
+        if best_candidate is not None:
+            selected.append(best_candidate)
+            improved = True
+    if not selected:
+        selected = [max(viable, key=lambda attribute: class_correlations[attribute])]
+    return selected
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _discretise(values: list[object], bins: int) -> list[str]:
+    """Convert a value list into categorical bucket labels."""
+    numeric = [value for value in values if isinstance(value, (int, float))]
+    if len(numeric) == len(values) and values:
+        distinct = sorted(set(float(value) for value in numeric))
+        if len(distinct) <= bins:
+            return [str(float(value)) for value in numeric]
+        # Equal-frequency binning over the sorted distinct values.
+        ordered = sorted(float(value) for value in numeric)
+        boundaries = [
+            ordered[min(len(ordered) - 1, int(len(ordered) * (index + 1) / bins))]
+            for index in range(bins - 1)
+        ]
+        labels = []
+        for value in numeric:
+            bucket = 0
+            for boundary in boundaries:
+                if float(value) > boundary:
+                    bucket += 1
+            labels.append(f"b{bucket}")
+        return labels
+    return [str(value) for value in values]
+
+
+def _entropy_of(values: list[str]) -> float:
+    counts: dict[str, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    total = len(values)
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def _joint_entropy(first: list[str], second: list[str]) -> float:
+    counts: dict[tuple[str, str], int] = {}
+    for left, right in zip(first, second):
+        counts[(left, right)] = counts.get((left, right), 0) + 1
+    total = len(first)
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy

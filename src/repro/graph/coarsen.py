@@ -1,0 +1,100 @@
+"""Graph coarsening via heavy-edge matching.
+
+The multilevel scheme repeatedly contracts a maximal matching of the graph,
+preferring heavy edges, so that a good partition of the small coarse graph is
+also a good partition of the original when projected back (Karypis & Kumar,
+1998).  Each call to :func:`coarsen_once` produces one level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.model import Graph
+from repro.utils.rng import SeededRng
+
+
+@dataclass
+class CoarseningLevel:
+    """One level of the coarsening hierarchy."""
+
+    graph: Graph
+    #: fine node id -> coarse node id
+    fine_to_coarse: list[int]
+
+
+def coarsen_once(graph: Graph, rng: SeededRng) -> CoarseningLevel:
+    """Contract a heavy-edge matching of ``graph``, returning the coarser level."""
+    order = list(graph.nodes())
+    rng.shuffle(order)
+    match = [-1] * graph.num_nodes
+    for node in order:
+        if match[node] != -1:
+            continue
+        best_neighbor = -1
+        best_weight = -1.0
+        for neighbor, weight in graph.neighbors(node).items():
+            if match[neighbor] == -1 and weight > best_weight:
+                best_weight = weight
+                best_neighbor = neighbor
+        if best_neighbor != -1:
+            match[node] = best_neighbor
+            match[best_neighbor] = node
+        else:
+            match[node] = node
+    fine_to_coarse = [-1] * graph.num_nodes
+    coarse = Graph()
+    for node in order:
+        if fine_to_coarse[node] != -1:
+            continue
+        partner = match[node]
+        if partner == node or partner < 0:
+            coarse_id = coarse.add_node(graph.node_weights[node])
+            fine_to_coarse[node] = coarse_id
+        else:
+            coarse_id = coarse.add_node(graph.node_weights[node] + graph.node_weights[partner])
+            fine_to_coarse[node] = coarse_id
+            fine_to_coarse[partner] = coarse_id
+    for u, v, weight in graph.edges():
+        coarse_u = fine_to_coarse[u]
+        coarse_v = fine_to_coarse[v]
+        if coarse_u != coarse_v:
+            coarse.add_edge(coarse_u, coarse_v, weight)
+    return CoarseningLevel(coarse, fine_to_coarse)
+
+
+def coarsen_to(
+    graph: Graph,
+    target_nodes: int,
+    rng: SeededRng,
+    min_reduction: float = 0.9,
+    max_levels: int = 40,
+) -> list[CoarseningLevel]:
+    """Coarsen until the graph has at most ``target_nodes`` nodes.
+
+    Returns the list of levels from finest to coarsest (the original graph is
+    not included).  Coarsening stops early if a level shrinks the node count
+    by less than ``1 - min_reduction`` (the matching has become ineffective,
+    typically because the graph is mostly disconnected or star shaped).
+    """
+    levels: list[CoarseningLevel] = []
+    current = graph
+    for _ in range(max_levels):
+        if current.num_nodes <= target_nodes:
+            break
+        level = coarsen_once(current, rng)
+        if level.graph.num_nodes >= current.num_nodes * min_reduction:
+            # Diminishing returns: accept the level only if it still helps a bit.
+            if level.graph.num_nodes >= current.num_nodes:
+                break
+            levels.append(level)
+            current = level.graph
+            break
+        levels.append(level)
+        current = level.graph
+    return levels
+
+
+def project_assignment(level: CoarseningLevel, coarse_assignment: list[int]) -> list[int]:
+    """Project a partition assignment of the coarse graph back to the finer graph."""
+    return [coarse_assignment[coarse] for coarse in level.fine_to_coarse]

@@ -1,0 +1,98 @@
+"""Initial bisection of the coarsest graph.
+
+Greedy graph growing (GGGP): grow one region outwards from a random seed,
+always absorbing the frontier node that improves the cut the most, until the
+region reaches its target weight.  Several trials with different seeds are
+run and the best resulting bisection (after a quick refinement pass done by
+the caller) is kept.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.graph.model import Graph
+from repro.utils.rng import SeededRng
+
+
+def greedy_bisection(
+    graph: Graph,
+    target_weight_zero: float,
+    rng: SeededRng,
+) -> list[int]:
+    """Return a 0/1 assignment whose side 0 weighs approximately ``target_weight_zero``.
+
+    The algorithm grows side 0 from a random seed node; everything not
+    absorbed stays on side 1.  Disconnected graphs are handled by restarting
+    the growth from a new unabsorbed seed whenever the frontier empties.
+    """
+    num_nodes = graph.num_nodes
+    if num_nodes == 0:
+        return []
+    assignment = [1] * num_nodes
+    grown_weight = 0.0
+    in_region = [False] * num_nodes
+    # Max-heap of (-gain, tiebreak, node); gain = weight towards region - weight away.
+    frontier: list[tuple[float, float, int]] = []
+    visited_frontier = [False] * num_nodes
+
+    def push_neighbors(node: int) -> None:
+        for neighbor, _weight in graph.neighbors(node).items():
+            if not in_region[neighbor]:
+                gain = _region_gain(graph, neighbor, in_region)
+                heapq.heappush(frontier, (-gain, rng.random(), neighbor))
+                visited_frontier[neighbor] = True
+
+    def new_seed() -> int | None:
+        candidates = [node for node in graph.nodes() if not in_region[node]]
+        if not candidates:
+            return None
+        return candidates[rng.randint(0, len(candidates) - 1)]
+
+    seed = new_seed()
+    while grown_weight < target_weight_zero and seed is not None:
+        if not in_region[seed]:
+            in_region[seed] = True
+            assignment[seed] = 0
+            grown_weight += graph.node_weights[seed]
+            push_neighbors(seed)
+        # Absorb from the frontier until it empties or the target is reached.
+        while frontier and grown_weight < target_weight_zero:
+            _neg_gain, _tie, node = heapq.heappop(frontier)
+            if in_region[node]:
+                continue
+            in_region[node] = True
+            assignment[node] = 0
+            grown_weight += graph.node_weights[node]
+            push_neighbors(node)
+        if grown_weight < target_weight_zero:
+            seed = new_seed()
+        else:
+            break
+    return assignment
+
+
+def _region_gain(graph: Graph, node: int, in_region: list[bool]) -> float:
+    """Cut-improvement of absorbing ``node`` into the region."""
+    towards = 0.0
+    away = 0.0
+    for neighbor, weight in graph.neighbors(node).items():
+        if in_region[neighbor]:
+            towards += weight
+        else:
+            away += weight
+    return towards - away
+
+
+def random_bisection(graph: Graph, target_weight_zero: float, rng: SeededRng) -> list[int]:
+    """Assign random nodes to side 0 until it reaches the target weight (fallback)."""
+    order = list(graph.nodes())
+    rng.shuffle(order)
+    assignment = [1] * graph.num_nodes
+    weight = 0.0
+    for node in order:
+        if weight >= target_weight_zero:
+            break
+        assignment[node] = 0
+        weight += graph.node_weights[node]
+    return assignment

@@ -1,0 +1,146 @@
+"""Weighted undirected graph used by the partitioner.
+
+The structure is deliberately simple: node ids are dense integers, node
+weights are floats, and adjacency is a list of ``dict[int, float]`` so that
+edge weights accumulate when the same pair is connected by many transactions.
+All partitioner phases (matching, region growing, FM refinement) only need
+neighbour iteration and O(1) edge-weight lookup, which this provides.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Graph:
+    """A weighted undirected graph with dense integer node ids."""
+
+    def __init__(self) -> None:
+        self.node_weights: list[float] = []
+        self.adjacency: list[dict[int, float]] = []
+
+    # -- construction --------------------------------------------------------------
+    def add_node(self, weight: float = 1.0) -> int:
+        """Add a node and return its id."""
+        if weight < 0:
+            raise ValueError("node weight must be non-negative")
+        self.node_weights.append(weight)
+        self.adjacency.append({})
+        return len(self.node_weights) - 1
+
+    def add_nodes(self, count: int, weight: float = 1.0) -> list[int]:
+        """Add ``count`` nodes with the same weight, returning their ids."""
+        return [self.add_node(weight) for _ in range(count)]
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add (or accumulate onto) the undirected edge ``{u, v}``.
+
+        Self-loops are ignored: they can never be cut so they carry no
+        information for partitioning.
+        """
+        if u == v:
+            return
+        if weight < 0:
+            raise ValueError("edge weight must be non-negative")
+        self._check_node(u)
+        self._check_node(v)
+        self.adjacency[u][v] = self.adjacency[u].get(v, 0.0) + weight
+        self.adjacency[v][u] = self.adjacency[v].get(u, 0.0) + weight
+
+    def set_node_weight(self, node: int, weight: float) -> None:
+        """Overwrite the weight of ``node``."""
+        self._check_node(node)
+        if weight < 0:
+            raise ValueError("node weight must be non-negative")
+        self.node_weights[node] = weight
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < len(self.node_weights):
+            raise IndexError(f"node {node} does not exist")
+
+    # -- queries --------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.node_weights)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct undirected edges."""
+        return sum(len(neighbors) for neighbors in self.adjacency) // 2
+
+    def neighbors(self, node: int) -> dict[int, float]:
+        """Mapping of neighbour id -> edge weight (live dict; do not mutate)."""
+        return self.adjacency[node]
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of the edge ``{u, v}`` (0 when absent)."""
+        return self.adjacency[u].get(v, 0.0)
+
+    def degree(self, node: int) -> int:
+        """Number of neighbours of ``node``."""
+        return len(self.adjacency[node])
+
+    def total_node_weight(self) -> float:
+        """Sum of all node weights."""
+        return sum(self.node_weights)
+
+    def total_edge_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(sum(neighbors.values()) for neighbors in self.adjacency) / 2.0
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over edges as ``(u, v, weight)`` with ``u < v``."""
+        for u, neighbors in enumerate(self.adjacency):
+            for v, weight in neighbors.items():
+                if u < v:
+                    yield u, v, weight
+
+    def nodes(self) -> range:
+        """Iterable of node ids."""
+        return range(self.num_nodes)
+
+    # -- derived graphs ---------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[int]) -> tuple["Graph", list[int]]:
+        """Return the induced subgraph and the list mapping new ids -> old ids."""
+        node_list = list(nodes)
+        old_to_new = {old: new for new, old in enumerate(node_list)}
+        sub = Graph()
+        for old in node_list:
+            sub.add_node(self.node_weights[old])
+        for new_u, old_u in enumerate(node_list):
+            for old_v, weight in self.adjacency[old_u].items():
+                new_v = old_to_new.get(old_v)
+                if new_v is not None and new_u < new_v:
+                    sub.add_edge(new_u, new_v, weight)
+        return sub, node_list
+
+    def copy(self) -> "Graph":
+        """Deep copy of the graph."""
+        clone = Graph()
+        clone.node_weights = list(self.node_weights)
+        clone.adjacency = [dict(neighbors) for neighbors in self.adjacency]
+        return clone
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as lists of node ids (iterative BFS)."""
+        seen = [False] * self.num_nodes
+        components: list[list[int]] = []
+        for start in range(self.num_nodes):
+            if seen[start]:
+                continue
+            component = [start]
+            seen[start] = True
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in self.adjacency[node]:
+                    if not seen[neighbor]:
+                        seen[neighbor] = True
+                        component.append(neighbor)
+                        frontier.append(neighbor)
+            components.append(component)
+        return components
+
+    def __repr__(self) -> str:
+        return f"Graph(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,210 @@
+"""Multilevel balanced min-cut graph partitioner (METIS-style, pure Python).
+
+The partitioner combines three classic ingredients:
+
+1. **Coarsening** by heavy-edge matching until the graph is small;
+2. **Initial bisection** of the coarsest graph by greedy graph growing (best
+   of several trials);
+3. **Uncoarsening** with Fiduccia–Mattheyses refinement at every level.
+
+k-way partitions are obtained by recursive bisection (k need not be a power
+of two: the weight targets are split proportionally), followed by a greedy
+k-way boundary refinement pass on the full graph.  Balance is expressed as a
+maximum allowed relative imbalance over perfectly even partitions, matching
+the "constant factor of perfect balance" constraint in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.coarsen import coarsen_to, project_assignment
+from repro.graph.initial import greedy_bisection, random_bisection
+from repro.graph.model import Graph
+from repro.graph.refine import (
+    cut_weight_two_way,
+    fm_refine_bisection,
+    greedy_kway_refine,
+    rebalance,
+    side_weights,
+)
+from repro.utils.rng import SeededRng
+
+
+@dataclass
+class PartitionerOptions:
+    """Tuning knobs for the partitioner."""
+
+    #: permissible relative imbalance; 0.05 means partitions may exceed the
+    #: ideal weight by 5% (plus one maximal node, to guarantee feasibility).
+    imbalance: float = 0.05
+    #: stop coarsening when the graph has at most this many nodes.
+    coarsen_target: int = 120
+    #: number of greedy-graph-growing trials for the initial bisection.
+    initial_trials: int = 8
+    #: number of FM passes per uncoarsening level.
+    refine_passes: int = 4
+    #: random seed (tie-breaking, seed selection, matching order).
+    seed: int = 0
+
+
+class GraphPartitioner:
+    """Balanced min-cut k-way partitioner."""
+
+    def __init__(self, options: PartitionerOptions | None = None) -> None:
+        self.options = options or PartitionerOptions()
+
+    # -- public API -----------------------------------------------------------------
+    def partition(self, graph: Graph, num_parts: int) -> list[int]:
+        """Partition ``graph`` into ``num_parts`` balanced parts, minimising the cut.
+
+        Returns a list assigning each node id to a partition in
+        ``[0, num_parts)``.
+        """
+        if num_parts <= 0:
+            raise ValueError("num_parts must be positive")
+        if graph.num_nodes == 0:
+            return []
+        if num_parts == 1:
+            return [0] * graph.num_nodes
+        rng = SeededRng(self.options.seed)
+        assignment = [0] * graph.num_nodes
+        self._recursive_bisect(
+            graph,
+            list(graph.nodes()),
+            num_parts,
+            first_part=0,
+            assignment=assignment,
+            rng=rng,
+        )
+        max_weights = self._kway_max_weights(graph, num_parts)
+        rebalance(graph, assignment, num_parts, max_weights)
+        greedy_kway_refine(graph, assignment, num_parts, max_weights, self.options.refine_passes)
+        return assignment
+
+    # -- recursive bisection ----------------------------------------------------------
+    def _recursive_bisect(
+        self,
+        original: Graph,
+        node_ids: list[int],
+        num_parts: int,
+        first_part: int,
+        assignment: list[int],
+        rng: SeededRng,
+    ) -> None:
+        if num_parts == 1 or not node_ids:
+            for node in node_ids:
+                assignment[node] = first_part
+            return
+        subgraph, mapping = original.subgraph(node_ids)
+        left_parts = (num_parts + 1) // 2
+        right_parts = num_parts - left_parts
+        target_fraction = left_parts / num_parts
+        two_way = self._multilevel_bisection(subgraph, target_fraction, rng)
+        left_nodes = [mapping[i] for i, side in enumerate(two_way) if side == 0]
+        right_nodes = [mapping[i] for i, side in enumerate(two_way) if side == 1]
+        if not left_nodes or not right_nodes:
+            # Degenerate bisection (e.g. a single huge node): split arbitrarily
+            # so that every part receives at least one node where possible.
+            ordered = sorted(node_ids, key=lambda node: -original.node_weights[node])
+            left_nodes = ordered[::2]
+            right_nodes = ordered[1::2]
+        self._recursive_bisect(original, left_nodes, left_parts, first_part, assignment, rng)
+        self._recursive_bisect(
+            original, right_nodes, right_parts, first_part + left_parts, assignment, rng
+        )
+
+    # -- multilevel bisection -----------------------------------------------------------
+    def _multilevel_bisection(
+        self, graph: Graph, target_fraction: float, rng: SeededRng
+    ) -> list[int]:
+        total_weight = graph.total_node_weight()
+        max_node_weight = max(graph.node_weights, default=0.0)
+        slack = 1.0 + self.options.imbalance
+        max_weights = (
+            total_weight * target_fraction * slack + max_node_weight,
+            total_weight * (1.0 - target_fraction) * slack + max_node_weight,
+        )
+        levels = coarsen_to(graph, self.options.coarsen_target, rng)
+        coarsest = levels[-1].graph if levels else graph
+        assignment = self._initial_bisection(coarsest, target_fraction, rng, max_weights)
+        # Uncoarsen: project back level by level, refining at each step.
+        for level in reversed(levels):
+            assignment = project_assignment(level, assignment)
+            finer_graph = self._finer_graph(graph, levels, level)
+            fm_refine_bisection(
+                finer_graph,
+                assignment,
+                max_weights,
+                max_passes=self.options.refine_passes,
+            )
+        if not levels:
+            fm_refine_bisection(graph, assignment, max_weights, self.options.refine_passes)
+        return assignment
+
+    @staticmethod
+    def _finer_graph(original: Graph, levels: list, level: object) -> Graph:
+        """The graph one step finer than ``level`` in the hierarchy."""
+        index = levels.index(level)
+        if index == 0:
+            return original
+        return levels[index - 1].graph
+
+    def _initial_bisection(
+        self,
+        graph: Graph,
+        target_fraction: float,
+        rng: SeededRng,
+        max_weights: tuple[float, float],
+    ) -> list[int]:
+        total_weight = graph.total_node_weight()
+        target_zero = total_weight * target_fraction
+        best_assignment: list[int] | None = None
+        best_cut = float("inf")
+        trials = max(1, self.options.initial_trials)
+        for trial in range(trials):
+            trial_rng = rng.fork(("initial", trial))
+            if trial == trials - 1 and best_assignment is None:
+                candidate = random_bisection(graph, target_zero, trial_rng)
+            else:
+                candidate = greedy_bisection(graph, target_zero, trial_rng)
+            fm_refine_bisection(graph, candidate, max_weights, max_passes=1)
+            cut = cut_weight_two_way(graph, candidate)
+            balanced = self._is_feasible(graph, candidate, max_weights)
+            # Prefer feasible bisections; among those, the smallest cut wins.
+            penalty = 0.0 if balanced else graph.total_edge_weight() + 1.0
+            if cut + penalty < best_cut:
+                best_cut = cut + penalty
+                best_assignment = candidate
+        assert best_assignment is not None
+        return best_assignment
+
+    @staticmethod
+    def _is_feasible(graph: Graph, assignment: list[int], max_weights: tuple[float, float]) -> bool:
+        weights = side_weights(graph, assignment, 2)
+        return weights[0] <= max_weights[0] and weights[1] <= max_weights[1]
+
+    def _kway_max_weights(self, graph: Graph, num_parts: int) -> list[float]:
+        total_weight = graph.total_node_weight()
+        max_node_weight = max(graph.node_weights, default=0.0)
+        per_part = total_weight / num_parts
+        return [per_part * (1.0 + self.options.imbalance) + max_node_weight] * num_parts
+
+
+def partition_graph(
+    graph: Graph,
+    num_parts: int,
+    options: PartitionerOptions | None = None,
+) -> list[int]:
+    """Convenience wrapper: partition ``graph`` into ``num_parts`` parts."""
+    return GraphPartitioner(options).partition(graph, num_parts)
+
+
+def cut_weight(graph: Graph, assignment: list[int]) -> float:
+    """Total weight of edges whose endpoints are assigned to different parts."""
+    return cut_weight_two_way(graph, assignment)
+
+
+def partition_weights(graph: Graph, assignment: list[int], num_parts: int) -> list[float]:
+    """Total node weight per partition (re-exported for reports and tests)."""
+    return side_weights(graph, assignment, num_parts)

@@ -1,0 +1,212 @@
+"""Partition refinement.
+
+Two refiners are provided:
+
+* :func:`fm_refine_bisection` — a Fiduccia–Mattheyses style pass for two-way
+  partitions, used inside the multilevel bisection at every uncoarsening
+  level.  It permits temporarily negative-gain moves (up to a bounded streak)
+  and rolls back to the best prefix, which lets it climb out of small local
+  minima.
+* :func:`greedy_kway_refine` — a greedy boundary pass for k-way partitions,
+  run once on the full graph after recursive bisection.  Nodes on the
+  boundary are moved to the neighbouring partition with the highest positive
+  gain provided the balance constraint stays satisfied.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.graph.model import Graph
+
+
+def cut_weight_two_way(graph: Graph, assignment: list[int]) -> float:
+    """Total weight of edges crossing a two-way (or k-way) assignment."""
+    total = 0.0
+    for u, v, weight in graph.edges():
+        if assignment[u] != assignment[v]:
+            total += weight
+    return total
+
+
+def side_weights(graph: Graph, assignment: list[int], num_parts: int = 2) -> list[float]:
+    """Total node weight per partition."""
+    weights = [0.0] * num_parts
+    for node, part in enumerate(assignment):
+        weights[part] += graph.node_weights[node]
+    return weights
+
+
+def fm_refine_bisection(
+    graph: Graph,
+    assignment: list[int],
+    max_weights: tuple[float, float],
+    max_passes: int = 4,
+    max_negative_streak: int = 50,
+) -> list[int]:
+    """Refine a two-way assignment in place and return it.
+
+    Parameters
+    ----------
+    graph:
+        The graph being partitioned.
+    assignment:
+        Current 0/1 side per node; modified in place.
+    max_weights:
+        Maximum allowed total node weight of side 0 and side 1.
+    max_passes:
+        Number of full FM passes.
+    max_negative_streak:
+        Abort a pass after this many consecutive non-improving moves.
+    """
+    num_nodes = graph.num_nodes
+    if num_nodes == 0:
+        return assignment
+    for _ in range(max_passes):
+        weights = side_weights(graph, assignment, 2)
+        gains = [_move_gain(graph, node, assignment) for node in range(num_nodes)]
+        heap: list[tuple[float, int, int]] = []
+        for node in range(num_nodes):
+            heapq.heappush(heap, (-gains[node], node, assignment[node]))
+        locked = [False] * num_nodes
+        best_cut_delta = 0.0
+        current_delta = 0.0
+        moves: list[int] = []
+        best_prefix = 0
+        negative_streak = 0
+        while heap and negative_streak < max_negative_streak:
+            neg_gain, node, side_at_push = heapq.heappop(heap)
+            if locked[node] or assignment[node] != side_at_push:
+                continue
+            gain = -neg_gain
+            if abs(gain - _move_gain(graph, node, assignment)) > 1e-9:
+                # Stale entry: re-push with the fresh gain.
+                heapq.heappush(heap, (-_move_gain(graph, node, assignment), node, assignment[node]))
+                continue
+            source = assignment[node]
+            target = 1 - source
+            node_weight = graph.node_weights[node]
+            if weights[target] + node_weight > max_weights[target]:
+                locked[node] = True
+                continue
+            # Perform the move.
+            assignment[node] = target
+            weights[source] -= node_weight
+            weights[target] += node_weight
+            locked[node] = True
+            moves.append(node)
+            current_delta += gain
+            if current_delta > best_cut_delta + 1e-12:
+                best_cut_delta = current_delta
+                best_prefix = len(moves)
+                negative_streak = 0
+            else:
+                negative_streak += 1
+            # Update neighbours' gains lazily.
+            for neighbor in graph.neighbors(node):
+                if not locked[neighbor]:
+                    heapq.heappush(
+                        heap,
+                        (-_move_gain(graph, neighbor, assignment), neighbor, assignment[neighbor]),
+                    )
+        # Roll back the moves after the best prefix.
+        for node in reversed(moves[best_prefix:]):
+            assignment[node] = 1 - assignment[node]
+        if best_cut_delta <= 1e-12:
+            break
+    return assignment
+
+
+def _move_gain(graph: Graph, node: int, assignment: list[int]) -> float:
+    """Cut reduction obtained by moving ``node`` to the other side."""
+    external = 0.0
+    internal = 0.0
+    side = assignment[node]
+    for neighbor, weight in graph.neighbors(node).items():
+        if assignment[neighbor] == side:
+            internal += weight
+        else:
+            external += weight
+    return external - internal
+
+
+def greedy_kway_refine(
+    graph: Graph,
+    assignment: list[int],
+    num_parts: int,
+    max_weights: list[float],
+    max_passes: int = 3,
+) -> list[int]:
+    """Greedy boundary refinement for a k-way assignment (modified in place)."""
+    if graph.num_nodes == 0 or num_parts <= 1:
+        return assignment
+    weights = side_weights(graph, assignment, num_parts)
+    for _ in range(max_passes):
+        improved = False
+        for node in graph.nodes():
+            neighbors = graph.neighbors(node)
+            if not neighbors:
+                continue
+            source = assignment[node]
+            connectivity = [0.0] * num_parts
+            for neighbor, weight in neighbors.items():
+                connectivity[assignment[neighbor]] += weight
+            internal = connectivity[source]
+            best_part = source
+            best_gain = 0.0
+            node_weight = graph.node_weights[node]
+            for part in range(num_parts):
+                if part == source:
+                    continue
+                gain = connectivity[part] - internal
+                if gain > best_gain + 1e-12 and weights[part] + node_weight <= max_weights[part]:
+                    best_gain = gain
+                    best_part = part
+            if best_part != source:
+                assignment[node] = best_part
+                weights[source] -= node_weight
+                weights[best_part] += node_weight
+                improved = True
+        if not improved:
+            break
+    return assignment
+
+
+def rebalance(
+    graph: Graph,
+    assignment: list[int],
+    num_parts: int,
+    max_weights: list[float],
+) -> list[int]:
+    """Move nodes out of overweight partitions, preferring low-connectivity nodes.
+
+    Used as a last resort when recursive bisection produces a slightly
+    infeasible assignment (e.g. one giant coalesced node).  Cut quality is a
+    secondary concern here; feasibility comes first.
+    """
+    weights = side_weights(graph, assignment, num_parts)
+    overweight = [part for part in range(num_parts) if weights[part] > max_weights[part]]
+    if not overweight:
+        return assignment
+    for part in overweight:
+        movable = sorted(
+            (node for node in graph.nodes() if assignment[node] == part),
+            key=lambda node: sum(
+                weight
+                for neighbor, weight in graph.neighbors(node).items()
+                if assignment[neighbor] == part
+            ),
+        )
+        for node in movable:
+            if weights[part] <= max_weights[part]:
+                break
+            node_weight = graph.node_weights[node]
+            # Send the node to the partition with the most slack.
+            target = min(
+                (candidate for candidate in range(num_parts) if candidate != part),
+                key=lambda candidate: weights[candidate] / max(max_weights[candidate], 1e-9),
+            )
+            assignment[node] = target
+            weights[part] -= node_weight
+            weights[target] += node_weight
+    return assignment

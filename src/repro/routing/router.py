@@ -1,0 +1,192 @@
+"""Statement and transaction routing (Appendix C.2 of the paper).
+
+Given a partitioning strategy (and, for fine-grained schemes, a lookup
+table), the router decides which partitions each statement must be sent to:
+
+* statements whose WHERE clause pins the partitioning attributes (or the
+  primary key, for lookup tables) are sent only to the owning partition(s);
+* statements over other attributes are broadcast to every partition and the
+  results unioned;
+* reads of replicated tuples are sent to a single replica, preferring a
+  partition the surrounding transaction has already touched — this is the
+  replica-selection optimisation the paper credits with reducing distributed
+  transactions for read-mostly workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Schema
+from repro.catalog.tuples import TupleId
+from repro.core.strategies import PartitioningStrategy
+from repro.routing.lookup import LookupTable
+from repro.sqlparse.ast import InsertStatement, Statement, is_write, statement_tables
+from repro.sqlparse.predicates import AttributeCondition, conjunctive_conditions, statement_where
+from repro.workload.trace import Transaction
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Where one statement must be executed."""
+
+    statement: Statement
+    partitions: frozenset[int]
+    broadcast: bool
+    reason: str
+
+    @property
+    def is_single_partition(self) -> bool:
+        """Whether the statement touches exactly one partition."""
+        return len(self.partitions) == 1
+
+
+@dataclass
+class TransactionRoutingContext:
+    """State carried across the statements of one transaction."""
+
+    touched_partitions: set[int] = field(default_factory=set)
+
+    def record(self, decision: RoutingDecision) -> None:
+        """Remember the partitions a routed statement will touch."""
+        self.touched_partitions.update(decision.partitions)
+
+
+class Router:
+    """Routes statements according to a partitioning strategy."""
+
+    def __init__(
+        self,
+        strategy: PartitioningStrategy,
+        schema: Schema | None = None,
+        lookup_table: LookupTable | None = None,
+    ) -> None:
+        self.strategy = strategy
+        self.schema = schema
+        self.lookup_table = lookup_table
+        self.num_partitions = strategy.num_partitions
+
+    # -- statements ----------------------------------------------------------------------
+    def route_statement(
+        self,
+        statement: Statement,
+        context: TransactionRoutingContext | None = None,
+    ) -> RoutingDecision:
+        """Decide the destination partitions of one statement."""
+        all_partitions = frozenset(range(self.num_partitions))
+        destinations: set[int] = set()
+        broadcast = False
+        reasons: list[str] = []
+        conditions = self._statement_conditions(statement)
+        for table in statement_tables(statement):
+            table_conditions = [
+                condition
+                for condition in conditions
+                if condition.table in (None, table)
+            ]
+            resolved_by_lookup = False
+            partitions = self._lookup_route(table, table_conditions, statement, context)
+            if partitions is not None:
+                resolved_by_lookup = True
+            else:
+                partitions = self.strategy.partitions_for_conditions(table, table_conditions)
+            if partitions is None:
+                destinations.update(all_partitions)
+                broadcast = True
+                reasons.append(f"{table}: broadcast")
+                continue
+            if (
+                not resolved_by_lookup
+                and not is_write(statement)
+                and partitions == all_partitions
+                and len(partitions) > 1
+            ):
+                # The table (or matching rows) is replicated everywhere: a read
+                # only needs one replica, preferably one we already visit.
+                partitions = frozenset({self._pick_replica(partitions, context)})
+                reasons.append(f"{table}: replicated read")
+            else:
+                reasons.append(f"{table}: routed")
+            destinations.update(partitions)
+        if not destinations:
+            destinations = set(all_partitions)
+            broadcast = True
+            reasons.append("no destination: broadcast")
+        decision = RoutingDecision(
+            statement, frozenset(destinations), broadcast, "; ".join(reasons)
+        )
+        if context is not None:
+            context.record(decision)
+        return decision
+
+    def route_transaction(self, transaction: Transaction) -> list[RoutingDecision]:
+        """Route every statement of a transaction, sharing one routing context."""
+        context = TransactionRoutingContext()
+        return [self.route_statement(statement, context) for statement in transaction.statements]
+
+    def transaction_participants(self, transaction: Transaction) -> frozenset[int]:
+        """Union of destination partitions across a transaction's statements."""
+        participants: set[int] = set()
+        for decision in self.route_transaction(transaction):
+            participants.update(decision.partitions)
+        return frozenset(participants)
+
+    # -- helpers ------------------------------------------------------------------------
+    def _statement_conditions(self, statement: Statement) -> list[AttributeCondition]:
+        if isinstance(statement, InsertStatement):
+            return [
+                AttributeCondition(statement.table, column, "=", value)
+                for column, value in statement.row.items()
+            ]
+        return conjunctive_conditions(statement_where(statement))
+
+    def _lookup_route(
+        self,
+        table: str,
+        conditions: list[AttributeCondition],
+        statement: Statement,
+        context: TransactionRoutingContext | None,
+    ) -> frozenset[int] | None:
+        """Resolve primary-key equality conditions through the lookup table.
+
+        Each matched key contributes its placement; for reads, a key stored on
+        several partitions (a replicated tuple) only contributes one replica,
+        chosen to coincide with partitions already involved where possible.
+        """
+        if self.lookup_table is None or self.schema is None or not self.schema.has_table(table):
+            return None
+        primary_key = self.schema.table(table).primary_key
+        values: dict[str, tuple[object, ...]] = {}
+        for condition in conditions:
+            if condition.column in primary_key:
+                candidates = condition.candidate_values()
+                if candidates:
+                    values[condition.column] = candidates
+        if set(values) != set(primary_key):
+            return None
+        keys: list[tuple[object, ...]] = [()]
+        for column in primary_key:
+            keys = [key + (value,) for key in keys for value in values[column]]
+        partitions: set[int] = set()
+        for key in keys:
+            placement = self.lookup_table.get(TupleId(table, key))
+            if placement is None:
+                # Unknown tuple: defer to the strategy (its default policy).
+                placement = self.strategy.partitions_for_tuple(TupleId(table, key))
+            if not is_write(statement) and len(placement) > 1:
+                already = placement & partitions
+                if context is not None and not already:
+                    already = placement & frozenset(context.touched_partitions)
+                partitions.add(min(already) if already else min(placement))
+            else:
+                partitions.update(placement)
+        return frozenset(partitions) if partitions else None
+
+    def _pick_replica(
+        self, replicas: frozenset[int], context: TransactionRoutingContext | None
+    ) -> int:
+        if context is not None:
+            already = replicas & frozenset(context.touched_partitions)
+            if already:
+                return min(already)
+        return min(replicas)

@@ -1,0 +1,55 @@
+"""A small SQL layer for OLTP traces.
+
+The workload generators build statement ASTs directly, while traces captured
+as SQL text (the paper's input is a MySQL general log) are turned into the
+same ASTs by :func:`parse_statement`.  Only the subset of SQL exercised by
+OLTP workloads is supported: single-table SELECT/INSERT/UPDATE/DELETE plus
+simple equi-joins, with WHERE clauses over ``=``, ``<>``, ``<``, ``<=``,
+``>``, ``>=``, ``BETWEEN``, ``IN`` combined with ``AND``/``OR``.
+"""
+
+from repro.sqlparse.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    DeleteStatement,
+    InsertStatement,
+    JoinCondition,
+    Or,
+    Predicate,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from repro.sqlparse.lexer import LexerError, Token, TokenType, tokenize
+from repro.sqlparse.parser import ParseError, parse_statement
+from repro.sqlparse.predicates import (
+    AttributeCondition,
+    conjunctive_conditions,
+    evaluate_predicate,
+    referenced_attributes,
+)
+
+__all__ = [
+    "And",
+    "AttributeCondition",
+    "ColumnRef",
+    "Comparison",
+    "DeleteStatement",
+    "InsertStatement",
+    "JoinCondition",
+    "LexerError",
+    "Or",
+    "ParseError",
+    "Predicate",
+    "SelectStatement",
+    "Statement",
+    "Token",
+    "TokenType",
+    "UpdateStatement",
+    "conjunctive_conditions",
+    "evaluate_predicate",
+    "parse_statement",
+    "referenced_attributes",
+    "tokenize",
+]

@@ -1,0 +1,138 @@
+"""Tokenizer for the mini-SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class LexerError(ValueError):
+    """Raised when the input text contains a character we cannot tokenize."""
+
+
+class TokenType(Enum):
+    """Token categories produced by :func:`tokenize`."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    PARAMETER = "parameter"
+    END = "end"
+
+
+KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "and",
+    "or",
+    "insert",
+    "into",
+    "values",
+    "update",
+    "set",
+    "delete",
+    "between",
+    "in",
+    "limit",
+    "join",
+    "on",
+    "order",
+    "by",
+    "asc",
+    "desc",
+}
+
+_OPERATORS = ("<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCTUATION = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source position (for error messages)."""
+
+    token_type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        """Return whether this token has the given type (and value, if given)."""
+        if self.token_type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list of tokens ending with an END token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "?":
+            tokens.append(Token(TokenType.PARAMETER, "?", index))
+            index += 1
+            continue
+        if char in "'\"":
+            end = text.find(char, index + 1)
+            if end == -1:
+                raise LexerError(f"unterminated string literal at position {index}")
+            tokens.append(Token(TokenType.STRING, text[index + 1 : end], index))
+            index = end + 1
+            continue
+        if char.isdigit() or (char == "-" and _starts_number(text, index, tokens)):
+            end = index + 1
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # Do not treat "1." followed by a non-digit as a float.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, text[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            token_type = TokenType.KEYWORD if word.lower() in KEYWORDS else TokenType.IDENTIFIER
+            value = word.lower() if token_type is TokenType.KEYWORD else word
+            tokens.append(Token(token_type, value, index))
+            index = end
+            continue
+        matched_operator = None
+        for operator in _OPERATORS:
+            if text.startswith(operator, index):
+                matched_operator = operator
+                break
+        if matched_operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, index))
+            index += len(matched_operator)
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, index))
+            index += 1
+            continue
+        raise LexerError(f"unexpected character {char!r} at position {index}")
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def _starts_number(text: str, index: int, tokens: list[Token]) -> bool:
+    """Decide whether a ``-`` begins a negative literal rather than subtraction."""
+    if index + 1 >= len(text) or not text[index + 1].isdigit():
+        return False
+    if not tokens:
+        return True
+    previous = tokens[-1]
+    # After an operator, comma, or opening paren a minus sign starts a literal.
+    return previous.token_type in (TokenType.OPERATOR, TokenType.KEYWORD) or previous.value in ("(", ",")

@@ -1,0 +1,264 @@
+"""Recursive-descent parser producing :mod:`repro.sqlparse.ast` nodes."""
+
+from __future__ import annotations
+
+from repro.sqlparse.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    DeleteStatement,
+    InsertStatement,
+    JoinCondition,
+    Or,
+    Predicate,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from repro.sqlparse.lexer import Token, TokenType, tokenize
+
+
+class ParseError(ValueError):
+    """Raised when the SQL text does not match the supported grammar."""
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single SQL statement into an AST node.
+
+    Raises :class:`ParseError` for syntax outside the supported OLTP subset.
+    """
+    parser = _Parser(tokenize(text), text)
+    statement = parser.parse()
+    parser.expect_end()
+    return statement
+
+
+class _Parser:
+    """Stateful cursor over the token stream."""
+
+    def __init__(self, tokens: list[Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    # -- cursor helpers -----------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
+        if self._current.matches(token_type, value):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self._accept(token_type, value)
+        if token is None:
+            raise ParseError(
+                f"expected {value or token_type.value!r} at position {self._current.position} "
+                f"in {self._text!r}, found {self._current.value!r}"
+            )
+        return token
+
+    def expect_end(self) -> None:
+        """Require that the whole input has been consumed (trailing ';' allowed)."""
+        self._accept(TokenType.PUNCTUATION, ";")
+        if not self._current.matches(TokenType.END):
+            raise ParseError(
+                f"unexpected trailing input at position {self._current.position}: "
+                f"{self._current.value!r}"
+            )
+
+    # -- grammar ------------------------------------------------------------------
+    def parse(self) -> Statement:
+        """statement := select | insert | update | delete"""
+        if self._accept(TokenType.KEYWORD, "select"):
+            return self._parse_select()
+        if self._accept(TokenType.KEYWORD, "insert"):
+            return self._parse_insert()
+        if self._accept(TokenType.KEYWORD, "update"):
+            return self._parse_update()
+        if self._accept(TokenType.KEYWORD, "delete"):
+            return self._parse_delete()
+        raise ParseError(f"unsupported statement: {self._text!r}")
+
+    def _parse_select(self) -> SelectStatement:
+        columns: list[ColumnRef] = []
+        if not self._accept(TokenType.OPERATOR, "*"):
+            columns.append(self._parse_column_ref())
+            while self._accept(TokenType.PUNCTUATION, ","):
+                columns.append(self._parse_column_ref())
+        self._expect(TokenType.KEYWORD, "from")
+        tables = [self._expect(TokenType.IDENTIFIER).value]
+        while self._accept(TokenType.PUNCTUATION, ","):
+            tables.append(self._expect(TokenType.IDENTIFIER).value)
+        where = None
+        # Optional explicit JOIN ... ON ... syntax (converted to implicit join form).
+        join_conditions: list[Predicate] = []
+        while self._accept(TokenType.KEYWORD, "join"):
+            tables.append(self._expect(TokenType.IDENTIFIER).value)
+            self._expect(TokenType.KEYWORD, "on")
+            join_conditions.append(self._parse_condition())
+        if self._accept(TokenType.KEYWORD, "where"):
+            where = self._parse_predicate()
+        if join_conditions:
+            children = tuple(join_conditions) + ((where,) if where is not None else ())
+            where = children[0] if len(children) == 1 else And(children)
+        limit = None
+        if self._accept(TokenType.KEYWORD, "limit"):
+            limit = int(self._expect(TokenType.NUMBER).value)
+        # ORDER BY is accepted and ignored: it does not change read sets.
+        if self._accept(TokenType.KEYWORD, "order"):
+            self._expect(TokenType.KEYWORD, "by")
+            self._parse_column_ref()
+            if not self._accept(TokenType.KEYWORD, "asc"):
+                self._accept(TokenType.KEYWORD, "desc")
+            if self._accept(TokenType.KEYWORD, "limit"):
+                limit = int(self._expect(TokenType.NUMBER).value)
+        return SelectStatement(tuple(tables), tuple(columns), where, limit)
+
+    def _parse_insert(self) -> InsertStatement:
+        self._expect(TokenType.KEYWORD, "into")
+        table = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.PUNCTUATION, "(")
+        columns = [self._expect(TokenType.IDENTIFIER).value]
+        while self._accept(TokenType.PUNCTUATION, ","):
+            columns.append(self._expect(TokenType.IDENTIFIER).value)
+        self._expect(TokenType.PUNCTUATION, ")")
+        self._expect(TokenType.KEYWORD, "values")
+        self._expect(TokenType.PUNCTUATION, "(")
+        values = [self._parse_literal()]
+        while self._accept(TokenType.PUNCTUATION, ","):
+            values.append(self._parse_literal())
+        self._expect(TokenType.PUNCTUATION, ")")
+        if len(columns) != len(values):
+            raise ParseError(
+                f"INSERT column/value count mismatch ({len(columns)} vs {len(values)})"
+            )
+        return InsertStatement(table, dict(zip(columns, values)))
+
+    def _parse_update(self) -> UpdateStatement:
+        table = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.KEYWORD, "set")
+        assignments: dict[str, object] = {}
+        while True:
+            column = self._expect(TokenType.IDENTIFIER).value
+            self._expect(TokenType.OPERATOR, "=")
+            assignments[column] = self._parse_assignment_value(column)
+            if not self._accept(TokenType.PUNCTUATION, ","):
+                break
+        where = None
+        if self._accept(TokenType.KEYWORD, "where"):
+            where = self._parse_predicate()
+        return UpdateStatement(table, assignments, where)
+
+    def _parse_delete(self) -> DeleteStatement:
+        self._expect(TokenType.KEYWORD, "from")
+        table = self._expect(TokenType.IDENTIFIER).value
+        where = None
+        if self._accept(TokenType.KEYWORD, "where"):
+            where = self._parse_predicate()
+        return DeleteStatement(table, where)
+
+    # -- predicates ----------------------------------------------------------------
+    def _parse_predicate(self) -> Predicate:
+        """predicate := conjunction (OR conjunction)*"""
+        children = [self._parse_conjunction()]
+        while self._accept(TokenType.KEYWORD, "or"):
+            children.append(self._parse_conjunction())
+        if len(children) == 1:
+            return children[0]
+        return Or(tuple(children))
+
+    def _parse_conjunction(self) -> Predicate:
+        """conjunction := condition (AND condition)*"""
+        children = [self._parse_condition_or_group()]
+        while self._accept(TokenType.KEYWORD, "and"):
+            children.append(self._parse_condition_or_group())
+        if len(children) == 1:
+            return children[0]
+        return And(tuple(children))
+
+    def _parse_condition_or_group(self) -> Predicate:
+        if self._accept(TokenType.PUNCTUATION, "("):
+            inner = self._parse_predicate()
+            self._expect(TokenType.PUNCTUATION, ")")
+            return inner
+        return self._parse_condition()
+
+    def _parse_condition(self) -> Predicate:
+        column = self._parse_column_ref()
+        if self._accept(TokenType.KEYWORD, "between"):
+            low = self._parse_literal()
+            self._expect(TokenType.KEYWORD, "and")
+            high = self._parse_literal()
+            return Comparison(column, "between", low=low, high=high)
+        if self._accept(TokenType.KEYWORD, "in"):
+            self._expect(TokenType.PUNCTUATION, "(")
+            values = [self._parse_literal()]
+            while self._accept(TokenType.PUNCTUATION, ","):
+                values.append(self._parse_literal())
+            self._expect(TokenType.PUNCTUATION, ")")
+            return Comparison(column, "in", values=tuple(values))
+        operator_token = self._expect(TokenType.OPERATOR)
+        operator = "<>" if operator_token.value == "!=" else operator_token.value
+        if operator not in ("=", "<>", "<", "<=", ">", ">="):
+            raise ParseError(f"unsupported comparison operator {operator!r}")
+        # A column on the right-hand side makes this a join condition.
+        if self._current.token_type is TokenType.IDENTIFIER and not self._is_literal_ahead():
+            right = self._parse_column_ref()
+            if operator != "=":
+                raise ParseError("join conditions only support equality")
+            return JoinCondition(column, right)
+        value = self._parse_literal()
+        return Comparison(column, operator, value)
+
+    def _is_literal_ahead(self) -> bool:
+        return self._current.token_type in (
+            TokenType.NUMBER,
+            TokenType.STRING,
+            TokenType.PARAMETER,
+        )
+
+    def _parse_column_ref(self) -> ColumnRef:
+        first = self._expect(TokenType.IDENTIFIER).value
+        if self._accept(TokenType.PUNCTUATION, "."):
+            second = self._expect(TokenType.IDENTIFIER).value
+            return ColumnRef(second, table=first)
+        return ColumnRef(first)
+
+    def _parse_literal(self) -> object:
+        token = self._current
+        if token.token_type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            return float(text) if "." in text else int(text)
+        if token.token_type is TokenType.STRING:
+            self._advance()
+            return token.value
+        if token.token_type is TokenType.PARAMETER:
+            raise ParseError(
+                "statement contains an unbound parameter '?'; bind parameters before parsing"
+            )
+        raise ParseError(f"expected literal at position {token.position}, found {token.value!r}")
+
+    def _parse_assignment_value(self, column: str) -> object:
+        """Parse the right-hand side of ``SET col = ...``.
+
+        Supports literals and the ``col = col +/- literal`` delta idiom.
+        """
+        if self._current.token_type is TokenType.IDENTIFIER and self._current.value == column:
+            self._advance()
+            operator = self._expect(TokenType.OPERATOR)
+            if operator.value not in ("+", "-"):
+                raise ParseError(f"unsupported SET expression operator {operator.value!r}")
+            amount = self._parse_literal()
+            if operator.value == "-":
+                amount = -amount  # type: ignore[operator]
+            return ("delta", amount)
+        return self._parse_literal()

@@ -1,0 +1,11 @@
+"""Shared utilities: seeded randomness, Zipfian sampling, timers."""
+
+from repro.utils.rng import SeededRng, ZipfianGenerator, ScrambledZipfianGenerator
+from repro.utils.timer import Timer
+
+__all__ = [
+    "SeededRng",
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "Timer",
+]

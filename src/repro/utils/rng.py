@@ -1,0 +1,174 @@
+"""Deterministic random number utilities.
+
+Every stochastic component in the library (workload generators, sampling
+heuristics, partitioner tie-breaking) receives an explicit seed so that
+experiments are reproducible run-to-run.  ``SeededRng`` is a thin wrapper
+around :class:`random.Random` adding a convenience ``fork`` method used to
+derive independent sub-streams, and the Zipfian generators implement the
+skewed key-selection used by the YCSB workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Multiplicative constant used by YCSB's scrambled Zipfian (FNV hash prime).
+_FNV_OFFSET_BASIS_64 = 0xCBF29CE484222325
+_FNV_PRIME_64 = 0x100000001B3
+
+
+class SeededRng:
+    """A seeded random source with support for derived sub-streams.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the underlying :class:`random.Random`.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def fork(self, salt: object) -> "SeededRng":
+        """Return an independent generator derived from this one.
+
+        The derived stream depends only on the parent seed and ``salt``,
+        not on how many numbers have been drawn so far, which keeps
+        components independent of each other's consumption order.  The
+        derivation uses a content hash (not Python's salted ``hash``) so the
+        stream is identical across processes and runs.
+        """
+        digest = hashlib.blake2b(
+            repr((self.seed, salt)).encode("utf-8"), digest_size=8
+        ).digest()
+        return SeededRng(int.from_bytes(digest, "big") & 0x7FFFFFFFFFFFFFFF)
+
+    # -- thin delegation helpers -------------------------------------------------
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)``."""
+        return self._random.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` inclusive."""
+        return self._random.randint(low, high)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniformly choose one element of ``items``."""
+        return self._random.choice(items)
+
+    def sample(self, items: Sequence[T], count: int) -> list[T]:
+        """Sample ``count`` distinct elements without replacement."""
+        return self._random.sample(items, count)
+
+    def shuffle(self, items: list[T]) -> None:
+        """Shuffle ``items`` in place."""
+        self._random.shuffle(items)
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in ``[low, high]``."""
+        return self._random.uniform(low, high)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Gaussian sample."""
+        return self._random.gauss(mu, sigma)
+
+    def bernoulli(self, probability: float) -> bool:
+        """Return ``True`` with the given probability."""
+        return self._random.random() < probability
+
+
+class ZipfianGenerator:
+    """Draws integers in ``[0, item_count)`` with a Zipfian distribution.
+
+    Low ranks are the most popular.  Uses the rejection-inversion style
+    approximation popularised by Gray et al. and used in YCSB, which avoids
+    materialising the full CDF and therefore works for large item counts.
+    """
+
+    def __init__(self, item_count: int, theta: float = 0.99, rng: SeededRng | None = None) -> None:
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.item_count = item_count
+        self.theta = theta
+        self._rng = rng or SeededRng(0)
+        self._zetan = self._zeta(item_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / item_count) ** (1.0 - theta)) / (1.0 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact for small n, Euler-Maclaurin style approximation for large n to
+        # keep construction O(1)-ish for multi-million item tables.
+        if n <= 10_000:
+            return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        head = sum(1.0 / (i ** theta) for i in range(1, 10_001))
+        # integral approximation of the tail sum_{10001}^{n} x^-theta dx
+        tail = ((n + 0.5) ** (1.0 - theta) - (10_000.5) ** (1.0 - theta)) / (1.0 - theta)
+        return head + tail
+
+    def next_value(self) -> int:
+        """Return the next Zipfian-distributed value in ``[0, item_count)``."""
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.item_count * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity spread over the key space via FNV hashing.
+
+    YCSB uses this so that the popular keys are not clustered at the start of
+    the table; the partitioner must discover the hot set rather than finding
+    it in a contiguous range.
+    """
+
+    def __init__(self, item_count: int, theta: float = 0.99, rng: SeededRng | None = None) -> None:
+        self.item_count = item_count
+        self._zipf = ZipfianGenerator(item_count, theta=theta, rng=rng)
+
+    @staticmethod
+    def _fnv_hash(value: int) -> int:
+        digest = _FNV_OFFSET_BASIS_64
+        for _ in range(8):
+            octet = value & 0xFF
+            digest = (digest ^ octet) * _FNV_PRIME_64 & 0xFFFFFFFFFFFFFFFF
+            value >>= 8
+        return digest
+
+    def next_value(self) -> int:
+        """Return the next scrambled Zipfian value in ``[0, item_count)``."""
+        raw = self._zipf.next_value()
+        return self._fnv_hash(raw) % self.item_count
+
+
+def weighted_choice(rng: SeededRng, weighted_items: Sequence[tuple[T, float]]) -> T:
+    """Choose an item given ``(item, weight)`` pairs with positive weights."""
+    total = sum(weight for _, weight in weighted_items)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    target = rng.random() * total
+    cumulative = 0.0
+    for item, weight in weighted_items:
+        cumulative += weight
+        if target < cumulative:
+            return item
+    return weighted_items[-1][0]
+
+
+def zipf_pmf(item_count: int, theta: float) -> list[float]:
+    """Return the exact Zipfian probability mass function (small ``item_count``)."""
+    weights = [1.0 / ((i + 1) ** theta) for i in range(item_count)]
+    norm = math.fsum(weights)
+    return [w / norm for w in weights]

@@ -1,0 +1,147 @@
+"""Workload analysis: frequent WHERE-clause attributes and summary statistics.
+
+The explanation phase (Section 4.3) only considers attributes that appear
+frequently in the workload's WHERE clauses — predicates over rarely-used
+attributes could never be used to route queries.  ``frequent_attributes``
+computes, per table, the fraction of statements touching that table whose
+WHERE clause constrains each attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlparse.ast import InsertStatement, SelectStatement, is_write, statement_tables
+from repro.sqlparse.predicates import referenced_attributes
+from repro.workload.trace import Workload
+
+
+@dataclass(frozen=True)
+class AttributeFrequency:
+    """How often attribute ``column`` of ``table`` appears in WHERE clauses."""
+
+    table: str
+    column: str
+    occurrences: int
+    statement_count: int
+
+    @property
+    def frequency(self) -> float:
+        """Fraction of the table's statements that reference the attribute."""
+        if self.statement_count == 0:
+            return 0.0
+        return self.occurrences / self.statement_count
+
+
+def frequent_attributes(
+    workload: Workload,
+    schema_tables: dict[str, tuple[str, ...]] | None = None,
+    min_frequency: float = 0.1,
+) -> dict[str, list[AttributeFrequency]]:
+    """Return, per table, the attributes used in at least ``min_frequency`` of statements.
+
+    Parameters
+    ----------
+    workload:
+        The workload to analyse.
+    schema_tables:
+        Optional mapping of table name to its column names, used to resolve
+        unqualified column references to their table.  Without it, unqualified
+        references are attributed to every table in the statement's FROM list
+        that is not otherwise resolvable, which is correct for single-table
+        statements (the overwhelmingly common OLTP case).
+    min_frequency:
+        Minimum fraction of a table's statements that must reference the
+        attribute for it to be reported.
+    """
+    occurrences: dict[tuple[str, str], int] = {}
+    statements_per_table: dict[str, int] = {}
+    for transaction in workload:
+        for statement in transaction.statements:
+            tables = statement_tables(statement)
+            for table in tables:
+                statements_per_table[table] = statements_per_table.get(table, 0) + 1
+            attributes = referenced_attributes(statement)
+            resolved = _resolve_attributes(attributes, tables, schema_tables)
+            for table, column in resolved:
+                occurrences[(table, column)] = occurrences.get((table, column), 0) + 1
+    result: dict[str, list[AttributeFrequency]] = {}
+    for (table, column), count in occurrences.items():
+        statement_count = statements_per_table.get(table, 0)
+        frequency = AttributeFrequency(table, column, count, statement_count)
+        if frequency.frequency >= min_frequency:
+            result.setdefault(table, []).append(frequency)
+    for table in result:
+        result[table].sort(key=lambda item: (-item.occurrences, item.column))
+    return result
+
+
+def _resolve_attributes(
+    attributes: list[tuple[str | None, str]],
+    statement_table_names: tuple[str, ...],
+    schema_tables: dict[str, tuple[str, ...]] | None,
+) -> set[tuple[str, str]]:
+    resolved: set[tuple[str, str]] = set()
+    for table, column in attributes:
+        if table is not None:
+            resolved.add((table, column))
+            continue
+        if schema_tables is not None:
+            owners = [
+                candidate
+                for candidate in statement_table_names
+                if column in schema_tables.get(candidate, ())
+            ]
+            if owners:
+                for owner in owners:
+                    resolved.add((owner, column))
+                continue
+        if len(statement_table_names) == 1:
+            resolved.add((statement_table_names[0], column))
+        else:
+            for candidate in statement_table_names:
+                resolved.add((candidate, column))
+    return resolved
+
+
+@dataclass
+class WorkloadStatistics:
+    """Summary statistics for a workload (handy for reports and sanity tests)."""
+
+    transaction_count: int = 0
+    statement_count: int = 0
+    read_statement_count: int = 0
+    write_statement_count: int = 0
+    insert_count: int = 0
+    statements_per_transaction: float = 0.0
+    tables_touched: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of statements that modify data."""
+        if self.statement_count == 0:
+            return 0.0
+        return self.write_statement_count / self.statement_count
+
+
+def workload_statistics(workload: Workload) -> WorkloadStatistics:
+    """Compute :class:`WorkloadStatistics` for ``workload``."""
+    stats = WorkloadStatistics()
+    stats.transaction_count = len(workload)
+    for transaction in workload:
+        for statement in transaction.statements:
+            stats.statement_count += 1
+            if is_write(statement):
+                stats.write_statement_count += 1
+            else:
+                stats.read_statement_count += 1
+            if isinstance(statement, InsertStatement):
+                stats.insert_count += 1
+            for table in statement_tables(statement):
+                stats.tables_touched[table] = stats.tables_touched.get(table, 0) + 1
+            if isinstance(statement, SelectStatement) and statement.is_join:
+                stats.tables_touched.setdefault("<joins>", 0)
+                stats.tables_touched["<joins>"] += 1
+    if stats.transaction_count:
+        stats.statements_per_transaction = stats.statement_count / stats.transaction_count
+    return stats

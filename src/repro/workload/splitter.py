@@ -1,0 +1,45 @@
+"""Train/test splitting of workloads.
+
+The paper trains the partitioner and the explanation classifier on a training
+slice of the trace and reports the distributed-transaction fraction on a
+held-out test slice.  ``split_workload`` reproduces that protocol.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import SeededRng
+from repro.workload.trace import Workload
+
+
+def split_workload(
+    workload: Workload,
+    train_fraction: float = 0.7,
+    rng: SeededRng | None = None,
+    shuffle: bool = True,
+) -> tuple[Workload, Workload]:
+    """Split ``workload`` into (train, test) workloads.
+
+    Parameters
+    ----------
+    workload:
+        The full workload.
+    train_fraction:
+        Fraction of transactions assigned to the training workload.
+    rng:
+        Source of randomness for shuffling; defaults to a fixed seed so the
+        split is deterministic.
+    shuffle:
+        When False the split is a simple prefix/suffix split, preserving the
+        original transaction order.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    transactions = list(workload.transactions)
+    if shuffle:
+        rng = rng or SeededRng(0)
+        rng.shuffle(transactions)
+    cut = max(1, int(round(len(transactions) * train_fraction)))
+    cut = min(cut, len(transactions) - 1) if len(transactions) > 1 else cut
+    train = Workload(f"{workload.name}-train", transactions[:cut])
+    test = Workload(f"{workload.name}-test", transactions[cut:])
+    return train, test

@@ -1,0 +1,128 @@
+"""Workload trace types.
+
+A :class:`Workload` is an ordered list of :class:`Transaction` objects, each a
+sequence of mini-SQL statements.  After read/write-set extraction (see
+:mod:`repro.workload.rwsets`) every transaction gains a
+:class:`TransactionAccess` recording exactly which tuples each statement read
+and wrote — the "data pre-processing" step of the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.catalog.tuples import TupleId
+from repro.sqlparse.ast import Statement, is_write
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An ordered group of statements executed atomically."""
+
+    statements: tuple[Statement, ...]
+    transaction_id: int = 0
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.statements:
+            raise ValueError("a transaction must contain at least one statement")
+
+    @property
+    def is_read_only(self) -> bool:
+        """Whether no statement modifies data."""
+        return not any(is_write(statement) for statement in self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+class Workload:
+    """A named, ordered collection of transactions."""
+
+    def __init__(self, name: str, transactions: Iterable[Transaction] = ()) -> None:
+        self.name = name
+        self.transactions: list[Transaction] = list(transactions)
+
+    def add(self, transaction: Transaction) -> None:
+        """Append a transaction to the workload."""
+        self.transactions.append(transaction)
+
+    def add_statements(self, statements: Sequence[Statement], kind: str = "") -> Transaction:
+        """Create a transaction from ``statements`` and append it."""
+        transaction = Transaction(tuple(statements), transaction_id=len(self.transactions), kind=kind)
+        self.transactions.append(transaction)
+        return transaction
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self.transactions)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, {len(self.transactions)} transactions)"
+
+
+@dataclass(frozen=True)
+class StatementAccess:
+    """Tuples read and written by a single statement."""
+
+    statement: Statement
+    read_set: frozenset[TupleId]
+    write_set: frozenset[TupleId]
+
+    @property
+    def touched(self) -> frozenset[TupleId]:
+        """All tuples the statement accessed."""
+        return self.read_set | self.write_set
+
+
+@dataclass(frozen=True)
+class TransactionAccess:
+    """Read/write sets of one transaction, broken down per statement."""
+
+    transaction: Transaction
+    statement_accesses: tuple[StatementAccess, ...] = field(default_factory=tuple)
+
+    @property
+    def read_set(self) -> frozenset[TupleId]:
+        """All tuples read by the transaction."""
+        read: set[TupleId] = set()
+        for access in self.statement_accesses:
+            read.update(access.read_set)
+        return frozenset(read)
+
+    @property
+    def write_set(self) -> frozenset[TupleId]:
+        """All tuples written by the transaction."""
+        written: set[TupleId] = set()
+        for access in self.statement_accesses:
+            written.update(access.write_set)
+        return frozenset(written)
+
+    @property
+    def touched(self) -> frozenset[TupleId]:
+        """All tuples accessed by the transaction."""
+        return self.read_set | self.write_set
+
+    def without_statements(self, dropped: set[int]) -> "TransactionAccess":
+        """Return a copy with the statement accesses at positions ``dropped`` removed."""
+        kept = tuple(
+            access
+            for position, access in enumerate(self.statement_accesses)
+            if position not in dropped
+        )
+        return TransactionAccess(self.transaction, kept)
+
+    def restricted_to(self, tuple_ids: set[TupleId]) -> "TransactionAccess":
+        """Return a copy whose read/write sets only mention ``tuple_ids``."""
+        restricted = tuple(
+            StatementAccess(
+                access.statement,
+                frozenset(tid for tid in access.read_set if tid in tuple_ids),
+                frozenset(tid for tid in access.write_set if tid in tuple_ids),
+            )
+            for access in self.statement_accesses
+        )
+        return TransactionAccess(self.transaction, restricted)

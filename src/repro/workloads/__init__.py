@@ -1,0 +1,37 @@
+"""Benchmark workload generators.
+
+Each module builds (schema + data + transaction trace) for one of the
+workloads evaluated in the paper, together with the manual-partitioning
+baseline used in Figure 4 where one exists:
+
+* :mod:`repro.workloads.simplecount` — the two-read micro-benchmark of Section 3;
+* :mod:`repro.workloads.ycsb` — YCSB workloads A and E;
+* :mod:`repro.workloads.tpcc` — TPC-C (9 tables, 5 transaction types);
+* :mod:`repro.workloads.tpce` — a reduced TPC-E (12 tables, 10 transaction types);
+* :mod:`repro.workloads.epinions` — the Epinions.com social-network workload;
+* :mod:`repro.workloads.random_workload` — the "impossible to partition" workload.
+"""
+
+from repro.workloads.base import WorkloadBundle
+from repro.workloads.simplecount import generate_simplecount
+from repro.workloads.ycsb import generate_ycsb_a, generate_ycsb_e
+from repro.workloads.tpcc import TpccConfig, generate_tpcc, tpcc_manual_strategy
+from repro.workloads.tpce import TpceConfig, generate_tpce
+from repro.workloads.epinions import EpinionsConfig, generate_epinions, epinions_manual_strategy
+from repro.workloads.random_workload import generate_random_workload
+
+__all__ = [
+    "EpinionsConfig",
+    "TpccConfig",
+    "TpceConfig",
+    "WorkloadBundle",
+    "epinions_manual_strategy",
+    "generate_epinions",
+    "generate_random_workload",
+    "generate_simplecount",
+    "generate_tpcc",
+    "generate_tpce",
+    "generate_ycsb_a",
+    "generate_ycsb_e",
+    "tpcc_manual_strategy",
+]

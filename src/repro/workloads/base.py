@@ -1,0 +1,48 @@
+"""Common container for generated workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.strategies import PartitioningStrategy
+from repro.engine.database import Database
+from repro.workload.trace import Workload
+
+
+@dataclass
+class WorkloadBundle:
+    """Everything an experiment needs about one benchmark.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name ("tpcc-2w", "ycsb-a", ...).
+    database:
+        The loaded database the workload runs against.
+    workload:
+        The generated transaction trace.
+    manual_strategy_factory:
+        Builds the best-known manual partitioning for a given number of
+        partitions, or ``None`` when the paper has no manual baseline
+        (TPC-E, Random).
+    hash_columns:
+        Per-table columns for the attribute-hashing candidate considered in
+        the final validation phase (``None`` to skip it).
+    metadata:
+        Free-form facts about the generated instance (scale factors, mixes),
+        echoed into experiment reports.
+    """
+
+    name: str
+    database: Database
+    workload: Workload
+    manual_strategy_factory: Callable[[int], PartitioningStrategy] | None = None
+    hash_columns: dict[str, tuple[str, ...]] | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def manual_strategy(self, num_partitions: int) -> PartitioningStrategy | None:
+        """The manual baseline for ``num_partitions`` partitions, if defined."""
+        if self.manual_strategy_factory is None:
+            return None
+        return self.manual_strategy_factory(num_partitions)

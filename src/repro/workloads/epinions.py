@@ -1,0 +1,362 @@
+"""Epinions.com social-network workload (Appendix D.4 of the paper).
+
+Four relations — ``users``, ``items``, ``reviews`` (an n-to-n relation
+between users and items) and ``trust`` (an n-to-n relation between pairs of
+users) — and nine request types (Q1–Q9) approximating the website's
+functionality.  The real dataset is not redistributable, so the generator
+synthesises a social graph with *community structure*: users and items belong
+to latent communities, and reviews/trust edges stay within the community with
+high probability.  That structure is invisible at the schema level (exactly
+the paper's point) but discoverable by the graph partitioner, which is why
+Schism's lookup-table partitioning beats the manual baseline that replicates
+users and trust everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.schema import ForeignKey, Schema, Table, integer_column
+from repro.core.strategies import (
+    CompositePartitioning,
+    PartitioningStrategy,
+    hash_on,
+    replicate,
+)
+from repro.engine.database import Database
+from repro.sqlparse.ast import SelectStatement, Statement, UpdateStatement, conj, eq
+from repro.utils.rng import SeededRng
+from repro.workload.trace import Workload
+from repro.workloads.base import WorkloadBundle
+
+
+@dataclass
+class EpinionsConfig:
+    """Scale and structure parameters for the synthetic Epinions instance."""
+
+    num_users: int = 500
+    num_items: int = 500
+    num_communities: int = 10
+    reviews_per_user: int = 6
+    trust_per_user: int = 6
+    #: probability that a review / trust edge stays within the user's community.
+    community_locality: float = 0.9
+    #: skew exponent for choosing users/items inside a community: the index is
+    #: drawn as ``len * random() ** skew``, so higher values concentrate the
+    #: requests on a hot subset (2.0 roughly mimics the Epinions popularity skew).
+    access_skew: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_communities < 1:
+            raise ValueError("num_communities must be >= 1")
+        if not 0.0 <= self.community_locality <= 1.0:
+            raise ValueError("community_locality must be in [0, 1]")
+
+
+#: request mix: (query name, weight); Q1 and Q4 dominate as in the paper.
+QUERY_MIX: tuple[tuple[str, float], ...] = (
+    ("q1_ratings_from_trusted", 0.25),
+    ("q2_trusted_users", 0.10),
+    ("q3_item_average", 0.10),
+    ("q4_popular_item_reviews", 0.25),
+    ("q5_user_reviews", 0.10),
+    ("q6_update_user", 0.05),
+    ("q7_update_item", 0.05),
+    ("q8_upsert_review", 0.07),
+    ("q9_update_trust", 0.03),
+)
+
+
+def epinions_schema() -> Schema:
+    """users / items / reviews / trust."""
+    return Schema(
+        "epinions",
+        [
+            Table(
+                "users",
+                [integer_column("u_id"), integer_column("u_reputation")],
+                primary_key=["u_id"],
+            ),
+            Table(
+                "items",
+                [integer_column("i_id"), integer_column("i_popularity")],
+                primary_key=["i_id"],
+            ),
+            Table(
+                "reviews",
+                [
+                    integer_column("r_id"),
+                    integer_column("u_id"),
+                    integer_column("i_id"),
+                    integer_column("rating"),
+                ],
+                primary_key=["r_id"],
+                foreign_keys=[
+                    ForeignKey(("u_id",), "users", ("u_id",)),
+                    ForeignKey(("i_id",), "items", ("i_id",)),
+                ],
+            ),
+            Table(
+                "trust",
+                [
+                    integer_column("source_u_id"),
+                    integer_column("target_u_id"),
+                    integer_column("trust_value"),
+                ],
+                primary_key=["source_u_id", "target_u_id"],
+                foreign_keys=[
+                    ForeignKey(("source_u_id",), "users", ("u_id",)),
+                    ForeignKey(("target_u_id",), "users", ("u_id",)),
+                ],
+            ),
+        ],
+    )
+
+
+class _EpinionsGenerator:
+    """Builds the community-structured social graph and the request trace."""
+
+    def __init__(self, config: EpinionsConfig) -> None:
+        self.config = config
+        self.rng = SeededRng(config.seed)
+        self.database = Database(epinions_schema())
+        self._user_community: dict[int, int] = {}
+        self._item_community: dict[int, int] = {}
+        self._community_users: list[list[int]] = [[] for _ in range(config.num_communities)]
+        self._community_items: list[list[int]] = [[] for _ in range(config.num_communities)]
+        #: (user, item) pairs that have a review, for Q8 updates.
+        self._reviews: list[tuple[int, int, int]] = []
+        self._trust_pairs: list[tuple[int, int]] = []
+        self._load()
+
+    # -- loading --------------------------------------------------------------------------
+    def _load(self) -> None:
+        config = self.config
+        load_rng = self.rng.fork("load")
+        for user_id in range(config.num_users):
+            community = user_id % config.num_communities
+            self._user_community[user_id] = community
+            self._community_users[community].append(user_id)
+            self.database.insert_row("users", {"u_id": user_id, "u_reputation": load_rng.randint(0, 100)})
+        for item_id in range(config.num_items):
+            community = item_id % config.num_communities
+            self._item_community[item_id] = community
+            self._community_items[community].append(item_id)
+            self.database.insert_row("items", {"i_id": item_id, "i_popularity": load_rng.randint(0, 100)})
+        review_id = 0
+        for user_id in range(config.num_users):
+            for _ in range(config.reviews_per_user):
+                item_id = self._pick_item(self._user_community[user_id], load_rng)
+                self.database.insert_row(
+                    "reviews",
+                    {
+                        "r_id": review_id,
+                        "u_id": user_id,
+                        "i_id": item_id,
+                        "rating": load_rng.randint(1, 5),
+                    },
+                )
+                self._reviews.append((review_id, user_id, item_id))
+                review_id += 1
+            trusted: set[int] = set()
+            for _ in range(config.trust_per_user):
+                target = self._pick_user(self._user_community[user_id], load_rng)
+                if target == user_id or target in trusted:
+                    continue
+                trusted.add(target)
+                self.database.insert_row(
+                    "trust",
+                    {
+                        "source_u_id": user_id,
+                        "target_u_id": target,
+                        "trust_value": load_rng.randint(0, 1),
+                    },
+                )
+                self._trust_pairs.append((user_id, target))
+
+    def _skewed_index(self, size: int, rng: SeededRng) -> int:
+        # Power-law style skew: low indices are the popular users/items.
+        return min(size - 1, int(size * (rng.random() ** self.config.access_skew)))
+
+    def _pick_user(self, community: int, rng: SeededRng) -> int:
+        config = self.config
+        if rng.bernoulli(config.community_locality):
+            members = self._community_users[community]
+        else:
+            members = self._community_users[rng.randint(0, config.num_communities - 1)]
+        return members[self._skewed_index(len(members), rng)]
+
+    def _pick_item(self, community: int, rng: SeededRng) -> int:
+        config = self.config
+        if rng.bernoulli(config.community_locality):
+            members = self._community_items[community]
+        else:
+            members = self._community_items[rng.randint(0, config.num_communities - 1)]
+        return members[self._skewed_index(len(members), rng)]
+
+    # -- request generation --------------------------------------------------------------
+    def generate_workload(self, num_transactions: int, name: str) -> Workload:
+        """Generate the Q1–Q9 request mix."""
+        workload = Workload(name)
+        cumulative: list[tuple[str, float]] = []
+        total = 0.0
+        for query_name, weight in QUERY_MIX:
+            total += weight
+            cumulative.append((query_name, total))
+        builders = {
+            "q1_ratings_from_trusted": self._q1,
+            "q2_trusted_users": self._q2,
+            "q3_item_average": self._q3,
+            "q4_popular_item_reviews": self._q4,
+            "q5_user_reviews": self._q5,
+            "q6_update_user": self._q6,
+            "q7_update_item": self._q7,
+            "q8_upsert_review": self._q8,
+            "q9_update_trust": self._q9,
+        }
+        for _ in range(num_transactions):
+            draw = self.rng.random() * total
+            for query_name, bound in cumulative:
+                if draw <= bound:
+                    statements = builders[query_name]()
+                    if statements:
+                        workload.add_statements(statements, kind=query_name)
+                    break
+        return workload
+
+    def _random_user(self) -> int:
+        # Pick a community uniformly, then a user with popularity skew inside it,
+        # so the same hot users dominate both the training and the test trace.
+        community = self.rng.randint(0, self.config.num_communities - 1)
+        members = self._community_users[community]
+        return members[self._skewed_index(len(members), self.rng)]
+
+    def _random_item_near(self, user_id: int) -> int:
+        return self._pick_item(self._user_community[user_id], self.rng)
+
+    def _q1(self) -> list[Statement]:
+        user_id = self._random_user()
+        item_id = self._random_item_near(user_id)
+        return [
+            SelectStatement(("trust",), where=eq("source_u_id", user_id)),
+            SelectStatement(("reviews",), where=eq("i_id", item_id)),
+            SelectStatement(("items",), where=eq("i_id", item_id)),
+        ]
+
+    def _q2(self) -> list[Statement]:
+        user_id = self._random_user()
+        return [
+            SelectStatement(("trust",), where=eq("source_u_id", user_id)),
+            SelectStatement(("users",), where=eq("u_id", user_id)),
+        ]
+
+    def _q3(self) -> list[Statement]:
+        user_id = self._random_user()
+        item_id = self._random_item_near(user_id)
+        return [
+            SelectStatement(("reviews",), where=eq("i_id", item_id)),
+            SelectStatement(("items",), where=eq("i_id", item_id)),
+        ]
+
+    def _q4(self) -> list[Statement]:
+        user_id = self._random_user()
+        item_id = self._random_item_near(user_id)
+        return [
+            SelectStatement(("items",), where=eq("i_id", item_id)),
+            SelectStatement(("reviews",), where=eq("i_id", item_id), limit=10),
+        ]
+
+    def _q5(self) -> list[Statement]:
+        user_id = self._random_user()
+        return [
+            SelectStatement(("users",), where=eq("u_id", user_id)),
+            SelectStatement(("reviews",), where=eq("u_id", user_id), limit=10),
+        ]
+
+    def _q6(self) -> list[Statement]:
+        user_id = self._random_user()
+        return [
+            UpdateStatement("users", {"u_reputation": ("delta", 1)}, where=eq("u_id", user_id))
+        ]
+
+    def _q7(self) -> list[Statement]:
+        user_id = self._random_user()
+        item_id = self._random_item_near(user_id)
+        return [
+            UpdateStatement("items", {"i_popularity": ("delta", 1)}, where=eq("i_id", item_id))
+        ]
+
+    def _q8(self) -> list[Statement]:
+        if not self._reviews:
+            return []
+        review_id, user_id, item_id = self._reviews[self._skewed_index(len(self._reviews), self.rng)]
+        return [
+            SelectStatement(("users",), where=eq("u_id", user_id)),
+            UpdateStatement(
+                "reviews", {"rating": self.rng.randint(1, 5)}, where=eq("r_id", review_id)
+            ),
+            SelectStatement(("items",), where=eq("i_id", item_id)),
+        ]
+
+    def _q9(self) -> list[Statement]:
+        if not self._trust_pairs:
+            return []
+        source, target = self._trust_pairs[self._skewed_index(len(self._trust_pairs), self.rng)]
+        return [
+            UpdateStatement(
+                "trust",
+                {"trust_value": self.rng.randint(0, 1)},
+                where=conj(eq("source_u_id", source), eq("target_u_id", target)),
+            )
+        ]
+
+
+def generate_epinions(
+    config: EpinionsConfig | None = None,
+    num_transactions: int = 3000,
+    name: str = "epinions",
+) -> WorkloadBundle:
+    """Generate the Epinions database and request trace."""
+    config = config or EpinionsConfig()
+    generator = _EpinionsGenerator(config)
+    workload = generator.generate_workload(num_transactions, name)
+    return WorkloadBundle(
+        name=name,
+        database=generator.database,
+        workload=workload,
+        manual_strategy_factory=epinions_manual_strategy,
+        hash_columns={
+            "users": ("u_id",),
+            "items": ("i_id",),
+            "reviews": ("r_id",),
+            "trust": ("source_u_id",),
+        },
+        metadata={
+            "users": config.num_users,
+            "items": config.num_items,
+            "communities": config.num_communities,
+            "transactions": num_transactions,
+            "community_locality": config.community_locality,
+        },
+    )
+
+
+def epinions_manual_strategy(num_partitions: int) -> PartitioningStrategy:
+    """The MIT students' manual design from the paper.
+
+    Optimise the most frequent requests (Q1, Q4): co-partition ``items`` and
+    ``reviews`` by hashing on the item id, and replicate ``users`` and
+    ``trust`` on every node.  Reads of user data stay local; updates to users
+    and trust (Q6, Q9) become distributed.
+    """
+    return CompositePartitioning(
+        num_partitions,
+        {
+            "items": hash_on("i_id"),
+            "reviews": hash_on("i_id"),
+            "users": replicate(),
+            "trust": replicate(),
+        },
+        name="manual",
+    )

@@ -1,0 +1,66 @@
+"""The "Random" workload (Appendix D.5): designed to be impossible to partition.
+
+Every transaction updates two tuples chosen uniformly at random from a single
+table.  No locality exists, so lookup tables, range predicates and hash
+partitioning all perform equally (a pair of uniform random tuples lands on
+the same of *k* partitions with probability 1/k), while full replication is
+strictly worse because every transaction is a write.  The point of the
+experiment is that Schism's validation phase falls back to the simplest
+strategy — hash partitioning.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Schema, Table, integer_column
+from repro.engine.database import Database
+from repro.sqlparse.ast import UpdateStatement, eq
+from repro.utils.rng import SeededRng
+from repro.workload.trace import Workload
+from repro.workloads.base import WorkloadBundle
+
+
+def random_schema() -> Schema:
+    """A single two-column table."""
+    return Schema(
+        "random",
+        [
+            Table(
+                "random_table",
+                [integer_column("id"), integer_column("value")],
+                primary_key=["id"],
+            )
+        ],
+    )
+
+
+def generate_random_workload(
+    num_rows: int = 10_000,
+    num_transactions: int = 5000,
+    seed: int = 0,
+) -> WorkloadBundle:
+    """Generate the random pair-update workload."""
+    rng = SeededRng(seed)
+    database = Database(random_schema())
+    for row_id in range(num_rows):
+        database.insert_row("random_table", {"id": row_id, "value": 0})
+    workload = Workload("random")
+    for _ in range(num_transactions):
+        first = rng.randint(0, num_rows - 1)
+        second = rng.randint(0, num_rows - 1)
+        while second == first:
+            second = rng.randint(0, num_rows - 1)
+        workload.add_statements(
+            [
+                UpdateStatement("random_table", {"value": ("delta", 1)}, where=eq("id", first)),
+                UpdateStatement("random_table", {"value": ("delta", 1)}, where=eq("id", second)),
+            ],
+            kind="pair-update",
+        )
+    return WorkloadBundle(
+        name="random",
+        database=database,
+        workload=workload,
+        manual_strategy_factory=None,
+        hash_columns={"random_table": ("id",)},
+        metadata={"rows": num_rows, "transactions": num_transactions},
+    )

@@ -1,0 +1,102 @@
+"""The ``simplecount`` micro-benchmark of Section 3 ("The Price of Distribution").
+
+One table with ``id`` and ``counter`` columns; every transaction issues two
+single-row SELECTs.  Two access patterns are generated:
+
+* ``single_partition=True`` — both rows of a transaction come from the same
+  client block, so a block-aligned range partitioning executes every
+  transaction on one server;
+* ``single_partition=False`` — the two rows are drawn from different blocks,
+  so with more than one server every transaction is distributed.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Schema, Table, integer_column
+from repro.core.strategies import CompositePartitioning, PartitioningStrategy, range_on
+from repro.engine.database import Database
+from repro.sqlparse.ast import SelectStatement, eq
+from repro.utils.rng import SeededRng
+from repro.workload.trace import Workload
+from repro.workloads.base import WorkloadBundle
+
+
+def simplecount_schema() -> Schema:
+    """Schema with the single ``simplecount`` table."""
+    return Schema(
+        "simplecount",
+        [
+            Table(
+                "simplecount",
+                [integer_column("id"), integer_column("counter")],
+                primary_key=["id"],
+            )
+        ],
+    )
+
+
+def generate_simplecount(
+    num_rows: int = 1500,
+    num_transactions: int = 2000,
+    num_blocks: int = 5,
+    single_partition: bool = True,
+    seed: int = 0,
+) -> WorkloadBundle:
+    """Generate the simplecount database and workload.
+
+    ``num_blocks`` models the number of servers in the paper's experiment:
+    the table is divided into that many equal blocks, and the
+    ``single_partition`` flag controls whether both reads of a transaction
+    fall into the same block.
+    """
+    if num_rows % num_blocks != 0:
+        raise ValueError("num_rows must be divisible by num_blocks")
+    rng = SeededRng(seed)
+    database = Database(simplecount_schema())
+    for row_id in range(num_rows):
+        database.insert_row("simplecount", {"id": row_id, "counter": 0})
+    block_size = num_rows // num_blocks
+    workload = Workload("simplecount" + ("-local" if single_partition else "-distributed"))
+    for _ in range(num_transactions):
+        if single_partition:
+            block = rng.randint(0, num_blocks - 1)
+            first = block * block_size + rng.randint(0, block_size - 1)
+            second = block * block_size + rng.randint(0, block_size - 1)
+        else:
+            first_block = rng.randint(0, num_blocks - 1)
+            second_block = (first_block + 1 + rng.randint(0, num_blocks - 2)) % num_blocks if num_blocks > 1 else first_block
+            first = first_block * block_size + rng.randint(0, block_size - 1)
+            second = second_block * block_size + rng.randint(0, block_size - 1)
+        workload.add_statements(
+            [
+                SelectStatement(("simplecount",), where=eq("id", first)),
+                SelectStatement(("simplecount",), where=eq("id", second)),
+            ],
+            kind="read-pair",
+        )
+    bundle = WorkloadBundle(
+        name=workload.name,
+        database=database,
+        workload=workload,
+        manual_strategy_factory=lambda k: simplecount_block_strategy(k, num_rows),
+        hash_columns=None,
+        metadata={
+            "rows": num_rows,
+            "transactions": num_transactions,
+            "blocks": num_blocks,
+            "single_partition": single_partition,
+        },
+    )
+    return bundle
+
+
+def simplecount_block_strategy(num_partitions: int, num_rows: int) -> PartitioningStrategy:
+    """Range partitioning aligned with the client blocks (the "ideal" layout)."""
+    boundaries = [
+        (index + 1) * num_rows / num_partitions - 1 for index in range(num_partitions - 1)
+    ]
+    return CompositePartitioning(
+        num_partitions,
+        {"simplecount": range_on("id", boundaries)},
+        name="block-range",
+    )

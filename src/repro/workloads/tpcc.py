@@ -1,0 +1,624 @@
+"""TPC-C workload generator (order-processing OLTP, 9 tables, 5 transaction types).
+
+The generator is faithful to the structure that matters for partitioning:
+
+* the warehouse -> district -> customer / stock hierarchy, with the ``item``
+  table shared by every warehouse;
+* the five transaction types in their standard mix (NewOrder 45%, Payment
+  43%, OrderStatus 4%, Delivery 4%, StockLevel 4%);
+* the *remote* accesses that make TPC-C hard to partition naively: each
+  NewOrder order line is supplied by a remote warehouse with small
+  probability, and each Payment targets a customer of a remote warehouse 15%
+  of the time — together roughly 10% of transactions touch more than one
+  warehouse, matching the paper's 10.7%.
+
+Scale parameters (districts per warehouse, customers per district, item
+count, order lines per order) are configurable so tests stay fast while the
+structure is preserved.  The known-good manual partitioning — range-partition
+every table on its warehouse id and replicate ``item`` — is provided as the
+Figure 4 baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Column, ColumnType, ForeignKey, Schema, Table, integer_column
+from repro.core.strategies import (
+    CompositePartitioning,
+    PartitioningStrategy,
+    range_on,
+    replicate,
+)
+from repro.engine.database import Database
+from repro.sqlparse.ast import (
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+    between,
+    conj,
+    eq,
+    in_list,
+)
+from repro.utils.rng import SeededRng, weighted_choice
+from repro.workload.trace import Workload
+from repro.workloads.base import WorkloadBundle
+
+#: column that carries the warehouse id in each table (used for manual
+#: partitioning and attribute hashing); ``item`` has none.
+WAREHOUSE_COLUMNS: dict[str, str] = {
+    "warehouse": "w_id",
+    "district": "d_w_id",
+    "customer": "c_w_id",
+    "history": "h_w_id",
+    "stock": "s_w_id",
+    "orders": "o_w_id",
+    "new_order": "no_w_id",
+    "order_line": "ol_w_id",
+}
+
+
+@dataclass
+class TpccConfig:
+    """Scale and mix parameters."""
+
+    warehouses: int = 2
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 30
+    items: int = 200
+    initial_orders_per_district: int = 10
+    min_order_lines: int = 5
+    max_order_lines: int = 15
+    #: probability that one order line is supplied by a remote warehouse.
+    remote_order_line_probability: float = 0.01
+    #: probability that a payment targets a customer of a remote warehouse.
+    remote_payment_probability: float = 0.15
+    #: transaction mix (must sum to 1.0).
+    new_order_weight: float = 0.45
+    payment_weight: float = 0.43
+    order_status_weight: float = 0.04
+    delivery_weight: float = 0.04
+    stock_level_weight: float = 0.04
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.warehouses < 1:
+            raise ValueError("warehouses must be >= 1")
+        total = (
+            self.new_order_weight
+            + self.payment_weight
+            + self.order_status_weight
+            + self.delivery_weight
+            + self.stock_level_weight
+        )
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError("transaction mix weights must sum to 1.0")
+
+
+def tpcc_schema() -> Schema:
+    """The nine-table TPC-C schema (columns reduced to the partition-relevant ones)."""
+    name_column = Column("name", ColumnType.STRING, 16)
+    schema = Schema(
+        "tpcc",
+        [
+            Table(
+                "warehouse",
+                [integer_column("w_id"), name_column, integer_column("w_ytd")],
+                primary_key=["w_id"],
+            ),
+            Table(
+                "district",
+                [
+                    integer_column("d_w_id"),
+                    integer_column("d_id"),
+                    integer_column("d_next_o_id"),
+                    integer_column("d_ytd"),
+                ],
+                primary_key=["d_w_id", "d_id"],
+                foreign_keys=[ForeignKey(("d_w_id",), "warehouse", ("w_id",))],
+            ),
+            Table(
+                "customer",
+                [
+                    integer_column("c_w_id"),
+                    integer_column("c_d_id"),
+                    integer_column("c_id"),
+                    integer_column("c_balance"),
+                    integer_column("c_payment_cnt"),
+                ],
+                primary_key=["c_w_id", "c_d_id", "c_id"],
+                foreign_keys=[ForeignKey(("c_w_id", "c_d_id"), "district", ("d_w_id", "d_id"))],
+            ),
+            Table(
+                "history",
+                [
+                    integer_column("h_id"),
+                    integer_column("h_w_id"),
+                    integer_column("h_d_id"),
+                    integer_column("h_c_w_id"),
+                    integer_column("h_c_id"),
+                    integer_column("h_amount"),
+                ],
+                primary_key=["h_id"],
+            ),
+            Table(
+                "item",
+                [integer_column("i_id"), Column("i_name", ColumnType.STRING, 24), integer_column("i_price")],
+                primary_key=["i_id"],
+            ),
+            Table(
+                "stock",
+                [
+                    integer_column("s_w_id"),
+                    integer_column("s_i_id"),
+                    integer_column("s_quantity"),
+                    integer_column("s_ytd"),
+                ],
+                primary_key=["s_w_id", "s_i_id"],
+                foreign_keys=[
+                    ForeignKey(("s_w_id",), "warehouse", ("w_id",)),
+                    ForeignKey(("s_i_id",), "item", ("i_id",)),
+                ],
+            ),
+            Table(
+                "orders",
+                [
+                    integer_column("o_w_id"),
+                    integer_column("o_d_id"),
+                    integer_column("o_id"),
+                    integer_column("o_c_id"),
+                    integer_column("o_carrier_id"),
+                    integer_column("o_ol_cnt"),
+                ],
+                primary_key=["o_w_id", "o_d_id", "o_id"],
+                foreign_keys=[
+                    ForeignKey(("o_w_id", "o_d_id"), "district", ("d_w_id", "d_id")),
+                    ForeignKey(("o_w_id", "o_d_id", "o_c_id"), "customer", ("c_w_id", "c_d_id", "c_id")),
+                ],
+            ),
+            Table(
+                "new_order",
+                [integer_column("no_w_id"), integer_column("no_d_id"), integer_column("no_o_id")],
+                primary_key=["no_w_id", "no_d_id", "no_o_id"],
+                foreign_keys=[
+                    ForeignKey(("no_w_id", "no_d_id", "no_o_id"), "orders", ("o_w_id", "o_d_id", "o_id"))
+                ],
+            ),
+            Table(
+                "order_line",
+                [
+                    integer_column("ol_w_id"),
+                    integer_column("ol_d_id"),
+                    integer_column("ol_o_id"),
+                    integer_column("ol_number"),
+                    integer_column("ol_i_id"),
+                    integer_column("ol_supply_w_id"),
+                    integer_column("ol_quantity"),
+                ],
+                primary_key=["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+                foreign_keys=[
+                    ForeignKey(("ol_w_id", "ol_d_id", "ol_o_id"), "orders", ("o_w_id", "o_d_id", "o_id")),
+                    ForeignKey(("ol_i_id",), "item", ("i_id",)),
+                ],
+            ),
+        ],
+    )
+    return schema
+
+
+@dataclass
+class _DistrictState:
+    """Generator-side bookkeeping for one district."""
+
+    next_order_id: int
+    undelivered: list[int] = field(default_factory=list)
+    #: order id -> (customer id, order-line count)
+    orders: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+
+class _TpccGenerator:
+    """Builds the database and a consistent transaction trace."""
+
+    def __init__(self, config: TpccConfig) -> None:
+        self.config = config
+        self.rng = SeededRng(config.seed)
+        self.database = Database(tpcc_schema())
+        self._district_state: dict[tuple[int, int], _DistrictState] = {}
+        self._next_history_id = 0
+        self._load()
+
+    # -- data loading -----------------------------------------------------------------
+    def _load(self) -> None:
+        config = self.config
+        load_rng = self.rng.fork("load")
+        for item_id in range(1, config.items + 1):
+            self.database.insert_row(
+                "item",
+                {"i_id": item_id, "i_name": f"item-{item_id}", "i_price": load_rng.randint(1, 100)},
+            )
+        for warehouse_id in range(1, config.warehouses + 1):
+            self.database.insert_row(
+                "warehouse", {"w_id": warehouse_id, "name": f"wh-{warehouse_id}", "w_ytd": 0}
+            )
+            for item_id in range(1, config.items + 1):
+                self.database.insert_row(
+                    "stock",
+                    {
+                        "s_w_id": warehouse_id,
+                        "s_i_id": item_id,
+                        "s_quantity": load_rng.randint(10, 100),
+                        "s_ytd": 0,
+                    },
+                )
+            for district_id in range(1, config.districts_per_warehouse + 1):
+                state = _DistrictState(next_order_id=1)
+                self._district_state[(warehouse_id, district_id)] = state
+                for customer_id in range(1, config.customers_per_district + 1):
+                    self.database.insert_row(
+                        "customer",
+                        {
+                            "c_w_id": warehouse_id,
+                            "c_d_id": district_id,
+                            "c_id": customer_id,
+                            "c_balance": 0,
+                            "c_payment_cnt": 0,
+                        },
+                    )
+                for _ in range(config.initial_orders_per_district):
+                    self._load_order(warehouse_id, district_id, state, load_rng)
+                self.database.insert_row(
+                    "district",
+                    {
+                        "d_w_id": warehouse_id,
+                        "d_id": district_id,
+                        "d_next_o_id": state.next_order_id,
+                        "d_ytd": 0,
+                    },
+                )
+
+    def _load_order(
+        self, warehouse_id: int, district_id: int, state: _DistrictState, rng: SeededRng
+    ) -> None:
+        config = self.config
+        order_id = state.next_order_id
+        state.next_order_id += 1
+        customer_id = rng.randint(1, config.customers_per_district)
+        line_count = rng.randint(config.min_order_lines, config.max_order_lines)
+        self.database.insert_row(
+            "orders",
+            {
+                "o_w_id": warehouse_id,
+                "o_d_id": district_id,
+                "o_id": order_id,
+                "o_c_id": customer_id,
+                "o_carrier_id": 0,
+                "o_ol_cnt": line_count,
+            },
+        )
+        self.database.insert_row(
+            "new_order", {"no_w_id": warehouse_id, "no_d_id": district_id, "no_o_id": order_id}
+        )
+        state.undelivered.append(order_id)
+        state.orders[order_id] = (customer_id, line_count)
+        for line_number in range(1, line_count + 1):
+            self.database.insert_row(
+                "order_line",
+                {
+                    "ol_w_id": warehouse_id,
+                    "ol_d_id": district_id,
+                    "ol_o_id": order_id,
+                    "ol_number": line_number,
+                    "ol_i_id": rng.randint(1, config.items),
+                    "ol_supply_w_id": warehouse_id,
+                    "ol_quantity": rng.randint(1, 10),
+                },
+            )
+
+    # -- transaction generation -----------------------------------------------------------
+    def generate_workload(self, num_transactions: int, name: str) -> Workload:
+        """Generate ``num_transactions`` transactions with the configured mix."""
+        config = self.config
+        workload = Workload(name)
+        mix = [
+            ("new_order", config.new_order_weight),
+            ("payment", config.payment_weight),
+            ("order_status", config.order_status_weight),
+            ("delivery", config.delivery_weight),
+            ("stock_level", config.stock_level_weight),
+        ]
+        builders = {
+            "new_order": self._new_order,
+            "payment": self._payment,
+            "order_status": self._order_status,
+            "delivery": self._delivery,
+            "stock_level": self._stock_level,
+        }
+        for _ in range(num_transactions):
+            kind = weighted_choice(self.rng, mix)
+            statements = builders[kind]()
+            if statements:
+                workload.add_statements(statements, kind=kind)
+        return workload
+
+    def _random_district(self) -> tuple[int, int]:
+        warehouse_id = self.rng.randint(1, self.config.warehouses)
+        district_id = self.rng.randint(1, self.config.districts_per_warehouse)
+        return warehouse_id, district_id
+
+    def _new_order(self) -> list[Statement]:
+        config = self.config
+        warehouse_id, district_id = self._random_district()
+        state = self._district_state[(warehouse_id, district_id)]
+        customer_id = self.rng.randint(1, config.customers_per_district)
+        order_id = state.next_order_id
+        state.next_order_id += 1
+        line_count = self.rng.randint(config.min_order_lines, config.max_order_lines)
+        state.orders[order_id] = (customer_id, line_count)
+        state.undelivered.append(order_id)
+        statements: list[Statement] = [
+            SelectStatement(("warehouse",), where=eq("w_id", warehouse_id)),
+            SelectStatement(
+                ("district",), where=conj(eq("d_w_id", warehouse_id), eq("d_id", district_id))
+            ),
+            UpdateStatement(
+                "district",
+                {"d_next_o_id": ("delta", 1)},
+                where=conj(eq("d_w_id", warehouse_id), eq("d_id", district_id)),
+            ),
+            SelectStatement(
+                ("customer",),
+                where=conj(
+                    eq("c_w_id", warehouse_id), eq("c_d_id", district_id), eq("c_id", customer_id)
+                ),
+            ),
+            InsertStatement(
+                "orders",
+                {
+                    "o_w_id": warehouse_id,
+                    "o_d_id": district_id,
+                    "o_id": order_id,
+                    "o_c_id": customer_id,
+                    "o_carrier_id": 0,
+                    "o_ol_cnt": line_count,
+                },
+            ),
+            InsertStatement(
+                "new_order",
+                {"no_w_id": warehouse_id, "no_d_id": district_id, "no_o_id": order_id},
+            ),
+        ]
+        for line_number in range(1, line_count + 1):
+            item_id = self.rng.randint(1, config.items)
+            supply_warehouse = warehouse_id
+            if config.warehouses > 1 and self.rng.bernoulli(config.remote_order_line_probability):
+                while supply_warehouse == warehouse_id:
+                    supply_warehouse = self.rng.randint(1, config.warehouses)
+            statements.append(SelectStatement(("item",), where=eq("i_id", item_id)))
+            statements.append(
+                SelectStatement(
+                    ("stock",), where=conj(eq("s_w_id", supply_warehouse), eq("s_i_id", item_id))
+                )
+            )
+            statements.append(
+                UpdateStatement(
+                    "stock",
+                    {"s_quantity": ("delta", -1), "s_ytd": ("delta", 1)},
+                    where=conj(eq("s_w_id", supply_warehouse), eq("s_i_id", item_id)),
+                )
+            )
+            statements.append(
+                InsertStatement(
+                    "order_line",
+                    {
+                        "ol_w_id": warehouse_id,
+                        "ol_d_id": district_id,
+                        "ol_o_id": order_id,
+                        "ol_number": line_number,
+                        "ol_i_id": item_id,
+                        "ol_supply_w_id": supply_warehouse,
+                        "ol_quantity": self.rng.randint(1, 10),
+                    },
+                )
+            )
+        return statements
+
+    def _payment(self) -> list[Statement]:
+        config = self.config
+        warehouse_id, district_id = self._random_district()
+        customer_warehouse = warehouse_id
+        customer_district = district_id
+        if config.warehouses > 1 and self.rng.bernoulli(config.remote_payment_probability):
+            while customer_warehouse == warehouse_id:
+                customer_warehouse = self.rng.randint(1, config.warehouses)
+            customer_district = self.rng.randint(1, config.districts_per_warehouse)
+        customer_id = self.rng.randint(1, config.customers_per_district)
+        amount = self.rng.randint(1, 5000)
+        history_id = self._next_history_id
+        self._next_history_id += 1
+        return [
+            UpdateStatement("warehouse", {"w_ytd": ("delta", amount)}, where=eq("w_id", warehouse_id)),
+            SelectStatement(("warehouse",), where=eq("w_id", warehouse_id)),
+            UpdateStatement(
+                "district",
+                {"d_ytd": ("delta", amount)},
+                where=conj(eq("d_w_id", warehouse_id), eq("d_id", district_id)),
+            ),
+            SelectStatement(
+                ("district",), where=conj(eq("d_w_id", warehouse_id), eq("d_id", district_id))
+            ),
+            UpdateStatement(
+                "customer",
+                {"c_balance": ("delta", -amount), "c_payment_cnt": ("delta", 1)},
+                where=conj(
+                    eq("c_w_id", customer_warehouse),
+                    eq("c_d_id", customer_district),
+                    eq("c_id", customer_id),
+                ),
+            ),
+            InsertStatement(
+                "history",
+                {
+                    "h_id": history_id,
+                    "h_w_id": warehouse_id,
+                    "h_d_id": district_id,
+                    "h_c_w_id": customer_warehouse,
+                    "h_c_id": customer_id,
+                    "h_amount": amount,
+                },
+            ),
+        ]
+
+    def _order_status(self) -> list[Statement]:
+        config = self.config
+        warehouse_id, district_id = self._random_district()
+        state = self._district_state[(warehouse_id, district_id)]
+        customer_id = self.rng.randint(1, config.customers_per_district)
+        statements: list[Statement] = [
+            SelectStatement(
+                ("customer",),
+                where=conj(
+                    eq("c_w_id", warehouse_id), eq("c_d_id", district_id), eq("c_id", customer_id)
+                ),
+            ),
+            SelectStatement(
+                ("orders",),
+                where=conj(
+                    eq("o_w_id", warehouse_id), eq("o_d_id", district_id), eq("o_c_id", customer_id)
+                ),
+                limit=1,
+            ),
+        ]
+        if state.orders:
+            recent_order = max(state.orders)
+            statements.append(
+                SelectStatement(
+                    ("order_line",),
+                    where=conj(
+                        eq("ol_w_id", warehouse_id),
+                        eq("ol_d_id", district_id),
+                        eq("ol_o_id", recent_order),
+                    ),
+                )
+            )
+        return statements
+
+    def _delivery(self) -> list[Statement]:
+        config = self.config
+        warehouse_id = self.rng.randint(1, config.warehouses)
+        statements: list[Statement] = []
+        for district_id in range(1, config.districts_per_warehouse + 1):
+            state = self._district_state[(warehouse_id, district_id)]
+            if not state.undelivered:
+                continue
+            order_id = state.undelivered.pop(0)
+            customer_id, _line_count = state.orders[order_id]
+            statements.extend(
+                [
+                    SelectStatement(
+                        ("new_order",),
+                        where=conj(
+                            eq("no_w_id", warehouse_id),
+                            eq("no_d_id", district_id),
+                            eq("no_o_id", order_id),
+                        ),
+                    ),
+                    UpdateStatement(
+                        "orders",
+                        {"o_carrier_id": self.rng.randint(1, 10)},
+                        where=conj(
+                            eq("o_w_id", warehouse_id),
+                            eq("o_d_id", district_id),
+                            eq("o_id", order_id),
+                        ),
+                    ),
+                    SelectStatement(
+                        ("order_line",),
+                        where=conj(
+                            eq("ol_w_id", warehouse_id),
+                            eq("ol_d_id", district_id),
+                            eq("ol_o_id", order_id),
+                        ),
+                    ),
+                    UpdateStatement(
+                        "customer",
+                        {"c_balance": ("delta", self.rng.randint(1, 500))},
+                        where=conj(
+                            eq("c_w_id", warehouse_id),
+                            eq("c_d_id", district_id),
+                            eq("c_id", customer_id),
+                        ),
+                    ),
+                ]
+            )
+        return statements
+
+    def _stock_level(self) -> list[Statement]:
+        config = self.config
+        warehouse_id, district_id = self._random_district()
+        state = self._district_state[(warehouse_id, district_id)]
+        low_order = max(1, state.next_order_id - 5)
+        item_ids = sorted(
+            {self.rng.randint(1, config.items) for _ in range(5)}
+        )
+        return [
+            SelectStatement(
+                ("district",), where=conj(eq("d_w_id", warehouse_id), eq("d_id", district_id))
+            ),
+            SelectStatement(
+                ("order_line",),
+                where=conj(
+                    eq("ol_w_id", warehouse_id),
+                    eq("ol_d_id", district_id),
+                    between("ol_o_id", low_order, state.next_order_id),
+                ),
+            ),
+            SelectStatement(
+                ("stock",),
+                where=conj(eq("s_w_id", warehouse_id), in_list("s_i_id", item_ids)),
+            ),
+        ]
+
+
+def generate_tpcc(
+    config: TpccConfig | None = None,
+    num_transactions: int = 2000,
+    name: str | None = None,
+) -> WorkloadBundle:
+    """Generate a TPC-C database and workload bundle."""
+    config = config or TpccConfig()
+    generator = _TpccGenerator(config)
+    workload_name = name or f"tpcc-{config.warehouses}w"
+    workload = generator.generate_workload(num_transactions, workload_name)
+    return WorkloadBundle(
+        name=workload_name,
+        database=generator.database,
+        workload=workload,
+        manual_strategy_factory=lambda k: tpcc_manual_strategy(k, config.warehouses),
+        hash_columns={
+            table: (column,) for table, column in WAREHOUSE_COLUMNS.items()
+        },
+        metadata={
+            "warehouses": config.warehouses,
+            "districts_per_warehouse": config.districts_per_warehouse,
+            "customers_per_district": config.customers_per_district,
+            "items": config.items,
+            "transactions": num_transactions,
+        },
+    )
+
+
+def tpcc_manual_strategy(num_partitions: int, warehouses: int) -> PartitioningStrategy:
+    """The expert partitioning: range-partition by warehouse id, replicate ``item``.
+
+    This is the strategy human experts (and H-Store) use for TPC-C, and the
+    one Schism is expected to re-discover.
+    """
+    boundaries = [
+        (index + 1) * warehouses / num_partitions for index in range(num_partitions - 1)
+    ]
+    policies = {
+        table: range_on(column, boundaries) for table, column in WAREHOUSE_COLUMNS.items()
+    }
+    policies["item"] = replicate()
+    return CompositePartitioning(num_partitions, policies, name="manual")

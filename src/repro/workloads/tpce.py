@@ -1,0 +1,509 @@
+"""A reduced TPC-E workload (brokerage firm OLTP, Appendix D.3 of the paper).
+
+The real TPC-E schema has 33 tables and 188 columns; this generator keeps the
+twelve tables and ten transaction types that carry the workload's structure
+for partitioning purposes:
+
+* customer-centred data (``customer``, ``customer_account``, ``holding``,
+  ``holding_summary``, ``watch_list``, ``watch_item``) that partitions well by
+  customer;
+* market-wide reference data (``security``, ``company``, ``last_trade``,
+  ``broker``) that is read by everyone and occasionally updated
+  (``market_feed``), which the partitioner should mostly replicate;
+* the ``trade`` / ``trade_history`` fact tables linking accounts, brokers and
+  securities.
+
+The ten transaction types follow the TPC-E mix in spirit (read-heavy, with
+Trade-Order / Trade-Result as the write path), producing a workload that no
+single-attribute hash partitioning handles well — matching the paper's
+finding of ~12% distributed transactions for Schism's range predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.schema import ForeignKey, Schema, Table, integer_column
+from repro.engine.database import Database
+from repro.sqlparse.ast import (
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+    conj,
+    eq,
+    in_list,
+)
+from repro.utils.rng import SeededRng, weighted_choice
+from repro.workload.trace import Workload
+from repro.workloads.base import WorkloadBundle
+
+
+@dataclass
+class TpceConfig:
+    """Scale parameters for the reduced TPC-E instance."""
+
+    customers: int = 300
+    accounts_per_customer: int = 2
+    securities: int = 100
+    companies: int = 50
+    brokers: int = 10
+    holdings_per_account: int = 4
+    watch_items_per_customer: int = 5
+    initial_trades_per_account: int = 3
+    seed: int = 0
+
+
+#: transaction mix (name, weight) approximating the TPC-E specification mix.
+TRANSACTION_MIX: tuple[tuple[str, float], ...] = (
+    ("trade_order", 0.101),
+    ("trade_result", 0.10),
+    ("trade_lookup", 0.08),
+    ("trade_status", 0.19),
+    ("trade_update", 0.02),
+    ("customer_position", 0.13),
+    ("broker_volume", 0.049),
+    ("security_detail", 0.14),
+    ("market_watch", 0.18),
+    ("market_feed", 0.01),
+)
+
+
+def tpce_schema() -> Schema:
+    """Twelve-table reduced TPC-E schema."""
+    return Schema(
+        "tpce",
+        [
+            Table("customer", [integer_column("c_id"), integer_column("c_tier")], ["c_id"]),
+            Table(
+                "customer_account",
+                [integer_column("ca_id"), integer_column("ca_c_id"), integer_column("ca_b_id"), integer_column("ca_bal")],
+                ["ca_id"],
+                [ForeignKey(("ca_c_id",), "customer", ("c_id",)), ForeignKey(("ca_b_id",), "broker", ("b_id",))],
+            ),
+            Table("broker", [integer_column("b_id"), integer_column("b_num_trades")], ["b_id"]),
+            Table("company", [integer_column("co_id"), integer_column("co_sector")], ["co_id"]),
+            Table(
+                "security",
+                [integer_column("s_id"), integer_column("s_co_id"), integer_column("s_issue")],
+                ["s_id"],
+                [ForeignKey(("s_co_id",), "company", ("co_id",))],
+            ),
+            Table(
+                "last_trade",
+                [integer_column("lt_s_id"), integer_column("lt_price"), integer_column("lt_vol")],
+                ["lt_s_id"],
+                [ForeignKey(("lt_s_id",), "security", ("s_id",))],
+            ),
+            Table(
+                "trade",
+                [
+                    integer_column("t_id"),
+                    integer_column("t_ca_id"),
+                    integer_column("t_s_id"),
+                    integer_column("t_b_id"),
+                    integer_column("t_qty"),
+                    integer_column("t_status"),
+                ],
+                ["t_id"],
+                [
+                    ForeignKey(("t_ca_id",), "customer_account", ("ca_id",)),
+                    ForeignKey(("t_s_id",), "security", ("s_id",)),
+                    ForeignKey(("t_b_id",), "broker", ("b_id",)),
+                ],
+            ),
+            Table(
+                "trade_history",
+                [integer_column("th_id"), integer_column("th_t_id"), integer_column("th_status")],
+                ["th_id"],
+                [ForeignKey(("th_t_id",), "trade", ("t_id",))],
+            ),
+            Table(
+                "holding_summary",
+                [integer_column("hs_ca_id"), integer_column("hs_s_id"), integer_column("hs_qty")],
+                ["hs_ca_id", "hs_s_id"],
+                [
+                    ForeignKey(("hs_ca_id",), "customer_account", ("ca_id",)),
+                    ForeignKey(("hs_s_id",), "security", ("s_id",)),
+                ],
+            ),
+            Table(
+                "holding",
+                [
+                    integer_column("h_id"),
+                    integer_column("h_ca_id"),
+                    integer_column("h_s_id"),
+                    integer_column("h_qty"),
+                ],
+                ["h_id"],
+                [
+                    ForeignKey(("h_ca_id",), "customer_account", ("ca_id",)),
+                    ForeignKey(("h_s_id",), "security", ("s_id",)),
+                ],
+            ),
+            Table(
+                "watch_list",
+                [integer_column("wl_id"), integer_column("wl_c_id")],
+                ["wl_id"],
+                [ForeignKey(("wl_c_id",), "customer", ("c_id",))],
+            ),
+            Table(
+                "watch_item",
+                [integer_column("wl_id"), integer_column("wi_s_id")],
+                ["wl_id", "wi_s_id"],
+                [
+                    ForeignKey(("wl_id",), "watch_list", ("wl_id",)),
+                    ForeignKey(("wi_s_id",), "security", ("s_id",)),
+                ],
+            ),
+        ],
+    )
+
+
+class _TpceGenerator:
+    """Builds the reduced TPC-E database and trace."""
+
+    def __init__(self, config: TpceConfig) -> None:
+        self.config = config
+        self.rng = SeededRng(config.seed)
+        self.database = Database(tpce_schema())
+        self._next_trade_id = 0
+        self._next_holding_id = 0
+        self._next_history_id = 0
+        #: account id -> customer id, broker id, securities held
+        self._accounts: dict[int, tuple[int, int, list[int]]] = {}
+        self._customer_accounts: dict[int, list[int]] = {}
+        self._pending_trades: list[int] = []
+        self._trades_by_account: dict[int, list[int]] = {}
+        self._trades_by_broker: dict[int, list[int]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        config = self.config
+        rng = self.rng.fork("load")
+        for broker_id in range(config.brokers):
+            self.database.insert_row("broker", {"b_id": broker_id, "b_num_trades": 0})
+        for company_id in range(config.companies):
+            self.database.insert_row(
+                "company", {"co_id": company_id, "co_sector": rng.randint(0, 10)}
+            )
+        for security_id in range(config.securities):
+            self.database.insert_row(
+                "security",
+                {
+                    "s_id": security_id,
+                    "s_co_id": security_id % config.companies,
+                    "s_issue": rng.randint(0, 3),
+                },
+            )
+            self.database.insert_row(
+                "last_trade",
+                {"lt_s_id": security_id, "lt_price": rng.randint(10, 500), "lt_vol": 0},
+            )
+        account_id = 0
+        for customer_id in range(config.customers):
+            self.database.insert_row(
+                "customer", {"c_id": customer_id, "c_tier": rng.randint(1, 3)}
+            )
+            self.database.insert_row("watch_list", {"wl_id": customer_id, "wl_c_id": customer_id})
+            watch_securities = {
+                rng.randint(0, config.securities - 1)
+                for _ in range(config.watch_items_per_customer)
+            }
+            for security_id in watch_securities:
+                self.database.insert_row(
+                    "watch_item", {"wl_id": customer_id, "wi_s_id": security_id}
+                )
+            self._customer_accounts[customer_id] = []
+            for _ in range(config.accounts_per_customer):
+                broker_id = rng.randint(0, config.brokers - 1)
+                self.database.insert_row(
+                    "customer_account",
+                    {
+                        "ca_id": account_id,
+                        "ca_c_id": customer_id,
+                        "ca_b_id": broker_id,
+                        "ca_bal": rng.randint(1000, 100000),
+                    },
+                )
+                held: list[int] = []
+                for _ in range(config.holdings_per_account):
+                    security_id = rng.randint(0, config.securities - 1)
+                    if security_id in held:
+                        continue
+                    held.append(security_id)
+                    self.database.insert_row(
+                        "holding_summary",
+                        {"hs_ca_id": account_id, "hs_s_id": security_id, "hs_qty": rng.randint(1, 100)},
+                    )
+                    self.database.insert_row(
+                        "holding",
+                        {
+                            "h_id": self._next_holding_id,
+                            "h_ca_id": account_id,
+                            "h_s_id": security_id,
+                            "h_qty": rng.randint(1, 100),
+                        },
+                    )
+                    self._next_holding_id += 1
+                self._accounts[account_id] = (customer_id, broker_id, held)
+                self._customer_accounts[customer_id].append(account_id)
+                self._trades_by_account[account_id] = []
+                for _ in range(config.initial_trades_per_account):
+                    self._load_trade(account_id, rng)
+                account_id += 1
+
+    def _load_trade(self, account_id: int, rng: SeededRng) -> None:
+        customer_id, broker_id, held = self._accounts[account_id]
+        security_id = held[rng.randint(0, len(held) - 1)] if held else rng.randint(0, self.config.securities - 1)
+        trade_id = self._next_trade_id
+        self._next_trade_id += 1
+        self.database.insert_row(
+            "trade",
+            {
+                "t_id": trade_id,
+                "t_ca_id": account_id,
+                "t_s_id": security_id,
+                "t_b_id": broker_id,
+                "t_qty": rng.randint(1, 50),
+                "t_status": 1,
+            },
+        )
+        self.database.insert_row(
+            "trade_history",
+            {"th_id": self._next_history_id, "th_t_id": trade_id, "th_status": 1},
+        )
+        self._next_history_id += 1
+        self._trades_by_account[account_id].append(trade_id)
+        self._trades_by_broker.setdefault(broker_id, []).append(trade_id)
+
+    # -- transactions ------------------------------------------------------------------
+    def generate_workload(self, num_transactions: int, name: str) -> Workload:
+        """Generate the ten-type transaction mix."""
+        workload = Workload(name)
+        builders = {
+            "trade_order": self._trade_order,
+            "trade_result": self._trade_result,
+            "trade_lookup": self._trade_lookup,
+            "trade_status": self._trade_status,
+            "trade_update": self._trade_update,
+            "customer_position": self._customer_position,
+            "broker_volume": self._broker_volume,
+            "security_detail": self._security_detail,
+            "market_watch": self._market_watch,
+            "market_feed": self._market_feed,
+        }
+        for _ in range(num_transactions):
+            kind = weighted_choice(self.rng, list(TRANSACTION_MIX))
+            statements = builders[kind]()
+            if statements:
+                workload.add_statements(statements, kind=kind)
+        return workload
+
+    def _random_account(self) -> int:
+        return self.rng.randint(0, len(self._accounts) - 1)
+
+    def _trade_order(self) -> list[Statement]:
+        account_id = self._random_account()
+        customer_id, broker_id, held = self._accounts[account_id]
+        security_id = (
+            held[self.rng.randint(0, len(held) - 1)]
+            if held and self.rng.bernoulli(0.7)
+            else self.rng.randint(0, self.config.securities - 1)
+        )
+        trade_id = self._next_trade_id
+        self._next_trade_id += 1
+        self._pending_trades.append(trade_id)
+        self._trades_by_account[account_id].append(trade_id)
+        self._trades_by_broker.setdefault(broker_id, []).append(trade_id)
+        return [
+            SelectStatement(("customer_account",), where=eq("ca_id", account_id)),
+            SelectStatement(("customer",), where=eq("c_id", customer_id)),
+            SelectStatement(("broker",), where=eq("b_id", broker_id)),
+            SelectStatement(("security",), where=eq("s_id", security_id)),
+            SelectStatement(("last_trade",), where=eq("lt_s_id", security_id)),
+            SelectStatement(
+                ("holding_summary",),
+                where=conj(eq("hs_ca_id", account_id), eq("hs_s_id", security_id)),
+            ),
+            InsertStatement(
+                "trade",
+                {
+                    "t_id": trade_id,
+                    "t_ca_id": account_id,
+                    "t_s_id": security_id,
+                    "t_b_id": broker_id,
+                    "t_qty": self.rng.randint(1, 50),
+                    "t_status": 0,
+                },
+            ),
+        ]
+
+    def _trade_result(self) -> list[Statement]:
+        if not self._pending_trades:
+            return []
+        trade_id = self._pending_trades.pop(0)
+        history_id = self._next_history_id
+        self._next_history_id += 1
+        return [
+            SelectStatement(("trade",), where=eq("t_id", trade_id)),
+            UpdateStatement("trade", {"t_status": 1}, where=eq("t_id", trade_id)),
+            InsertStatement(
+                "trade_history", {"th_id": history_id, "th_t_id": trade_id, "th_status": 1}
+            ),
+            UpdateStatement(
+                "customer_account",
+                {"ca_bal": ("delta", -self.rng.randint(1, 500))},
+                where=eq("ca_id", self._trade_account(trade_id)),
+            ),
+            UpdateStatement(
+                "broker",
+                {"b_num_trades": ("delta", 1)},
+                where=eq("b_id", self._trade_broker(trade_id)),
+            ),
+        ]
+
+    def _trade_account(self, trade_id: int) -> int:
+        for account_id, trades in self._trades_by_account.items():
+            if trade_id in trades:
+                return account_id
+        return self._random_account()
+
+    def _trade_broker(self, trade_id: int) -> int:
+        for broker_id, trades in self._trades_by_broker.items():
+            if trade_id in trades:
+                return broker_id
+        return self.rng.randint(0, self.config.brokers - 1)
+
+    def _trade_lookup(self) -> list[Statement]:
+        account_id = self._random_account()
+        trades = self._trades_by_account.get(account_id, [])
+        statements: list[Statement] = [
+            SelectStatement(("trade",), where=eq("t_ca_id", account_id), limit=5)
+        ]
+        if trades:
+            recent = trades[-1]
+            statements.append(SelectStatement(("trade_history",), where=eq("th_t_id", recent)))
+        return statements
+
+    def _trade_status(self) -> list[Statement]:
+        account_id = self._random_account()
+        customer_id, broker_id, _held = self._accounts[account_id]
+        return [
+            SelectStatement(("customer_account",), where=eq("ca_id", account_id)),
+            SelectStatement(("customer",), where=eq("c_id", customer_id)),
+            SelectStatement(("broker",), where=eq("b_id", broker_id)),
+            SelectStatement(("trade",), where=eq("t_ca_id", account_id), limit=10),
+        ]
+
+    def _trade_update(self) -> list[Statement]:
+        account_id = self._random_account()
+        trades = self._trades_by_account.get(account_id, [])
+        if not trades:
+            return []
+        trade_id = trades[self.rng.randint(0, len(trades) - 1)]
+        return [
+            SelectStatement(("trade",), where=eq("t_id", trade_id)),
+            UpdateStatement("trade", {"t_qty": ("delta", 1)}, where=eq("t_id", trade_id)),
+        ]
+
+    def _customer_position(self) -> list[Statement]:
+        customer_id = self.rng.randint(0, self.config.customers - 1)
+        accounts = self._customer_accounts[customer_id]
+        statements: list[Statement] = [
+            SelectStatement(("customer",), where=eq("c_id", customer_id)),
+            SelectStatement(("customer_account",), where=eq("ca_c_id", customer_id)),
+        ]
+        for account_id in accounts[:2]:
+            statements.append(
+                SelectStatement(("holding_summary",), where=eq("hs_ca_id", account_id))
+            )
+            _customer, _broker, held = self._accounts[account_id]
+            if held:
+                statements.append(
+                    SelectStatement(("last_trade",), where=in_list("lt_s_id", held[:4]))
+                )
+        return statements
+
+    def _broker_volume(self) -> list[Statement]:
+        broker_id = self.rng.randint(0, self.config.brokers - 1)
+        return [
+            SelectStatement(("broker",), where=eq("b_id", broker_id)),
+            SelectStatement(("trade",), where=eq("t_b_id", broker_id), limit=20),
+        ]
+
+    def _security_detail(self) -> list[Statement]:
+        security_id = self.rng.randint(0, self.config.securities - 1)
+        company_id = security_id % self.config.companies
+        return [
+            SelectStatement(("security",), where=eq("s_id", security_id)),
+            SelectStatement(("company",), where=eq("co_id", company_id)),
+            SelectStatement(("last_trade",), where=eq("lt_s_id", security_id)),
+        ]
+
+    def _market_watch(self) -> list[Statement]:
+        customer_id = self.rng.randint(0, self.config.customers - 1)
+        return [
+            SelectStatement(("watch_list",), where=eq("wl_id", customer_id)),
+            SelectStatement(("watch_item",), where=eq("wl_id", customer_id)),
+            SelectStatement(
+                ("last_trade",),
+                where=in_list(
+                    "lt_s_id",
+                    sorted(
+                        {
+                            self.rng.randint(0, self.config.securities - 1)
+                            for _ in range(3)
+                        }
+                    ),
+                ),
+            ),
+        ]
+
+    def _market_feed(self) -> list[Statement]:
+        securities = sorted(
+            {self.rng.randint(0, self.config.securities - 1) for _ in range(5)}
+        )
+        statements: list[Statement] = []
+        for security_id in securities:
+            statements.append(
+                UpdateStatement(
+                    "last_trade",
+                    {"lt_price": self.rng.randint(10, 500), "lt_vol": ("delta", 1)},
+                    where=eq("lt_s_id", security_id),
+                )
+            )
+        return statements
+
+
+def generate_tpce(
+    config: TpceConfig | None = None,
+    num_transactions: int = 3000,
+    name: str = "tpce",
+) -> WorkloadBundle:
+    """Generate the reduced TPC-E database and workload."""
+    config = config or TpceConfig()
+    generator = _TpceGenerator(config)
+    workload = generator.generate_workload(num_transactions, name)
+    return WorkloadBundle(
+        name=name,
+        database=generator.database,
+        workload=workload,
+        # The paper could not produce a manual partitioning for TPC-E either.
+        manual_strategy_factory=None,
+        hash_columns={
+            "customer": ("c_id",),
+            "customer_account": ("ca_c_id",),
+            "holding_summary": ("hs_ca_id",),
+            "holding": ("h_ca_id",),
+            "trade": ("t_ca_id",),
+            "watch_list": ("wl_c_id",),
+            "watch_item": ("wl_id",),
+        },
+        metadata={
+            "customers": config.customers,
+            "securities": config.securities,
+            "tables": len(tpce_schema().tables),
+            "transactions": num_transactions,
+        },
+    )

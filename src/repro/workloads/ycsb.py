@@ -1,0 +1,147 @@
+"""YCSB workloads A and E (Cooper et al., SoCC 2010) as used in the paper.
+
+* **Workload A** — 50% single-row reads, 50% single-row updates, keys drawn
+  from a (scrambled) Zipfian distribution.  Every transaction touches one
+  tuple, so any non-replicated strategy yields zero distributed transactions;
+  the point of the experiment is that Schism's validation phase falls back to
+  plain hash partitioning.
+* **Workload E** — 95% short range scans (uniform scan length), 5% single-row
+  updates.  Scans defeat hash partitioning but are served perfectly by range
+  partitioning, which the explanation phase is expected to discover.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Schema, Table, integer_column
+from repro.core.strategies import CompositePartitioning, PartitioningStrategy, range_on
+from repro.engine.database import Database
+from repro.sqlparse.ast import SelectStatement, UpdateStatement, between, eq
+from repro.utils.rng import SeededRng, ScrambledZipfianGenerator
+from repro.workload.trace import Workload
+from repro.workloads.base import WorkloadBundle
+
+
+def ycsb_schema() -> Schema:
+    """The single-table YCSB schema (key plus a few value fields)."""
+    return Schema(
+        "ycsb",
+        [
+            Table(
+                "usertable",
+                [
+                    integer_column("ycsb_key"),
+                    integer_column("field0"),
+                    integer_column("field1"),
+                    integer_column("field2"),
+                ],
+                primary_key=["ycsb_key"],
+            )
+        ],
+    )
+
+
+def _load_usertable(database: Database, num_rows: int, rng: SeededRng) -> None:
+    for key in range(num_rows):
+        database.insert_row(
+            "usertable",
+            {
+                "ycsb_key": key,
+                "field0": rng.randint(0, 1_000_000),
+                "field1": rng.randint(0, 1_000_000),
+                "field2": rng.randint(0, 1_000_000),
+            },
+        )
+
+
+def generate_ycsb_a(
+    num_rows: int = 10_000,
+    num_transactions: int = 10_000,
+    zipf_theta: float = 0.99,
+    seed: int = 0,
+) -> WorkloadBundle:
+    """Generate YCSB workload A (50/50 read/update of one Zipfian-chosen tuple)."""
+    rng = SeededRng(seed)
+    database = Database(ycsb_schema())
+    _load_usertable(database, num_rows, rng.fork("load"))
+    key_chooser = ScrambledZipfianGenerator(num_rows, theta=zipf_theta, rng=rng.fork("zipf"))
+    workload = Workload("ycsb-a")
+    for _ in range(num_transactions):
+        key = key_chooser.next_value()
+        if rng.bernoulli(0.5):
+            statement = SelectStatement(("usertable",), where=eq("ycsb_key", key))
+            kind = "read"
+        else:
+            statement = UpdateStatement(
+                "usertable", {"field0": rng.randint(0, 1_000_000)}, where=eq("ycsb_key", key)
+            )
+            kind = "update"
+        workload.add_statements([statement], kind=kind)
+    return WorkloadBundle(
+        name="ycsb-a",
+        database=database,
+        workload=workload,
+        manual_strategy_factory=lambda k: ycsb_range_strategy(k, num_rows),
+        hash_columns={"usertable": ("ycsb_key",)},
+        metadata={"rows": num_rows, "transactions": num_transactions, "theta": zipf_theta},
+    )
+
+
+def generate_ycsb_e(
+    num_rows: int = 10_000,
+    num_transactions: int = 10_000,
+    max_scan_length: int = 10,
+    zipf_theta: float = 0.99,
+    seed: int = 0,
+) -> WorkloadBundle:
+    """Generate YCSB workload E (95% short scans, 5% single-row updates).
+
+    Scan start keys follow a Zipfian distribution (not scrambled, so that the
+    scans are contiguous in key space, as in YCSB proper); scan lengths are
+    uniform in ``[0, max_scan_length]``.
+    """
+    rng = SeededRng(seed)
+    database = Database(ycsb_schema())
+    _load_usertable(database, num_rows, rng.fork("load"))
+    # Plain Zipfian over key offsets, spread across the keyspace deterministically
+    # so the hot ranges are not all at key zero.
+    key_chooser = ScrambledZipfianGenerator(num_rows, theta=zipf_theta, rng=rng.fork("zipf"))
+    workload = Workload("ycsb-e")
+    for _ in range(num_transactions):
+        start = key_chooser.next_value()
+        if rng.bernoulli(0.95):
+            length = rng.randint(0, max_scan_length)
+            statement = SelectStatement(
+                ("usertable",),
+                where=between("ycsb_key", start, min(num_rows - 1, start + length)),
+            )
+            workload.add_statements([statement], kind="scan")
+        else:
+            statement = UpdateStatement(
+                "usertable", {"field0": rng.randint(0, 1_000_000)}, where=eq("ycsb_key", start)
+            )
+            workload.add_statements([statement], kind="update")
+    return WorkloadBundle(
+        name="ycsb-e",
+        database=database,
+        workload=workload,
+        manual_strategy_factory=lambda k: ycsb_range_strategy(k, num_rows),
+        hash_columns={"usertable": ("ycsb_key",)},
+        metadata={
+            "rows": num_rows,
+            "transactions": num_transactions,
+            "max_scan_length": max_scan_length,
+            "theta": zipf_theta,
+        },
+    )
+
+
+def ycsb_range_strategy(num_partitions: int, num_rows: int) -> PartitioningStrategy:
+    """Manual baseline: even range partitioning of the key space."""
+    boundaries = [
+        (index + 1) * num_rows / num_partitions - 1 for index in range(num_partitions - 1)
+    ]
+    return CompositePartitioning(
+        num_partitions,
+        {"usertable": range_on("ycsb_key", boundaries)},
+        name="manual",
+    )

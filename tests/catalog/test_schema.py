@@ -1,0 +1,118 @@
+"""Tests for the catalog schema objects."""
+
+import pytest
+
+from repro.catalog.schema import (
+    Column,
+    ColumnType,
+    ForeignKey,
+    Schema,
+    Table,
+    integer_column,
+    string_column,
+)
+
+
+def make_table() -> Table:
+    return Table(
+        "account",
+        [integer_column("id"), string_column("name"), integer_column("bal")],
+        primary_key=["id"],
+    )
+
+
+class TestColumn:
+    def test_python_types(self):
+        assert ColumnType.INTEGER.python_type() is int
+        assert ColumnType.FLOAT.python_type() is float
+        assert ColumnType.STRING.python_type() is str
+
+    def test_validate_value_accepts_matching_type(self):
+        integer_column("x").validate_value(3)
+        string_column("s").validate_value("hello")
+
+    def test_validate_value_rejects_mismatch(self):
+        with pytest.raises(TypeError):
+            integer_column("x").validate_value("nope")
+
+    def test_float_column_accepts_int(self):
+        Column("f", ColumnType.FLOAT).validate_value(3)
+
+
+class TestTable:
+    def test_basic_properties(self):
+        table = make_table()
+        assert table.column_names == ("id", "name", "bal")
+        assert table.primary_key == ("id",)
+        assert table.row_byte_size == 8 + 32 + 8
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", [integer_column("a"), integer_column("a")], ["a"])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(ValueError):
+            Table("t", [integer_column("a")], ["missing"])
+
+    def test_validate_row_detects_missing_and_extra(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.validate_row({"id": 1, "name": "x"})
+        with pytest.raises(ValueError):
+            table.validate_row({"id": 1, "name": "x", "bal": 2, "extra": 1})
+
+    def test_primary_key_of(self):
+        table = make_table()
+        assert table.primary_key_of({"id": 7, "name": "x", "bal": 0}) == (7,)
+
+    def test_foreign_key_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ForeignKey(("a", "b"), "parent", ("x",))
+
+    def test_foreign_key_column_must_exist(self):
+        with pytest.raises(ValueError):
+            Table(
+                "t",
+                [integer_column("a")],
+                ["a"],
+                [ForeignKey(("missing",), "parent", ("x",))],
+            )
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema("s", [make_table()])
+        assert schema.has_table("account")
+        assert schema.table("account").name == "account"
+        assert schema.table_names == ("account",)
+
+    def test_duplicate_table_rejected(self):
+        schema = Schema("s", [make_table()])
+        with pytest.raises(ValueError):
+            schema.add_table(make_table())
+
+    def test_unknown_table_raises(self):
+        schema = Schema("s")
+        with pytest.raises(KeyError):
+            schema.table("nope")
+
+    def test_validate_foreign_keys_detects_unknown_parent(self):
+        child = Table(
+            "child",
+            [integer_column("id"), integer_column("parent_id")],
+            ["id"],
+            [ForeignKey(("parent_id",), "parent", ("id",))],
+        )
+        schema = Schema("s", [child])
+        with pytest.raises(ValueError):
+            schema.validate_foreign_keys()
+
+    def test_validate_foreign_keys_passes_when_consistent(self):
+        parent = Table("parent", [integer_column("id")], ["id"])
+        child = Table(
+            "child",
+            [integer_column("id"), integer_column("parent_id")],
+            ["id"],
+            [ForeignKey(("parent_id",), "parent", ("id",))],
+        )
+        Schema("s", [parent, child]).validate_foreign_keys()

@@ -1,0 +1,37 @@
+"""Tests for tuple identity."""
+
+import pytest
+
+from repro.catalog.schema import Table, integer_column
+from repro.catalog.tuples import TupleId, tuple_id_for_row
+
+
+def test_tuple_id_is_hashable_and_comparable():
+    first = TupleId("t", (1,))
+    second = TupleId("t", (1,))
+    third = TupleId("t", (2,))
+    assert first == second
+    assert hash(first) == hash(second)
+    assert first < third
+
+
+def test_scalar_key_is_normalised_to_tuple():
+    tuple_id = TupleId("t", 5)
+    assert tuple_id.key == (5,)
+    assert tuple_id.single_key == 5
+
+
+def test_single_key_raises_for_composite():
+    with pytest.raises(ValueError):
+        TupleId("t", (1, 2)).single_key
+
+
+def test_str_representation():
+    assert str(TupleId("account", (3,))) == "account:3"
+    assert str(TupleId("stock", (1, 2))) == "stock:(1, 2)"
+
+
+def test_tuple_id_for_row():
+    table = Table("t", [integer_column("a"), integer_column("b")], ["a", "b"])
+    tuple_id = tuple_id_for_row(table, {"a": 1, "b": 2})
+    assert tuple_id == TupleId("t", (1, 2))

@@ -1,0 +1,105 @@
+"""Tests for the end-to-end Schism pipeline object."""
+
+import pytest
+
+from repro.core.schism import Schism, SchismOptions, run_schism
+from repro.sqlparse.ast import SelectStatement, UpdateStatement, eq, in_list
+from repro.utils.rng import SeededRng
+from repro.workload.trace import Workload
+
+
+def clustered_workload(num_rows_per_cluster: int = 50, num_clusters: int = 2, transactions: int = 200) -> Workload:
+    """Transactions touch pairs of accounts from the same hidden cluster."""
+    rng = SeededRng(0)
+    workload = Workload("clustered")
+    for _ in range(transactions):
+        cluster = rng.randint(0, num_clusters - 1)
+        base = cluster * num_rows_per_cluster
+        first = base + rng.randint(0, num_rows_per_cluster - 1)
+        second = base + rng.randint(0, num_rows_per_cluster - 1)
+        workload.add_statements(
+            [SelectStatement(("account",), where=in_list("id", sorted({first, second})))]
+        )
+    return workload
+
+
+@pytest.fixture
+def clustered_database(bank_schema):
+    from repro.engine.database import Database
+
+    database = Database(bank_schema)
+    for account_id in range(100):
+        database.insert_row("account", {"id": account_id, "name": f"user{account_id}", "bal": 0})
+    return database
+
+
+def test_pipeline_discovers_clusters(clustered_database):
+    options = SchismOptions(num_partitions=2)
+    result = Schism(options).run(clustered_database, clustered_workload())
+    # The graph solution should make almost every transaction single-partition.
+    assert result.reports["lookup-table"].distributed_fraction < 0.1
+    # And the explanation should express it as a key range split around id 50.
+    assert result.reports["range-predicates"].distributed_fraction < 0.15
+    assert result.recommendation in ("range-predicates", "lookup-table")
+    assert result.assignment.partition_tuple_counts()[0] > 0
+    assert result.graph_cut >= 0
+    assert result.timings.total > 0
+
+
+def test_pipeline_with_test_workload(clustered_database):
+    result = Schism(SchismOptions(num_partitions=2)).run(
+        clustered_database,
+        clustered_workload(transactions=150),
+        test_workload=clustered_workload(transactions=50),
+    )
+    assert result.validation.winner_report.total_transactions == 50
+
+
+def test_describe_mentions_graph_and_candidates(clustered_database):
+    result = Schism(SchismOptions(num_partitions=2)).run(clustered_database, clustered_workload())
+    text = result.describe()
+    assert "graph:" in text
+    assert "candidates:" in text
+
+
+def test_run_schism_convenience(clustered_database):
+    result = run_schism(clustered_database, clustered_workload(transactions=100), num_partitions=2)
+    assert result.options.num_partitions == 2
+
+
+def test_run_schism_conflicting_options(clustered_database):
+    with pytest.raises(ValueError):
+        run_schism(
+            clustered_database,
+            clustered_workload(transactions=10),
+            num_partitions=3,
+            options=SchismOptions(num_partitions=2),
+        )
+
+
+def test_invalid_options():
+    with pytest.raises(ValueError):
+        SchismOptions(num_partitions=0)
+    with pytest.raises(ValueError):
+        SchismOptions(num_partitions=2, lookup_default_policy="bogus")
+
+
+def test_read_mostly_detection(clustered_database):
+    read_only = clustered_workload(transactions=100)
+    result = Schism(SchismOptions(num_partitions=2, lookup_default_policy="auto")).run(
+        clustered_database, read_only
+    )
+    lookup = result.validation.strategies["lookup-table"]
+    assert lookup.default_policy == "replicate"
+
+    write_heavy = Workload("writes")
+    rng = SeededRng(1)
+    for _ in range(100):
+        target = rng.randint(0, 99)
+        write_heavy.add_statements(
+            [UpdateStatement("account", {"bal": ("delta", 1)}, where=eq("id", target))]
+        )
+    result = Schism(SchismOptions(num_partitions=2, lookup_default_policy="auto")).run(
+        clustered_database, write_heavy
+    )
+    assert result.validation.strategies["lookup-table"].default_policy == "hash"

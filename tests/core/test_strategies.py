@@ -1,0 +1,177 @@
+"""Tests for partitioning strategies."""
+
+import pytest
+
+from repro.catalog.tuples import TupleId
+from repro.core.strategies import (
+    CompositePartitioning,
+    FullReplication,
+    HashPartitioning,
+    LookupTablePartitioning,
+    RangePredicatePartitioning,
+    RoundRobinPartitioning,
+    hash_on,
+    range_on,
+    replicate,
+    stable_hash,
+)
+from repro.explain.rules import PredicateRule, RuleCondition, RuleSet
+from repro.graph.assignment import PartitionAssignment
+from repro.sqlparse.predicates import AttributeCondition
+
+
+def condition(column: str, value: object) -> AttributeCondition:
+    return AttributeCondition(None, column, "=", value)
+
+
+class TestStableHash:
+    def test_deterministic_across_instances(self):
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+        assert stable_hash("x") != stable_hash("y")
+
+
+class TestHashPartitioning:
+    def test_pk_hash_assigns_single_partition(self):
+        strategy = HashPartitioning(4)
+        placements = strategy.partitions_for_tuple(TupleId("t", (7,)))
+        assert len(placements) == 1
+        assert placements == strategy.partitions_for_tuple(TupleId("t", (7,)))
+
+    def test_pk_hash_spreads_tuples(self):
+        strategy = HashPartitioning(4)
+        used = set()
+        for key in range(100):
+            used.update(strategy.partitions_for_tuple(TupleId("t", (key,))))
+        assert used == {0, 1, 2, 3}
+
+    def test_attribute_hash_colocates_across_tables(self):
+        strategy = HashPartitioning(4, {"orders": ("w_id",), "stock": ("w_id",)})
+        order = strategy.partitions_for_tuple(TupleId("orders", (9, 1)), {"w_id": 3})
+        stock = strategy.partitions_for_tuple(TupleId("stock", (3, 55)), {"w_id": 3})
+        assert order == stock
+
+    def test_routing_by_conditions(self):
+        strategy = HashPartitioning(4, {"stock": ("w_id",)})
+        routed = strategy.partitions_for_conditions("stock", [condition("w_id", 3)])
+        assert routed == strategy.partitions_for_tuple(TupleId("stock", (3, 1)), {"w_id": 3})
+        assert strategy.partitions_for_conditions("stock", [condition("other", 3)]) is None
+        assert HashPartitioning(4).partitions_for_conditions("stock", [condition("w_id", 3)]) is None
+
+
+class TestRoundRobin:
+    def test_cycles_through_partitions(self):
+        strategy = RoundRobinPartitioning(3)
+        placements = [strategy.partitions_for_tuple(TupleId("t", (i,))) for i in range(6)]
+        assert [next(iter(p)) for p in placements] == [0, 1, 2, 0, 1, 2]
+
+    def test_stable_for_same_tuple(self):
+        strategy = RoundRobinPartitioning(3)
+        first = strategy.partitions_for_tuple(TupleId("t", (1,)))
+        again = strategy.partitions_for_tuple(TupleId("t", (1,)))
+        assert first == again
+
+
+class TestFullReplication:
+    def test_all_partitions(self):
+        strategy = FullReplication(5)
+        assert strategy.partitions_for_tuple(TupleId("t", (1,))) == frozenset(range(5))
+        assert strategy.partitions_for_conditions("t", []) == frozenset(range(5))
+
+
+class TestRangePredicatePartitioning:
+    def make_strategy(self, fallback: str = "replicate") -> RangePredicatePartitioning:
+        rules = RuleSet(
+            "stock",
+            (
+                PredicateRule((RuleCondition("s_w_id", "<=", 1),), "1", 10, 0.0),
+                PredicateRule((RuleCondition("s_w_id", ">", 1),), "0", 10, 0.0),
+            ),
+            default_label="0",
+            attributes=("s_w_id",),
+        )
+        return RangePredicatePartitioning(2, {"stock": rules}, fallback=fallback)
+
+    def test_placement_follows_rules(self):
+        strategy = self.make_strategy()
+        assert strategy.partitions_for_tuple(TupleId("stock", (1, 5)), {"s_w_id": 1}) == {1}
+        assert strategy.partitions_for_tuple(TupleId("stock", (2, 5)), {"s_w_id": 2}) == {0}
+
+    def test_unknown_table_fallback(self):
+        assert self.make_strategy("replicate").partitions_for_tuple(TupleId("other", (1,))) == {0, 1}
+        assert len(self.make_strategy("hash").partitions_for_tuple(TupleId("other", (1,)))) == 1
+
+    def test_routing(self):
+        strategy = self.make_strategy()
+        assert strategy.partitions_for_conditions("stock", [condition("s_w_id", 1)]) == {1}
+        assert strategy.partitions_for_conditions("stock", [condition("s_i_id", 9)]) is None
+
+    def test_invalid_fallback(self):
+        with pytest.raises(ValueError):
+            RangePredicatePartitioning(2, {}, fallback="bogus")
+
+
+class TestLookupTablePartitioning:
+    def make_assignment(self) -> PartitionAssignment:
+        assignment = PartitionAssignment(2)
+        assignment.assign(TupleId("t", (1,)), {0})
+        assignment.assign(TupleId("t", (2,)), {0, 1})
+        return assignment
+
+    def test_known_tuples(self):
+        strategy = LookupTablePartitioning(2, self.make_assignment())
+        assert strategy.partitions_for_tuple(TupleId("t", (1,))) == {0}
+        assert strategy.partitions_for_tuple(TupleId("t", (2,))) == {0, 1}
+
+    def test_default_policies(self):
+        hash_default = LookupTablePartitioning(2, self.make_assignment(), "hash")
+        replicate_default = LookupTablePartitioning(2, self.make_assignment(), "replicate")
+        unknown = TupleId("t", (99,))
+        assert len(hash_default.partitions_for_tuple(unknown)) == 1
+        assert replicate_default.partitions_for_tuple(unknown) == {0, 1}
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            LookupTablePartitioning(2, self.make_assignment(), "bogus")
+
+
+class TestCompositePartitioning:
+    def make_strategy(self) -> CompositePartitioning:
+        return CompositePartitioning(
+            2,
+            {
+                "warehouse": range_on("w_id", [1]),
+                "item": replicate(),
+                "customer": hash_on("c_w_id"),
+            },
+            name="manual",
+        )
+
+    def test_range_policy(self):
+        strategy = self.make_strategy()
+        assert strategy.partitions_for_tuple(TupleId("warehouse", (1,)), {"w_id": 1}) == {0}
+        assert strategy.partitions_for_tuple(TupleId("warehouse", (2,)), {"w_id": 2}) == {1}
+
+    def test_replicate_policy(self):
+        assert self.make_strategy().partitions_for_tuple(TupleId("item", (5,))) == {0, 1}
+
+    def test_hash_policy_uses_row_columns(self):
+        strategy = self.make_strategy()
+        first = strategy.partitions_for_tuple(TupleId("customer", (1, 1, 7)), {"c_w_id": 1})
+        second = strategy.partitions_for_tuple(TupleId("customer", (1, 2, 9)), {"c_w_id": 1})
+        assert first == second
+
+    def test_condition_routing(self):
+        strategy = self.make_strategy()
+        assert strategy.partitions_for_conditions("item", []) == {0, 1}
+        assert strategy.partitions_for_conditions("warehouse", [condition("w_id", 2)]) == {1}
+        assert strategy.partitions_for_conditions("customer", [condition("c_id", 3)]) is None
+
+    def test_default_policy_for_unlisted_table(self):
+        strategy = self.make_strategy()
+        placements = strategy.partitions_for_tuple(TupleId("unlisted", (3,)))
+        assert len(placements) == 1
+
+
+def test_num_partitions_must_be_positive():
+    with pytest.raises(ValueError):
+        HashPartitioning(0)

@@ -1,0 +1,93 @@
+"""Tests for the cluster materialisation and the 2PC coordinator."""
+
+import pytest
+
+from repro.core.strategies import CompositePartitioning, FullReplication, range_on, replicate
+from repro.distributed.cluster import Cluster
+from repro.distributed.coordinator import TwoPhaseCommitCoordinator
+from repro.routing.router import Router
+from repro.sqlparse.ast import SelectStatement, UpdateStatement, eq
+from repro.workload.trace import Transaction, Workload
+
+
+def range_strategy(k=2):
+    return CompositePartitioning(k, {"account": range_on("id", [2])})
+
+
+def test_cluster_materialisation(bank_database):
+    cluster = Cluster.from_database(bank_database, range_strategy())
+    assert cluster.num_partitions == 2
+    assert sum(cluster.row_counts()) == 5
+    assert cluster.database(0).row_count() == 2  # ids 1, 2
+    assert cluster.database(1).row_count() == 3  # ids 3, 4, 5
+
+
+def test_cluster_replication_copies_everywhere(bank_database):
+    cluster = Cluster.from_database(bank_database, FullReplication(3))
+    assert cluster.row_counts() == [5, 5, 5]
+    assert cluster.total_rows() == 15
+    assert cluster.imbalance() == 1.0
+
+
+def test_cluster_index_bounds(bank_database):
+    cluster = Cluster.from_database(bank_database, range_strategy())
+    with pytest.raises(IndexError):
+        cluster.database(5)
+
+
+def test_coordinator_single_partition_transaction(bank_database):
+    strategy = range_strategy()
+    cluster = Cluster.from_database(bank_database, strategy)
+    coordinator = TwoPhaseCommitCoordinator(cluster, Router(strategy, bank_database.schema))
+    transaction = Transaction((SelectStatement(("account",), where=eq("id", 1)),))
+    outcome = coordinator.execute_transaction(transaction)
+    assert outcome.participants == {0}
+    assert not outcome.is_distributed
+    # one statement (2 messages) + local commit (2 messages)
+    assert outcome.messages == 4
+
+
+def test_coordinator_distributed_transaction(bank_database):
+    strategy = range_strategy()
+    cluster = Cluster.from_database(bank_database, strategy)
+    coordinator = TwoPhaseCommitCoordinator(cluster, Router(strategy, bank_database.schema))
+    transaction = Transaction(
+        (
+            UpdateStatement("account", {"bal": ("delta", -1)}, where=eq("id", 1)),
+            UpdateStatement("account", {"bal": ("delta", 1)}, where=eq("id", 5)),
+        )
+    )
+    outcome = coordinator.execute_transaction(transaction)
+    assert outcome.participants == {0, 1}
+    assert outcome.is_distributed
+    # two statements (4 messages) + 2PC over two participants (8 messages)
+    assert outcome.messages == 12
+    # Both partition databases applied their own update.
+    assert cluster.database(0).get_row(next(iter(outcome.statement_results[0].write_set)))["bal"] == 79_999
+
+
+def test_coordinator_statistics(bank_database):
+    strategy = range_strategy()
+    cluster = Cluster.from_database(bank_database, strategy)
+    coordinator = TwoPhaseCommitCoordinator(cluster, Router(strategy, bank_database.schema))
+    workload = Workload("w")
+    workload.add_statements([SelectStatement(("account",), where=eq("id", 1))])
+    workload.add_statements(
+        [
+            SelectStatement(("account",), where=eq("id", 1)),
+            SelectStatement(("account",), where=eq("id", 5)),
+        ]
+    )
+    coordinator.execute_workload(workload)
+    stats = coordinator.statistics
+    assert stats.transactions == 2
+    assert stats.distributed_transactions == 1
+    assert stats.distributed_fraction == 0.5
+    assert stats.mean_messages > 0
+
+
+def test_coordinator_partition_mismatch(bank_database):
+    cluster = Cluster.from_database(bank_database, range_strategy(2))
+    router = Router(range_strategy(3), bank_database.schema)
+    with pytest.raises(ValueError):
+        TwoPhaseCommitCoordinator(cluster, router)

@@ -1,0 +1,68 @@
+"""Tests for the node cost model and the throughput simulator."""
+
+import pytest
+
+from repro.distributed.node import NodeCostModel
+from repro.distributed.simulation import SimulationParameters, ThroughputSimulator
+
+
+class TestNodeCostModel:
+    def test_distributed_work_exceeds_local(self):
+        node = NodeCostModel()
+        assert node.distributed_transaction_work(2, 2) > node.local_transaction_work(2)
+
+    def test_distributed_latency_exceeds_local(self):
+        node = NodeCostModel()
+        assert node.distributed_latency(2, 2) > node.local_latency(2)
+
+
+class TestSimulator:
+    def test_figure1_shape_throughput_halved(self):
+        simulator = ThroughputSimulator()
+        local = simulator.simulate_simplecount(5, distributed=False)
+        remote = simulator.simulate_simplecount(5, distributed=True)
+        ratio = remote.throughput_tps / local.throughput_tps
+        assert 0.4 < ratio < 0.6
+        assert remote.latency_ms > local.latency_ms * 1.5
+
+    def test_single_server_no_distribution_penalty(self):
+        simulator = ThroughputSimulator()
+        local = simulator.simulate_simplecount(1, distributed=False)
+        remote = simulator.simulate_simplecount(1, distributed=True)
+        assert local.throughput_tps == remote.throughput_tps
+
+    def test_throughput_scales_with_servers(self):
+        simulator = ThroughputSimulator()
+        one = simulator.simulate_simplecount(1, distributed=False)
+        four = simulator.simulate_simplecount(4, distributed=False)
+        assert 3.5 < four.throughput_tps / one.throughput_tps <= 4.01
+
+    def test_contention_bound_binds_for_few_warehouses(self):
+        simulator = ThroughputSimulator()
+        contended = simulator.simulate_tpcc(8, total_warehouses=16, distributed_fraction=0.12)
+        roomy = simulator.simulate_tpcc(8, total_warehouses=128, distributed_fraction=0.12)
+        assert contended.throughput_tps < roomy.throughput_tps
+        assert contended.bottleneck == "contention"
+        assert roomy.bottleneck in ("cpu", "clients")
+
+    def test_tpcc_scaleup_is_nearly_linear(self):
+        simulator = ThroughputSimulator()
+        one = simulator.simulate_tpcc(1, 16, 0.0)
+        eight = simulator.simulate_tpcc(8, 128, 0.12)
+        speedup = eight.throughput_tps / one.throughput_tps
+        assert 6.5 < speedup < 8.5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(num_servers=0, num_clients=1, statements_per_transaction=1)
+        with pytest.raises(ValueError):
+            SimulationParameters(num_servers=1, num_clients=0, statements_per_transaction=1)
+        with pytest.raises(ValueError):
+            SimulationParameters(
+                num_servers=1, num_clients=1, statements_per_transaction=1, distributed_fraction=2.0
+            )
+
+    def test_describe(self):
+        simulator = ThroughputSimulator()
+        result = simulator.simulate_simplecount(2, distributed=False)
+        assert "tps" in result.describe()

@@ -1,0 +1,111 @@
+"""Tests for statement execution and read/write-set extraction."""
+
+from repro.catalog.tuples import TupleId
+from repro.sqlparse.ast import (
+    ColumnRef,
+    DeleteStatement,
+    InsertStatement,
+    JoinCondition,
+    SelectStatement,
+    UpdateStatement,
+    between,
+    conj,
+    eq,
+    in_list,
+)
+
+
+class TestSelect:
+    def test_primary_key_lookup(self, bank_database):
+        result = bank_database.execute(SelectStatement(("account",), where=eq("id", 2)))
+        assert len(result.rows) == 1
+        assert result.read_set == {TupleId("account", (2,))}
+        assert result.write_set == set()
+
+    def test_in_list_read_set(self, bank_database):
+        result = bank_database.execute(SelectStatement(("account",), where=in_list("id", [1, 3])))
+        assert result.read_set == {TupleId("account", (1,)), TupleId("account", (3,))}
+
+    def test_range_scan(self, bank_database):
+        result = bank_database.execute(SelectStatement(("account",), where=between("id", 2, 4)))
+        assert {row["id"] for row in result.rows} == {2, 3, 4}
+
+    def test_non_key_predicate_scan(self, bank_database):
+        statement = SelectStatement(("account",), where=eq("name", "carlo"))
+        result = bank_database.execute(statement)
+        assert result.read_set == {TupleId("account", (1,))}
+
+    def test_limit(self, bank_database):
+        result = bank_database.execute(SelectStatement(("account",), limit=2))
+        assert len(result.rows) == 2
+
+    def test_projection(self, bank_database):
+        statement = SelectStatement(("account",), columns=(ColumnRef("name"),), where=eq("id", 1))
+        result = bank_database.execute(statement)
+        assert result.rows == [{"name": "carlo"}]
+
+    def test_no_match_empty(self, bank_database):
+        result = bank_database.execute(SelectStatement(("account",), where=eq("id", 99)))
+        assert result.rows == [] and result.read_set == set()
+
+
+class TestJoin:
+    def test_self_join_reads_both_sides(self, bank_database):
+        statement = SelectStatement(
+            ("account",),
+            where=eq("id", 1),
+        )
+        single = bank_database.execute(statement)
+        join = SelectStatement(
+            ("account", "account"),
+            where=conj(
+                JoinCondition(ColumnRef("id", "account"), ColumnRef("id", "account")),
+                eq("id", 1),
+            ),
+        )
+        result = bank_database.execute(join)
+        assert single.read_set <= result.read_set
+
+
+class TestWrites:
+    def test_insert(self, bank_database):
+        statement = InsertStatement("account", {"id": 9, "name": "newbie", "bal": 5})
+        result = bank_database.execute(statement)
+        assert result.write_set == {TupleId("account", (9,))}
+        assert bank_database.get_row(TupleId("account", (9,)))["name"] == "newbie"
+
+    def test_update_delta(self, bank_database):
+        statement = UpdateStatement("account", {"bal": ("delta", -1000)}, where=eq("name", "carlo"))
+        result = bank_database.execute(statement)
+        assert result.write_set == {TupleId("account", (1,))}
+        assert bank_database.get_row(TupleId("account", (1,)))["bal"] == 79_000
+
+    def test_update_by_range_touches_multiple(self, bank_database):
+        from repro.sqlparse.ast import Comparison
+
+        statement = UpdateStatement(
+            "account", {"bal": ("delta", 1)}, where=Comparison(ColumnRef("bal"), "<", 100_000)
+        )
+        result = bank_database.execute(statement)
+        assert len(result.write_set) == 4
+
+    def test_delete(self, bank_database):
+        statement = DeleteStatement("account", where=eq("id", 5))
+        result = bank_database.execute(statement)
+        assert result.write_set == {TupleId("account", (5,))}
+        assert bank_database.get_row(TupleId("account", (5,))) is None
+
+    def test_sql_text_execution(self, bank_database):
+        result = bank_database.execute("SELECT * FROM account WHERE id = 4")
+        assert result.read_set == {TupleId("account", (4,))}
+
+
+class TestTransactions:
+    def test_execute_transaction_merges_sets(self, bank_database):
+        statements = [
+            SelectStatement(("account",), where=eq("id", 1)),
+            UpdateStatement("account", {"bal": 0}, where=eq("id", 2)),
+        ]
+        result = bank_database.execute_transaction(statements)
+        assert TupleId("account", (1,)) in result.read_set
+        assert TupleId("account", (2,)) in result.write_set

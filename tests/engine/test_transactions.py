@@ -1,0 +1,73 @@
+"""Tests for the lock manager."""
+
+import pytest
+
+from repro.catalog.tuples import TupleId
+from repro.engine.transactions import LockConflict, LockManager, LockMode
+
+
+@pytest.fixture
+def manager() -> LockManager:
+    return LockManager()
+
+
+ROW = TupleId("account", (1,))
+OTHER = TupleId("account", (2,))
+
+
+def test_shared_locks_are_compatible(manager):
+    manager.acquire("t1", ROW, LockMode.SHARED)
+    manager.acquire("t2", ROW, LockMode.SHARED)
+    assert manager.holders(ROW) == {"t1", "t2"}
+
+
+def test_exclusive_conflicts_with_shared(manager):
+    manager.acquire("t1", ROW, LockMode.SHARED)
+    manager.acquire("t2", ROW, LockMode.SHARED)
+    with pytest.raises(LockConflict):
+        manager.acquire("t1", ROW, LockMode.EXCLUSIVE)
+
+
+def test_exclusive_conflicts_with_exclusive(manager):
+    manager.acquire("t1", ROW, LockMode.EXCLUSIVE)
+    with pytest.raises(LockConflict):
+        manager.acquire("t2", ROW, LockMode.EXCLUSIVE)
+
+
+def test_upgrade_by_sole_holder(manager):
+    manager.acquire("t1", ROW, LockMode.SHARED)
+    manager.acquire("t1", ROW, LockMode.EXCLUSIVE)
+    with pytest.raises(LockConflict):
+        manager.acquire("t2", ROW, LockMode.SHARED)
+
+
+def test_reentrant_acquisition(manager):
+    manager.acquire("t1", ROW, LockMode.EXCLUSIVE)
+    manager.acquire("t1", ROW, LockMode.EXCLUSIVE)
+    assert manager.holders(ROW) == {"t1"}
+
+
+def test_release_all(manager):
+    manager.acquire("t1", ROW, LockMode.EXCLUSIVE)
+    manager.acquire("t1", OTHER, LockMode.SHARED)
+    manager.release_all("t1")
+    assert manager.locked_count() == 0
+    manager.acquire("t2", ROW, LockMode.EXCLUSIVE)
+
+
+def test_would_conflict(manager):
+    manager.acquire("t1", ROW, LockMode.EXCLUSIVE)
+    assert manager.would_conflict("t2", ROW, LockMode.SHARED)
+    assert not manager.would_conflict("t1", ROW, LockMode.EXCLUSIVE)
+    assert not manager.would_conflict("t2", OTHER, LockMode.SHARED)
+
+
+def test_conflict_reports_holder(manager):
+    manager.acquire("t1", ROW, LockMode.EXCLUSIVE)
+    try:
+        manager.acquire("t2", ROW, LockMode.SHARED)
+    except LockConflict as error:
+        assert error.holder == "t1"
+        assert error.tuple_id == ROW
+    else:  # pragma: no cover - the acquire must raise
+        pytest.fail("expected LockConflict")

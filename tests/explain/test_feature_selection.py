@@ -1,0 +1,67 @@
+"""Tests for correlation-based feature selection."""
+
+from repro.explain.dataset import LabeledSample
+from repro.explain.feature_selection import select_attributes, symmetrical_uncertainty
+from repro.utils.rng import SeededRng
+
+
+def tpcc_stock_samples(count: int = 200) -> list[LabeledSample]:
+    """s_w_id determines the partition; s_i_id is uncorrelated noise."""
+    rng = SeededRng(0)
+    samples = []
+    for _ in range(count):
+        warehouse = rng.randint(1, 2)
+        samples.append(
+            LabeledSample(
+                {"s_w_id": warehouse, "s_i_id": rng.randint(1, 1000)},
+                str(warehouse - 1),
+            )
+        )
+    return samples
+
+
+def test_su_high_for_predictive_attribute():
+    samples = tpcc_stock_samples()
+    su_warehouse = symmetrical_uncertainty(samples, "s_w_id")
+    su_item = symmetrical_uncertainty(samples, "s_i_id")
+    assert su_warehouse > 0.9
+    assert su_item < 0.3
+    assert su_warehouse > su_item
+
+
+def test_su_between_attributes():
+    samples = tpcc_stock_samples()
+    self_su = symmetrical_uncertainty(samples, "s_w_id", "s_w_id")
+    cross_su = symmetrical_uncertainty(samples, "s_w_id", "s_i_id")
+    assert self_su > cross_su
+
+
+def test_select_attributes_discards_noise():
+    samples = tpcc_stock_samples()
+    selected = select_attributes(samples, ["s_i_id", "s_w_id"])
+    assert selected == ["s_w_id"]
+
+
+def test_select_attributes_keeps_complementary_attributes():
+    rng = SeededRng(1)
+    samples = []
+    for _ in range(300):
+        a = rng.randint(0, 1)
+        b = rng.randint(0, 1)
+        samples.append(LabeledSample({"a": a, "b": b}, str(a * 2 + b)))
+    selected = select_attributes(samples, ["a", "b"])
+    assert set(selected) == {"a", "b"}
+
+
+def test_select_attributes_empty_for_uninformative_data():
+    rng = SeededRng(2)
+    samples = [
+        LabeledSample({"x": rng.randint(0, 1000)}, str(rng.randint(0, 1)))
+        for _ in range(300)
+    ]
+    selected = select_attributes(samples, ["x"], min_class_correlation=0.05)
+    assert selected == []
+
+
+def test_empty_samples():
+    assert select_attributes([], ["a"]) == []

@@ -1,0 +1,94 @@
+"""Tests for predicate rules and rule sets."""
+
+import pytest
+
+from repro.explain.rules import (
+    PredicateRule,
+    RuleCondition,
+    RuleSet,
+    decode_label,
+    simplify_rules,
+)
+
+
+def test_condition_matching_operators():
+    row = {"w_id": 3, "name": "x"}
+    assert RuleCondition("w_id", "<=", 5).matches(row)
+    assert not RuleCondition("w_id", ">", 5).matches(row)
+    assert RuleCondition("w_id", "=", 3).matches(row)
+    assert RuleCondition("w_id", "=", 3.0).matches(row)
+    assert RuleCondition("name", "=", "x").matches(row)
+    assert RuleCondition("name", "<>", "y").matches(row)
+    assert not RuleCondition("missing", "=", 1).matches(row)
+
+
+def test_invalid_operator_rejected():
+    with pytest.raises(ValueError):
+        RuleCondition("a", "LIKE", 1)
+
+
+def test_decode_label():
+    assert decode_label("3") == frozenset({3})
+    assert decode_label("R0_2") == frozenset({0, 2})
+    assert decode_label("R1") == frozenset({1})
+
+
+def test_rule_matching_and_partitions():
+    rule = PredicateRule(
+        (RuleCondition("w_id", ">", 1), RuleCondition("w_id", "<=", 5)), "2", 10, 0.0
+    )
+    assert rule.matches({"w_id": 3})
+    assert not rule.matches({"w_id": 1})
+    assert rule.partitions() == frozenset({2})
+
+
+def test_rule_set_classification_and_default():
+    rules = (
+        PredicateRule((RuleCondition("w_id", "<=", 1),), "1", 5, 0.0),
+        PredicateRule((RuleCondition("w_id", ">", 1),), "0", 5, 0.0),
+    )
+    rule_set = RuleSet("stock", rules, default_label="0", attributes=("w_id",))
+    assert rule_set.classify({"w_id": 1}) == "1"
+    assert rule_set.classify({"w_id": 2}) == "0"
+    assert rule_set.classify({}) == "0"
+    assert rule_set.partitions_for_row({"w_id": 1}) == frozenset({1})
+    assert not rule_set.is_trivial
+
+
+def test_trivial_rule_set():
+    rule_set = RuleSet("item", (PredicateRule((), "R0_1", 10, 0.0),), default_label="R0_1")
+    assert rule_set.is_trivial
+    assert rule_set.partitions_for_row({"anything": 1}) == frozenset({0, 1})
+
+
+def test_simplify_rules_merges_bounds():
+    rule = PredicateRule(
+        (
+            RuleCondition("k", "<=", 100),
+            RuleCondition("k", "<=", 50),
+            RuleCondition("k", ">", 10),
+            RuleCondition("k", ">", 20),
+            RuleCondition("region", "=", "eu"),
+            RuleCondition("region", "=", "eu"),
+        ),
+        "1",
+        4,
+        0.0,
+    )
+    simplified = simplify_rules([rule])[0]
+    operators = sorted((c.attribute, c.operator, c.value) for c in simplified.conditions)
+    assert ("k", "<=", 50) in operators
+    assert ("k", ">", 20) in operators
+    assert len([c for c in simplified.conditions if c.attribute == "region"]) == 1
+    assert len(simplified.conditions) == 3
+
+
+def test_describe_mentions_rules():
+    rule_set = RuleSet(
+        "stock",
+        (PredicateRule((RuleCondition("s_w_id", "<=", 1),), "1", 3, 0.015),),
+        default_label="0",
+        attributes=("s_w_id",),
+    )
+    text = rule_set.describe()
+    assert "stock" in text and "s_w_id <= 1" in text and "otherwise" in text

@@ -1,0 +1,93 @@
+"""Tests for the graph data structure."""
+
+import pytest
+
+from repro.graph.model import Graph
+
+
+def test_add_nodes_and_edges():
+    graph = Graph()
+    nodes = graph.add_nodes(3, weight=2.0)
+    graph.add_edge(nodes[0], nodes[1], 1.5)
+    graph.add_edge(nodes[1], nodes[2])
+    assert graph.num_nodes == 3
+    assert graph.num_edges == 2
+    assert graph.total_node_weight() == 6.0
+    assert graph.edge_weight(0, 1) == 1.5
+    assert graph.degree(1) == 2
+
+
+def test_edge_weights_accumulate():
+    graph = Graph()
+    graph.add_nodes(2)
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(1, 0, 2.0)
+    assert graph.edge_weight(0, 1) == 3.0
+    assert graph.num_edges == 1
+    assert graph.total_edge_weight() == 3.0
+
+
+def test_self_loops_ignored():
+    graph = Graph()
+    graph.add_nodes(1)
+    graph.add_edge(0, 0, 5.0)
+    assert graph.num_edges == 0
+
+
+def test_negative_weights_rejected():
+    graph = Graph()
+    graph.add_nodes(2)
+    with pytest.raises(ValueError):
+        graph.add_node(-1.0)
+    with pytest.raises(ValueError):
+        graph.add_edge(0, 1, -2.0)
+
+
+def test_unknown_node_rejected():
+    graph = Graph()
+    graph.add_nodes(2)
+    with pytest.raises(IndexError):
+        graph.add_edge(0, 5)
+
+
+def test_edges_iteration_unique():
+    graph = Graph()
+    graph.add_nodes(3)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    edges = list(graph.edges())
+    assert len(edges) == 2
+    assert all(u < v for u, v, _w in edges)
+
+
+def test_subgraph_preserves_weights_and_edges():
+    graph = Graph()
+    graph.add_nodes(4)
+    graph.set_node_weight(2, 7.0)
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(1, 2, 2.0)
+    graph.add_edge(2, 3, 3.0)
+    sub, mapping = graph.subgraph([1, 2, 3])
+    assert sub.num_nodes == 3
+    assert mapping == [1, 2, 3]
+    assert sub.num_edges == 2
+    assert sub.node_weights[1] == 7.0
+
+
+def test_copy_is_independent():
+    graph = Graph()
+    graph.add_nodes(2)
+    graph.add_edge(0, 1, 1.0)
+    clone = graph.copy()
+    clone.add_edge(0, 1, 1.0)
+    assert graph.edge_weight(0, 1) == 1.0
+    assert clone.edge_weight(0, 1) == 2.0
+
+
+def test_connected_components():
+    graph = Graph()
+    graph.add_nodes(5)
+    graph.add_edge(0, 1)
+    graph.add_edge(2, 3)
+    components = sorted(sorted(component) for component in graph.connected_components())
+    assert components == [[0, 1], [2, 3], [4]]

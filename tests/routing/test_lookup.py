@@ -1,0 +1,82 @@
+"""Tests for lookup-table backends."""
+
+import pytest
+
+from repro.catalog.tuples import TupleId
+from repro.graph.assignment import PartitionAssignment
+from repro.routing.lookup import (
+    BitArrayLookupTable,
+    BloomFilterLookupTable,
+    DictLookupTable,
+    build_lookup_table,
+)
+
+
+@pytest.fixture
+def assignment() -> PartitionAssignment:
+    assignment = PartitionAssignment(4)
+    for key in range(100):
+        assignment.assign(TupleId("t", (key,)), {key % 4})
+    assignment.assign(TupleId("t", (100,)), {0, 2})
+    return assignment
+
+
+@pytest.mark.parametrize("backend", ["dict", "bitarray", "bloom"])
+def test_backends_resolve_known_tuples(assignment, backend):
+    table = build_lookup_table(assignment, backend=backend)
+    for key in range(100):
+        placement = table.get(TupleId("t", (key,)))
+        assert placement is not None
+        assert key % 4 in placement
+    replicated = table.get(TupleId("t", (100,)))
+    assert replicated is not None and {0, 2} <= replicated
+
+
+def test_dict_backend_exact(assignment):
+    table = build_lookup_table(assignment, backend="dict")
+    assert table.get(TupleId("t", (3,))) == {3}
+    assert table.get(TupleId("t", (999,))) is None
+    assert len(table) == 101
+
+
+def test_bitarray_requires_integer_keys():
+    table = BitArrayLookupTable(2)
+    with pytest.raises(TypeError):
+        table.put(TupleId("t", ("abc",)), frozenset({0}))
+    # Non-integer lookups simply miss.
+    assert table.get(TupleId("t", ("abc",))) is None
+
+
+def test_bitarray_growth_and_unknown(assignment):
+    table = BitArrayLookupTable(4, initial_capacity=8)
+    table.put(TupleId("t", (1000,)), frozenset({3}))
+    assert table.get(TupleId("t", (1000,))) == {3}
+    assert table.get(TupleId("t", (999,))) is None
+
+
+def test_bitarray_partition_limit():
+    with pytest.raises(ValueError):
+        BitArrayLookupTable(300)
+
+
+def test_bloom_filter_no_false_negatives(assignment):
+    table = build_lookup_table(assignment, backend="bloom", expected_items=200)
+    for key in range(100):
+        placement = table.get(TupleId("t", (key,)))
+        assert key % 4 in placement
+
+
+def test_bloom_filter_memory_smaller_than_dict(assignment):
+    bloom = build_lookup_table(assignment, backend="bloom", expected_items=200)
+    exact = build_lookup_table(assignment, backend="dict")
+    assert bloom.memory_bytes() < exact.memory_bytes()
+
+
+def test_unknown_backend(assignment):
+    with pytest.raises(ValueError):
+        build_lookup_table(assignment, backend="nope")
+
+
+def test_memory_accounting(assignment):
+    table = DictLookupTable(4).load(assignment)
+    assert table.memory_bytes() > 0

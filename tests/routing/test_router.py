@@ -1,0 +1,92 @@
+"""Tests for the statement router."""
+
+from repro.catalog.tuples import TupleId
+from repro.core.strategies import (
+    CompositePartitioning,
+    FullReplication,
+    LookupTablePartitioning,
+    range_on,
+    replicate,
+)
+from repro.graph.assignment import PartitionAssignment
+from repro.routing.lookup import DictLookupTable
+from repro.routing.router import Router, TransactionRoutingContext
+from repro.sqlparse.ast import InsertStatement, SelectStatement, UpdateStatement, eq, in_list
+from repro.workload.trace import Transaction
+
+
+def range_strategy(k=2):
+    return CompositePartitioning(
+        k,
+        {"account": range_on("id", [49]), "item": replicate()},
+    )
+
+
+def test_routed_select_single_partition(bank_schema):
+    router = Router(range_strategy(), schema=bank_schema)
+    decision = router.route_statement(SelectStatement(("account",), where=eq("id", 10)))
+    assert decision.partitions == {0}
+    assert decision.is_single_partition
+    assert not decision.broadcast
+
+
+def test_unroutable_select_broadcasts(bank_schema):
+    router = Router(range_strategy(), schema=bank_schema)
+    decision = router.route_statement(SelectStatement(("account",), where=eq("name", "carlo")))
+    assert decision.broadcast
+    assert decision.partitions == {0, 1}
+
+
+def test_insert_routed_by_values(bank_schema):
+    router = Router(range_strategy(), schema=bank_schema)
+    decision = router.route_statement(
+        InsertStatement("account", {"id": 80, "name": "x", "bal": 0})
+    )
+    assert decision.partitions == {1}
+
+
+def test_replicated_read_prefers_touched_partition(bank_schema):
+    strategy = CompositePartitioning(3, {"account": replicate()})
+    router = Router(strategy, schema=bank_schema)
+    context = TransactionRoutingContext()
+    context.touched_partitions.add(2)
+    decision = router.route_statement(
+        SelectStatement(("account",), where=eq("id", 1)), context
+    )
+    assert decision.partitions == {2}
+
+
+def test_replicated_write_goes_everywhere(bank_schema):
+    strategy = FullReplication(3)
+    router = Router(strategy, schema=bank_schema)
+    decision = router.route_statement(
+        UpdateStatement("account", {"bal": 1}, where=eq("id", 1))
+    )
+    assert decision.partitions == {0, 1, 2}
+
+
+def test_lookup_table_routing(bank_schema):
+    assignment = PartitionAssignment(2)
+    assignment.assign(TupleId("account", (1,)), {1})
+    assignment.assign(TupleId("account", (2,)), {0})
+    strategy = LookupTablePartitioning(2, assignment, default_policy="hash")
+    lookup = DictLookupTable(2).load(assignment)
+    router = Router(strategy, schema=bank_schema, lookup_table=lookup)
+    decision = router.route_statement(SelectStatement(("account",), where=eq("id", 1)))
+    assert decision.partitions == {1}
+    decision = router.route_statement(SelectStatement(("account",), where=in_list("id", [1, 2])))
+    assert decision.partitions == {0, 1}
+
+
+def test_route_transaction_accumulates_participants(bank_schema):
+    router = Router(range_strategy(), schema=bank_schema)
+    transaction = Transaction(
+        (
+            SelectStatement(("account",), where=eq("id", 10)),
+            SelectStatement(("account",), where=eq("id", 80)),
+        )
+    )
+    participants = router.transaction_participants(transaction)
+    assert participants == {0, 1}
+    decisions = router.route_transaction(transaction)
+    assert len(decisions) == 2

@@ -1,0 +1,72 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sqlparse.lexer import LexerError, TokenType, tokenize
+
+
+def kinds(text):
+    return [token.token_type for token in tokenize(text)][:-1]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)][:-1]
+
+
+def test_keywords_are_case_insensitive():
+    tokens = tokenize("SELECT * from ACCOUNT")
+    assert tokens[0].token_type is TokenType.KEYWORD
+    assert tokens[0].value == "select"
+    assert tokens[2].token_type is TokenType.KEYWORD
+    assert tokens[2].value == "from"
+
+
+def test_identifiers_preserve_case():
+    assert values("SELECT * FROM Account")[-1] == "Account"
+
+
+def test_numbers_integer_and_float():
+    tokens = tokenize("SELECT * FROM t WHERE a = 10 AND b = 2.5")
+    numbers = [t.value for t in tokens if t.token_type is TokenType.NUMBER]
+    assert numbers == ["10", "2.5"]
+
+
+def test_negative_number_after_operator():
+    tokens = tokenize("UPDATE t SET a = -5 WHERE b = 3")
+    numbers = [t.value for t in tokens if t.token_type is TokenType.NUMBER]
+    assert "-5" in numbers
+
+
+def test_string_literals_single_and_double_quotes():
+    tokens = tokenize("SELECT * FROM t WHERE name = 'carlo'")
+    strings = [t.value for t in tokens if t.token_type is TokenType.STRING]
+    assert strings == ["carlo"]
+    tokens = tokenize('SELECT * FROM t WHERE name = "evan"')
+    strings = [t.value for t in tokens if t.token_type is TokenType.STRING]
+    assert strings == ["evan"]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexerError):
+        tokenize("SELECT * FROM t WHERE name = 'oops")
+
+
+def test_parameter_token():
+    tokens = tokenize("SELECT * FROM t WHERE id = ?")
+    assert any(t.token_type is TokenType.PARAMETER for t in tokens)
+
+
+def test_multi_character_operators():
+    tokens = tokenize("a <= 1 AND b >= 2 AND c <> 3 AND d != 4")
+    operators = [t.value for t in tokens if t.token_type is TokenType.OPERATOR]
+    assert operators == ["<=", ">=", "<>", "!="]
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexerError):
+        tokenize("SELECT @ FROM t")
+
+
+def test_end_token_is_appended():
+    tokens = tokenize("SELECT * FROM t")
+    assert tokens[-1].token_type is TokenType.END

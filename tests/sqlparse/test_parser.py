@@ -1,0 +1,125 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.sqlparse.ast import (
+    And,
+    Comparison,
+    DeleteStatement,
+    InsertStatement,
+    JoinCondition,
+    Or,
+    SelectStatement,
+    UpdateStatement,
+)
+from repro.sqlparse.parser import ParseError, parse_statement
+
+
+class TestSelect:
+    def test_simple_select_star(self):
+        statement = parse_statement("SELECT * FROM simplecount WHERE id = 7")
+        assert isinstance(statement, SelectStatement)
+        assert statement.tables == ("simplecount",)
+        assert isinstance(statement.where, Comparison)
+        assert statement.where.value == 7
+
+    def test_projection_columns(self):
+        statement = parse_statement("SELECT id, name FROM account")
+        assert [column.name for column in statement.columns] == ["id", "name"]
+
+    def test_between(self):
+        statement = parse_statement("SELECT * FROM t WHERE k BETWEEN 5 AND 10")
+        assert statement.where.operator == "between"
+        assert (statement.where.low, statement.where.high) == (5, 10)
+
+    def test_in_list(self):
+        statement = parse_statement("SELECT * FROM account WHERE id IN (1, 3, 5)")
+        assert statement.where.operator == "in"
+        assert statement.where.values == (1, 3, 5)
+
+    def test_and_or_precedence(self):
+        statement = parse_statement("SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3")
+        assert isinstance(statement.where, Or)
+        assert isinstance(statement.where.children[0], And)
+
+    def test_parentheses(self):
+        statement = parse_statement("SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+        assert isinstance(statement.where, And)
+        assert isinstance(statement.where.children[1], Or)
+
+    def test_limit(self):
+        statement = parse_statement("SELECT * FROM t WHERE a = 1 LIMIT 10")
+        assert statement.limit == 10
+
+    def test_order_by_is_ignored(self):
+        statement = parse_statement("SELECT * FROM t WHERE a = 1 ORDER BY a DESC LIMIT 5")
+        assert statement.limit == 5
+
+    def test_implicit_join(self):
+        statement = parse_statement(
+            "SELECT * FROM users, reviews WHERE users.u_id = reviews.u_id AND users.u_id = 3"
+        )
+        assert statement.is_join
+        conditions = statement.where.children
+        assert any(isinstance(child, JoinCondition) for child in conditions)
+
+    def test_explicit_join_on(self):
+        statement = parse_statement(
+            "SELECT * FROM users JOIN reviews ON users.u_id = reviews.u_id WHERE users.u_id = 3"
+        )
+        assert statement.tables == ("users", "reviews")
+
+    def test_string_literal_value(self):
+        statement = parse_statement("SELECT * FROM account WHERE name = 'carlo'")
+        assert statement.where.value == "carlo"
+
+
+class TestWriteStatements:
+    def test_insert(self):
+        statement = parse_statement("INSERT INTO account (id, name, bal) VALUES (6, 'eva', 100)")
+        assert isinstance(statement, InsertStatement)
+        assert statement.row == {"id": 6, "name": "eva", "bal": 100}
+
+    def test_insert_count_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_statement("INSERT INTO account (id, name) VALUES (6)")
+
+    def test_update_literal(self):
+        statement = parse_statement("UPDATE account SET bal = 500 WHERE id = 2")
+        assert isinstance(statement, UpdateStatement)
+        assert statement.assignments == {"bal": 500}
+
+    def test_update_delta(self):
+        statement = parse_statement("UPDATE account SET bal = bal - 1000 WHERE name = 'carlo'")
+        assert statement.assignments == {"bal": ("delta", -1000)}
+
+    def test_update_multiple_assignments(self):
+        statement = parse_statement("UPDATE t SET a = 1, b = b + 2 WHERE id = 1")
+        assert statement.assignments == {"a": 1, "b": ("delta", 2)}
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM account WHERE id = 5")
+        assert isinstance(statement, DeleteStatement)
+        assert statement.where.value == 5
+
+
+class TestErrors:
+    def test_unbound_parameter_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM t WHERE id = ?")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM t WHERE id = 1 garbage")
+
+    def test_trailing_semicolon_accepted(self):
+        parse_statement("SELECT * FROM t WHERE id = 1;")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE t (id INT)")
+
+    def test_roundtrip_str_reparses(self):
+        original = parse_statement("SELECT * FROM account WHERE id IN (1, 3)")
+        reparsed = parse_statement(str(original))
+        assert reparsed.where.values == (1, 3)

@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.tuples import TupleId
+from repro.core.strategies import FullReplication, HashPartitioning, LookupTablePartitioning
+from repro.core.cost import transaction_partitions
+from repro.explain.rules import decode_label
+from repro.graph.assignment import PartitionAssignment
+from repro.graph.model import Graph
+from repro.graph.partitioner import PartitionerOptions, cut_weight, partition_graph, partition_weights
+from repro.routing.lookup import BitArrayLookupTable, DictLookupTable
+from repro.sqlparse.ast import SelectStatement, eq
+from repro.workload.rwsets import access_from_tuple_sets
+from repro.workload.trace import Transaction
+
+
+# ---------------------------------------------------------------------------
+# graph / partitioner invariants
+# ---------------------------------------------------------------------------
+graph_strategy = st.builds(
+    lambda n, edges: (n, edges),
+    st.integers(min_value=2, max_value=40),
+    st.lists(
+        st.tuples(st.integers(0, 39), st.integers(0, 39), st.floats(0.1, 5.0)),
+        max_size=120,
+    ),
+)
+
+
+def build_graph(spec) -> Graph:
+    num_nodes, edges = spec
+    graph = Graph()
+    graph.add_nodes(num_nodes, 1.0)
+    for u, v, weight in edges:
+        if u < num_nodes and v < num_nodes and u != v:
+            graph.add_edge(u, v, weight)
+    return graph
+
+
+@given(graph_strategy, st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_partitioner_assigns_every_node_a_valid_partition(spec, k):
+    graph = build_graph(spec)
+    assignment = partition_graph(graph, k, PartitionerOptions(seed=0, initial_trials=2))
+    assert len(assignment) == graph.num_nodes
+    assert all(0 <= part < k for part in assignment)
+
+
+@given(graph_strategy)
+@settings(max_examples=30, deadline=None)
+def test_partitioner_balance_invariant_two_way(spec):
+    graph = build_graph(spec)
+    options = PartitionerOptions(seed=1, imbalance=0.05, initial_trials=2)
+    assignment = partition_graph(graph, 2, options)
+    weights = partition_weights(graph, assignment, 2)
+    ideal = graph.total_node_weight() / 2
+    max_node = max(graph.node_weights)
+    assert max(weights) <= ideal * 1.05 + max_node + 1e-6
+
+
+@given(graph_strategy)
+@settings(max_examples=30, deadline=None)
+def test_cut_weight_never_exceeds_total_edge_weight(spec):
+    graph = build_graph(spec)
+    assignment = partition_graph(graph, 3, PartitionerOptions(seed=2, initial_trials=2))
+    assert 0.0 <= cut_weight(graph, assignment) <= graph.total_edge_weight() + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# strategy invariants
+# ---------------------------------------------------------------------------
+tuple_ids = st.builds(
+    TupleId,
+    st.sampled_from(["alpha", "beta"]),
+    st.tuples(st.integers(min_value=0, max_value=10_000)),
+)
+
+
+@given(tuple_ids, st.integers(min_value=1, max_value=16))
+@settings(max_examples=80, deadline=None)
+def test_hash_partitioning_is_deterministic_and_in_range(tuple_id, k):
+    strategy = HashPartitioning(k)
+    placement = strategy.partitions_for_tuple(tuple_id)
+    assert placement == strategy.partitions_for_tuple(tuple_id)
+    assert len(placement) == 1
+    assert all(0 <= partition < k for partition in placement)
+
+
+@given(st.lists(tuple_ids, min_size=1, max_size=8, unique=True), st.integers(2, 8))
+@settings(max_examples=60, deadline=None)
+def test_full_replication_reads_are_never_distributed(ids, k):
+    strategy = FullReplication(k)
+    access = access_from_tuple_sets(
+        Transaction((SelectStatement(("alpha",), where=eq("id", 0)),)), ids, []
+    )
+    assert len(transaction_partitions(strategy, access)) == 1
+
+
+@given(st.lists(tuple_ids, min_size=1, max_size=8, unique=True), st.integers(2, 8))
+@settings(max_examples=60, deadline=None)
+def test_transaction_partitions_subset_of_tuple_placements(ids, k):
+    strategy = HashPartitioning(k)
+    access = access_from_tuple_sets(
+        Transaction((SelectStatement(("alpha",), where=eq("id", 0)),)), ids, ids
+    )
+    involved = transaction_partitions(strategy, access)
+    union = set()
+    for tuple_id in ids:
+        union.update(strategy.partitions_for_tuple(tuple_id))
+    assert involved <= union
+    assert involved  # never empty for a non-empty access
+
+
+# ---------------------------------------------------------------------------
+# lookup table invariants
+# ---------------------------------------------------------------------------
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=2000),
+        st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=3),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_lookup_backends_agree_with_assignment(mapping):
+    assignment = PartitionAssignment(8)
+    for key, partitions in mapping.items():
+        assignment.assign(TupleId("t", (key,)), partitions)
+    exact = DictLookupTable(8).load(assignment)
+    bits = BitArrayLookupTable(8).load(assignment)
+    for key, partitions in mapping.items():
+        tuple_id = TupleId("t", (key,))
+        assert exact.get(tuple_id) == frozenset(partitions)
+        looked_up = bits.get(tuple_id)
+        assert looked_up is not None
+        assert looked_up == frozenset(partitions) or looked_up <= frozenset(partitions)
+    strategy = LookupTablePartitioning(8, assignment)
+    for key, partitions in mapping.items():
+        assert strategy.partitions_for_tuple(TupleId("t", (key,))) == frozenset(partitions)
+
+
+# ---------------------------------------------------------------------------
+# label round trip
+# ---------------------------------------------------------------------------
+@given(st.sets(st.integers(min_value=0, max_value=31), min_size=1, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_replication_label_roundtrip(partitions):
+    assignment = PartitionAssignment(32)
+    tuple_id = TupleId("t", (1,))
+    assignment.assign(tuple_id, partitions)
+    label = assignment.replication_label(tuple_id)
+    assert decode_label(label) == frozenset(partitions)

@@ -1,0 +1,62 @@
+"""Tests for workload analysis."""
+
+from repro.sqlparse.ast import InsertStatement, SelectStatement, UpdateStatement, conj, eq
+from repro.workload.analysis import frequent_attributes, workload_statistics
+from repro.workload.trace import Workload
+
+
+def make_workload() -> Workload:
+    workload = Workload("analysis")
+    for index in range(8):
+        workload.add_statements(
+            [SelectStatement(("stock",), where=conj(eq("s_w_id", 1), eq("s_i_id", index)))]
+        )
+    for index in range(2):
+        workload.add_statements(
+            [SelectStatement(("stock",), where=eq("s_quantity", index))]
+        )
+    workload.add_statements([InsertStatement("stock", {"s_w_id": 1, "s_i_id": 99, "s_quantity": 5})])
+    return workload
+
+
+def test_frequent_attributes_orders_by_occurrence():
+    frequents = frequent_attributes(make_workload(), {"stock": ("s_w_id", "s_i_id", "s_quantity")})
+    stock = frequents["stock"]
+    columns = [item.column for item in stock]
+    assert columns[0] in ("s_w_id", "s_i_id")
+    assert all(item.frequency > 0 for item in stock)
+
+
+def test_min_frequency_filters_rare_attributes():
+    frequents = frequent_attributes(
+        make_workload(), {"stock": ("s_w_id", "s_i_id", "s_quantity")}, min_frequency=0.5
+    )
+    columns = {item.column for item in frequents["stock"]}
+    assert "s_quantity" not in columns
+    assert "s_w_id" in columns
+
+
+def test_unqualified_single_table_resolution():
+    workload = Workload("w")
+    workload.add_statements([SelectStatement(("t",), where=eq("a", 1))])
+    frequents = frequent_attributes(workload)
+    assert "t" in frequents
+    assert frequents["t"][0].column == "a"
+
+
+def test_workload_statistics():
+    workload = Workload("stats")
+    workload.add_statements(
+        [
+            SelectStatement(("t",), where=eq("id", 1)),
+            UpdateStatement("t", {"v": 1}, where=eq("id", 1)),
+        ]
+    )
+    workload.add_statements([InsertStatement("t", {"id": 2, "v": 0})])
+    stats = workload_statistics(workload)
+    assert stats.transaction_count == 2
+    assert stats.statement_count == 3
+    assert stats.write_statement_count == 2
+    assert stats.insert_count == 1
+    assert 0 < stats.write_fraction < 1
+    assert stats.tables_touched["t"] == 3

@@ -1,0 +1,38 @@
+"""Tests for read/write-set extraction."""
+
+from repro.catalog.tuples import TupleId
+from repro.workload.rwsets import extract_access_trace
+
+
+def test_extraction_matches_figure2(bank_database, bank_workload):
+    trace = extract_access_trace(bank_database, bank_workload)
+    assert len(trace) == 4
+    transfer = trace.accesses[0]
+    assert transfer.write_set == {TupleId("account", (1,)), TupleId("account", (2,))}
+    read_pair = trace.accesses[1]
+    assert read_pair.read_set == {TupleId("account", (1,)), TupleId("account", (3,))}
+    mixed = trace.accesses[2]
+    assert mixed.write_set == {TupleId("account", (2,))}
+    assert mixed.read_set == {TupleId("account", (5,))}
+
+
+def test_access_counts_and_write_counts(bank_database, bank_workload):
+    trace = extract_access_trace(bank_database, bank_workload)
+    counts = trace.access_counts()
+    # Tuple 1 (carlo) is accessed by three transactions in the running example.
+    assert counts[TupleId("account", (1,))] == 3
+    writes = trace.write_counts()
+    assert writes[TupleId("account", (1,))] == 2
+
+
+def test_all_tuples(bank_database, bank_workload):
+    trace = extract_access_trace(bank_database, bank_workload)
+    assert len(trace.all_tuples()) == 5
+
+
+def test_skip_empty_transactions(bank_database, bank_workload):
+    from repro.sqlparse.ast import SelectStatement, eq
+
+    bank_workload.add_statements([SelectStatement(("account",), where=eq("id", 999))])
+    trace = extract_access_trace(bank_database, bank_workload, skip_empty=True)
+    assert len(trace) == 4

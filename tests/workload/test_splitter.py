@@ -1,0 +1,47 @@
+"""Tests for train/test splitting."""
+
+import pytest
+
+from repro.sqlparse.ast import SelectStatement, eq
+from repro.utils.rng import SeededRng
+from repro.workload.splitter import split_workload
+from repro.workload.trace import Workload
+
+
+def make_workload(count: int = 20) -> Workload:
+    workload = Workload("w")
+    for index in range(count):
+        workload.add_statements([SelectStatement(("t",), where=eq("id", index))])
+    return workload
+
+
+def test_split_sizes():
+    train, test = split_workload(make_workload(20), 0.7, SeededRng(0))
+    assert len(train) == 14
+    assert len(test) == 6
+
+
+def test_split_is_a_partition_of_transactions():
+    workload = make_workload(30)
+    train, test = split_workload(workload, 0.5, SeededRng(1))
+    train_ids = {transaction.transaction_id for transaction in train}
+    test_ids = {transaction.transaction_id for transaction in test}
+    assert train_ids | test_ids == {t.transaction_id for t in workload}
+    assert not train_ids & test_ids
+
+
+def test_split_deterministic_for_same_seed():
+    first_train, _ = split_workload(make_workload(30), 0.7, SeededRng(5))
+    second_train, _ = split_workload(make_workload(30), 0.7, SeededRng(5))
+    assert [t.transaction_id for t in first_train] == [t.transaction_id for t in second_train]
+
+
+def test_no_shuffle_prefix_split():
+    train, test = split_workload(make_workload(10), 0.7, shuffle=False)
+    assert [t.transaction_id for t in train] == list(range(7))
+    assert [t.transaction_id for t in test] == list(range(7, 10))
+
+
+def test_invalid_fraction():
+    with pytest.raises(ValueError):
+        split_workload(make_workload(10), 1.0)

@@ -1,0 +1,62 @@
+"""Tests for workload trace types."""
+
+import pytest
+
+from repro.catalog.tuples import TupleId
+from repro.sqlparse.ast import SelectStatement, UpdateStatement, eq
+from repro.workload.trace import StatementAccess, Transaction, TransactionAccess, Workload
+
+
+def make_access() -> TransactionAccess:
+    select = SelectStatement(("t",), where=eq("id", 1))
+    update = UpdateStatement("t", {"v": 1}, where=eq("id", 2))
+    transaction = Transaction((select, update))
+    return TransactionAccess(
+        transaction,
+        (
+            StatementAccess(select, frozenset({TupleId("t", (1,))}), frozenset()),
+            StatementAccess(update, frozenset(), frozenset({TupleId("t", (2,))})),
+        ),
+    )
+
+
+def test_transaction_requires_statements():
+    with pytest.raises(ValueError):
+        Transaction(())
+
+
+def test_transaction_read_only():
+    read_only = Transaction((SelectStatement(("t",), where=eq("id", 1)),))
+    assert read_only.is_read_only
+    writer = Transaction((UpdateStatement("t", {"v": 1}, where=eq("id", 1)),))
+    assert not writer.is_read_only
+
+
+def test_workload_add_statements_assigns_ids():
+    workload = Workload("w")
+    first = workload.add_statements([SelectStatement(("t",), where=eq("id", 1))])
+    second = workload.add_statements([SelectStatement(("t",), where=eq("id", 2))])
+    assert first.transaction_id == 0
+    assert second.transaction_id == 1
+    assert len(workload) == 2
+
+
+def test_transaction_access_aggregates_sets():
+    access = make_access()
+    assert access.read_set == {TupleId("t", (1,))}
+    assert access.write_set == {TupleId("t", (2,))}
+    assert access.touched == {TupleId("t", (1,)), TupleId("t", (2,))}
+
+
+def test_without_statements():
+    access = make_access()
+    reduced = access.without_statements({1})
+    assert reduced.write_set == frozenset()
+    assert reduced.read_set == {TupleId("t", (1,))}
+
+
+def test_restricted_to():
+    access = make_access()
+    restricted = access.restricted_to({TupleId("t", (2,))})
+    assert restricted.read_set == frozenset()
+    assert restricted.write_set == {TupleId("t", (2,))}
