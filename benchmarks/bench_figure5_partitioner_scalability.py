@@ -1,16 +1,18 @@
 """Figure 5 — graph partitioner runtime vs number of partitions and graph size."""
 
 from repro.experiments import format_figure5, run_figure5
-from repro.experiments.figure5 import synthetic_access_graph
+from repro.experiments.figure5 import (
+    BENCH_GRAPH_SPECS,
+    BENCH_PARTITION_COUNTS,
+    synthetic_access_graph,
+)
 from repro.graph.partitioner import PartitionerOptions, partition_graph
-
-_SPECS = (("epinions", 3000, 25000), ("tpcc-50w", 8000, 64000), ("tpce", 10000, 100000))
 
 
 def test_figure5_partition_count_sweep(benchmark):
     rows = benchmark.pedantic(
         run_figure5,
-        kwargs={"partition_counts": (2, 8, 32), "graph_specs": _SPECS},
+        kwargs={"partition_counts": BENCH_PARTITION_COUNTS, "graph_specs": BENCH_GRAPH_SPECS},
         iterations=1,
         rounds=1,
     )

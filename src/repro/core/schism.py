@@ -188,11 +188,14 @@ class Schism:
 
         with Timer() as timer:
             partitioner = GraphPartitioner(options.partitioner)
-            node_assignment = partitioner.partition(tuple_graph.graph, options.num_partitions)
+            # Freeze once and reuse the CSR form for both the partition and
+            # the cut computation.
+            frozen_graph = tuple_graph.graph.freeze()
+            node_assignment = partitioner.partition(frozen_graph, options.num_partitions)
             assignment = tuple_graph.to_partition_assignment(
                 node_assignment, options.num_partitions
             )
-            graph_cut = cut_weight(tuple_graph.graph, node_assignment)
+            graph_cut = cut_weight(frozen_graph, node_assignment)
         timings.partitioning = timer.elapsed
 
         with Timer() as timer:

@@ -19,7 +19,9 @@ Node weights implement the two balancing modes of the paper: ``workload``
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
+from itertools import combinations
 
 from repro.catalog.tuples import TupleId
 from repro.engine.database import Database
@@ -195,10 +197,15 @@ def build_tuple_graph(
         _materialise_group(graph, group, options, database)
 
     # Transaction clique edges among the per-transaction representative nodes.
+    # Pair weights are accumulated in one flat Counter (a single hash probe
+    # per occurrence) and inserted into the graph in a single batched pass,
+    # instead of hitting two per-node adjacency dicts for every clique pair of
+    # every transaction.
     group_by_tuple: dict[TupleId, _TupleGroup] = {}
     for group in groups:
         for member in group.members:
             group_by_tuple[member] = group
+    pair_weights: Counter[tuple[int, int]] = Counter()
     for index, access in enumerate(accesses):
         representative_nodes = sorted(
             {
@@ -207,9 +214,12 @@ def build_tuple_graph(
                 if tuple_id in group_by_tuple
             }
         )
-        for position, node_u in enumerate(representative_nodes):
-            for node_v in representative_nodes[position + 1 :]:
-                graph.add_edge(node_u, node_v, 1.0)
+        # The list is sorted, so combinations() yields each pair as (u, v)
+        # with u < v — already canonical for deduplication.
+        pair_weights.update(combinations(representative_nodes, 2))
+    graph.add_weighted_edges(
+        (pair, float(count)) for pair, count in pair_weights.items()
+    )
 
     return TupleGraph(graph, groups, reduced)
 

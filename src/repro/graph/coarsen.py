@@ -1,16 +1,22 @@
-"""Graph coarsening via heavy-edge matching.
+"""Graph coarsening via heavy-edge matching, running on the frozen CSR form.
 
 The multilevel scheme repeatedly contracts a maximal matching of the graph,
 preferring heavy edges, so that a good partition of the small coarse graph is
 also a good partition of the original when projected back (Karypis & Kumar,
 1998).  Each call to :func:`coarsen_once` produces one level.
+
+All levels are :class:`~repro.graph.model.CSRGraph` instances: the coarse
+graph is emitted directly into CSR arrays with a scatter-accumulate pass
+(one dense ``accumulator``/``touched`` pair reused across coarse nodes), so
+no intermediate per-node dicts are built anywhere in the hierarchy.  Mutable
+:class:`~repro.graph.model.Graph` inputs are frozen on entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.graph.model import Graph
+from repro.graph.model import CSRGraph, Graph, as_csr
 from repro.utils.rng import SeededRng
 
 
@@ -18,23 +24,32 @@ from repro.utils.rng import SeededRng
 class CoarseningLevel:
     """One level of the coarsening hierarchy."""
 
-    graph: Graph
+    graph: CSRGraph
     #: fine node id -> coarse node id
     fine_to_coarse: list[int]
 
 
-def coarsen_once(graph: Graph, rng: SeededRng) -> CoarseningLevel:
+def coarsen_once(graph: Graph | CSRGraph, rng: SeededRng) -> CoarseningLevel:
     """Contract a heavy-edge matching of ``graph``, returning the coarser level."""
-    order = list(graph.nodes())
+    csr = as_csr(graph)
+    num_nodes = csr.num_nodes
+    indptr, indices, edge_weights, node_weights = (
+        csr.indptr,
+        csr.indices,
+        csr.edge_weights,
+        csr.node_weights,
+    )
+    order = list(range(num_nodes))
     rng.shuffle(order)
-    match = [-1] * graph.num_nodes
+    match = [-1] * num_nodes
     for node in order:
         if match[node] != -1:
             continue
         best_neighbor = -1
         best_weight = -1.0
-        for neighbor, weight in graph.neighbors(node).items():
-            if match[neighbor] == -1 and weight > best_weight:
+        start, end = indptr[node], indptr[node + 1]
+        for neighbor, weight in zip(indices[start:end], edge_weights[start:end]):
+            if weight > best_weight and match[neighbor] == -1:
                 best_weight = weight
                 best_neighbor = neighbor
         if best_neighbor != -1:
@@ -42,29 +57,74 @@ def coarsen_once(graph: Graph, rng: SeededRng) -> CoarseningLevel:
             match[best_neighbor] = node
         else:
             match[node] = node
-    fine_to_coarse = [-1] * graph.num_nodes
-    coarse = Graph()
+
+    # Assign coarse ids in traversal order; remember each coarse node's fine
+    # members so the coarse CSR can be emitted with one scan per fine node.
+    fine_to_coarse = [-1] * num_nodes
+    coarse_weights: list[float] = []
+    members: list[tuple[int, int]] = []  # (fine, partner-or-fine) per coarse node
     for node in order:
         if fine_to_coarse[node] != -1:
             continue
         partner = match[node]
+        coarse_id = len(coarse_weights)
         if partner == node or partner < 0:
-            coarse_id = coarse.add_node(graph.node_weights[node])
+            coarse_weights.append(node_weights[node])
+            members.append((node, node))
             fine_to_coarse[node] = coarse_id
         else:
-            coarse_id = coarse.add_node(graph.node_weights[node] + graph.node_weights[partner])
+            coarse_weights.append(node_weights[node] + node_weights[partner])
+            members.append((node, partner))
             fine_to_coarse[node] = coarse_id
             fine_to_coarse[partner] = coarse_id
-    for u, v, weight in graph.edges():
-        coarse_u = fine_to_coarse[u]
-        coarse_v = fine_to_coarse[v]
-        if coarse_u != coarse_v:
-            coarse.add_edge(coarse_u, coarse_v, weight)
+
+    # Scatter-accumulate the coarse adjacency straight into CSR arrays.  The
+    # fine->coarse mapping is applied to the whole ``indices`` array first so
+    # the per-entry loop body stays minimal.
+    num_coarse = len(coarse_weights)
+    coarse_indptr = [0] * (num_coarse + 1)
+    coarse_indices: list[int] = []
+    coarse_edge_weights: list[float] = []
+    accumulator = [0.0] * num_coarse
+    marker = [-1] * num_coarse
+    touched: list[int] = []
+    append_touched = touched.append
+    append_index = coarse_indices.append
+    append_weight = coarse_edge_weights.append
+    mapped = [fine_to_coarse[fine] for fine in indices]
+    weighted_degrees = [0.0] * num_coarse
+    for coarse_id in range(num_coarse):
+        first, second = members[coarse_id]
+        fine_members = (first,) if first == second else (first, second)
+        for fine in fine_members:
+            start, end = indptr[fine], indptr[fine + 1]
+            for coarse_neighbor, weight in zip(mapped[start:end], edge_weights[start:end]):
+                if coarse_neighbor == coarse_id:
+                    continue
+                if marker[coarse_neighbor] != coarse_id:
+                    marker[coarse_neighbor] = coarse_id
+                    accumulator[coarse_neighbor] = weight
+                    append_touched(coarse_neighbor)
+                else:
+                    accumulator[coarse_neighbor] += weight
+        row_weight = 0.0
+        for coarse_neighbor in touched:
+            append_index(coarse_neighbor)
+            weight = accumulator[coarse_neighbor]
+            append_weight(weight)
+            row_weight += weight
+        weighted_degrees[coarse_id] = row_weight
+        touched.clear()
+        coarse_indptr[coarse_id + 1] = len(coarse_indices)
+
+    coarse = CSRGraph(
+        coarse_indptr, coarse_indices, coarse_edge_weights, coarse_weights, weighted_degrees
+    )
     return CoarseningLevel(coarse, fine_to_coarse)
 
 
 def coarsen_to(
-    graph: Graph,
+    graph: Graph | CSRGraph,
     target_nodes: int,
     rng: SeededRng,
     min_reduction: float = 0.9,
@@ -78,7 +138,7 @@ def coarsen_to(
     typically because the graph is mostly disconnected or star shaped).
     """
     levels: list[CoarseningLevel] = []
-    current = graph
+    current = as_csr(graph)
     for _ in range(max_levels):
         if current.num_nodes <= target_nodes:
             break
@@ -97,4 +157,5 @@ def coarsen_to(
 
 def project_assignment(level: CoarseningLevel, coarse_assignment: list[int]) -> list[int]:
     """Project a partition assignment of the coarse graph back to the finer graph."""
-    return [coarse_assignment[coarse] for coarse in level.fine_to_coarse]
+    fine_to_coarse = level.fine_to_coarse
+    return [coarse_assignment[coarse] for coarse in fine_to_coarse]

@@ -5,18 +5,22 @@ always absorbing the frontier node that improves the cut the most, until the
 region reaches its target weight.  Several trials with different seeds are
 run and the best resulting bisection (after a quick refinement pass done by
 the caller) is kept.
+
+Both entry points run on the frozen CSR representation: neighbour scans are
+contiguous ``indices``/``edge_weights`` slice walks, and mutable ``Graph``
+inputs are frozen on entry.
 """
 
 from __future__ import annotations
 
 import heapq
 
-from repro.graph.model import Graph
+from repro.graph.model import CSRGraph, Graph, as_csr
 from repro.utils.rng import SeededRng
 
 
 def greedy_bisection(
-    graph: Graph,
+    graph: Graph | CSRGraph,
     target_weight_zero: float,
     rng: SeededRng,
 ) -> list[int]:
@@ -26,25 +30,37 @@ def greedy_bisection(
     absorbed stays on side 1.  Disconnected graphs are handled by restarting
     the growth from a new unabsorbed seed whenever the frontier empties.
     """
-    num_nodes = graph.num_nodes
+    csr = as_csr(graph)
+    num_nodes = csr.num_nodes
     if num_nodes == 0:
         return []
+    indptr, indices, edge_weights, node_weights = (
+        csr.indptr,
+        csr.indices,
+        csr.edge_weights,
+        csr.node_weights,
+    )
     assignment = [1] * num_nodes
     grown_weight = 0.0
     in_region = [False] * num_nodes
     # Max-heap of (-gain, tiebreak, node); gain = weight towards region - weight away.
+    # Gains are maintained incrementally: a node outside the region starts at
+    # -weighted_degree, and every region neighbour it acquires flips 2w of
+    # that from "away" to "towards" — so each push costs O(1) instead of a
+    # full neighbourhood rescan.
     frontier: list[tuple[float, float, int]] = []
-    visited_frontier = [False] * num_nodes
+    gains = [-degree for degree in csr.weighted_degrees()]
 
     def push_neighbors(node: int) -> None:
-        for neighbor, _weight in graph.neighbors(node).items():
+        start, end = indptr[node], indptr[node + 1]
+        for neighbor, weight in zip(indices[start:end], edge_weights[start:end]):
             if not in_region[neighbor]:
-                gain = _region_gain(graph, neighbor, in_region)
+                gain = gains[neighbor] + weight + weight
+                gains[neighbor] = gain
                 heapq.heappush(frontier, (-gain, rng.random(), neighbor))
-                visited_frontier[neighbor] = True
 
     def new_seed() -> int | None:
-        candidates = [node for node in graph.nodes() if not in_region[node]]
+        candidates = [node for node in range(num_nodes) if not in_region[node]]
         if not candidates:
             return None
         return candidates[rng.randint(0, len(candidates) - 1)]
@@ -54,7 +70,7 @@ def greedy_bisection(
         if not in_region[seed]:
             in_region[seed] = True
             assignment[seed] = 0
-            grown_weight += graph.node_weights[seed]
+            grown_weight += node_weights[seed]
             push_neighbors(seed)
         # Absorb from the frontier until it empties or the target is reached.
         while frontier and grown_weight < target_weight_zero:
@@ -63,7 +79,7 @@ def greedy_bisection(
                 continue
             in_region[node] = True
             assignment[node] = 0
-            grown_weight += graph.node_weights[node]
+            grown_weight += node_weights[node]
             push_neighbors(node)
         if grown_weight < target_weight_zero:
             seed = new_seed()
@@ -72,27 +88,19 @@ def greedy_bisection(
     return assignment
 
 
-def _region_gain(graph: Graph, node: int, in_region: list[bool]) -> float:
-    """Cut-improvement of absorbing ``node`` into the region."""
-    towards = 0.0
-    away = 0.0
-    for neighbor, weight in graph.neighbors(node).items():
-        if in_region[neighbor]:
-            towards += weight
-        else:
-            away += weight
-    return towards - away
-
-
-def random_bisection(graph: Graph, target_weight_zero: float, rng: SeededRng) -> list[int]:
+def random_bisection(
+    graph: Graph | CSRGraph, target_weight_zero: float, rng: SeededRng
+) -> list[int]:
     """Assign random nodes to side 0 until it reaches the target weight (fallback)."""
-    order = list(graph.nodes())
+    num_nodes = graph.num_nodes
+    node_weights = graph.node_weights
+    order = list(range(num_nodes))
     rng.shuffle(order)
-    assignment = [1] * graph.num_nodes
+    assignment = [1] * num_nodes
     weight = 0.0
     for node in order:
         if weight >= target_weight_zero:
             break
         assignment[node] = 0
-        weight += graph.node_weights[node]
+        weight += node_weights[node]
     return assignment

@@ -1,10 +1,25 @@
 """Weighted undirected graph used by the partitioner.
 
-The structure is deliberately simple: node ids are dense integers, node
-weights are floats, and adjacency is a list of ``dict[int, float]`` so that
-edge weights accumulate when the same pair is connected by many transactions.
-All partitioner phases (matching, region growing, FM refinement) only need
-neighbour iteration and O(1) edge-weight lookup, which this provides.
+Two representations share this module:
+
+* :class:`Graph` — the *mutable construction API*.  Node ids are dense
+  integers, node weights are floats, and adjacency is a list of
+  ``dict[int, float]`` so that edge weights accumulate when the same pair is
+  connected by many transactions.  ``num_edges`` and ``total_node_weight``
+  are maintained incrementally so repeated size queries are O(1).
+* :class:`CSRGraph` — the *frozen compute representation*.  ``Graph.freeze()``
+  compiles the adjacency dicts into compressed-sparse-row arrays (``indptr``,
+  ``indices``, ``edge_weights`` plus ``node_weights``) backed by flat Python
+  lists.  Every hot partitioner phase (matching, region growing, FM
+  refinement) runs on the CSR form: neighbour iteration is a contiguous slice
+  scan with no hashing, and induced subgraphs are index-remapped ``subview``
+  extractions instead of dict copies.
+
+Lifecycle: build with :class:`Graph`, call :meth:`Graph.freeze` once, then
+hand the :class:`CSRGraph` to the partitioner.  A ``CSRGraph`` is immutable
+by convention — none of its methods mutate it, and the partitioner relies on
+that to share one frozen graph across recursive-bisection branches and
+repeated ``partition`` calls.
 """
 
 from __future__ import annotations
@@ -18,6 +33,8 @@ class Graph:
     def __init__(self) -> None:
         self.node_weights: list[float] = []
         self.adjacency: list[dict[int, float]] = []
+        self._num_edges = 0
+        self._total_node_weight = 0.0
 
     # -- construction --------------------------------------------------------------
     def add_node(self, weight: float = 1.0) -> int:
@@ -26,6 +43,7 @@ class Graph:
             raise ValueError("node weight must be non-negative")
         self.node_weights.append(weight)
         self.adjacency.append({})
+        self._total_node_weight += weight
         return len(self.node_weights) - 1
 
     def add_nodes(self, count: int, weight: float = 1.0) -> list[int]:
@@ -44,14 +62,44 @@ class Graph:
             raise ValueError("edge weight must be non-negative")
         self._check_node(u)
         self._check_node(v)
-        self.adjacency[u][v] = self.adjacency[u].get(v, 0.0) + weight
-        self.adjacency[v][u] = self.adjacency[v].get(u, 0.0) + weight
+        row = self.adjacency[u]
+        if v in row:
+            row[v] += weight
+            self.adjacency[v][u] += weight
+        else:
+            row[v] = weight
+            self.adjacency[v][u] = weight
+            self._num_edges += 1
+
+    def add_weighted_edges(self, edges: Iterable[tuple[tuple[int, int], float]]) -> None:
+        """Bulk-accumulate pre-deduplicated ``((u, v), weight)`` pairs.
+
+        The batched counterpart of :meth:`add_edge` used by the trace->graph
+        builder: callers accumulate duplicate pairs externally (one flat dict
+        instead of two per-node dict probes per occurrence) and insert each
+        surviving edge here exactly once.
+        """
+        adjacency = self.adjacency
+        for (u, v), weight in edges:
+            if u == v:
+                continue
+            if weight < 0:
+                raise ValueError("edge weight must be non-negative")
+            row = adjacency[u]
+            if v in row:
+                row[v] += weight
+                adjacency[v][u] += weight
+            else:
+                row[v] = weight
+                adjacency[v][u] = weight
+                self._num_edges += 1
 
     def set_node_weight(self, node: int, weight: float) -> None:
         """Overwrite the weight of ``node``."""
         self._check_node(node)
         if weight < 0:
             raise ValueError("node weight must be non-negative")
+        self._total_node_weight += weight - self.node_weights[node]
         self.node_weights[node] = weight
 
     def _check_node(self, node: int) -> None:
@@ -66,8 +114,8 @@ class Graph:
 
     @property
     def num_edges(self) -> int:
-        """Number of distinct undirected edges."""
-        return sum(len(neighbors) for neighbors in self.adjacency) // 2
+        """Number of distinct undirected edges (O(1), maintained incrementally)."""
+        return self._num_edges
 
     def neighbors(self, node: int) -> dict[int, float]:
         """Mapping of neighbour id -> edge weight (live dict; do not mutate)."""
@@ -82,8 +130,8 @@ class Graph:
         return len(self.adjacency[node])
 
     def total_node_weight(self) -> float:
-        """Sum of all node weights."""
-        return sum(self.node_weights)
+        """Sum of all node weights (O(1), maintained incrementally)."""
+        return self._total_node_weight
 
     def total_edge_weight(self) -> float:
         """Sum of all edge weights."""
@@ -101,6 +149,23 @@ class Graph:
         return range(self.num_nodes)
 
     # -- derived graphs ---------------------------------------------------------------
+    def freeze(self) -> "CSRGraph":
+        """Compile the graph into an immutable :class:`CSRGraph`.
+
+        Neighbour order in the CSR arrays preserves the adjacency-dict
+        insertion order, so freezing is a pure representation change: every
+        deterministic algorithm visits neighbours in the same order on either
+        form.
+        """
+        indptr = [0] * (self.num_nodes + 1)
+        indices: list[int] = []
+        edge_weights: list[float] = []
+        for node, neighbors in enumerate(self.adjacency):
+            indices.extend(neighbors.keys())
+            edge_weights.extend(neighbors.values())
+            indptr[node + 1] = len(indices)
+        return CSRGraph(indptr, indices, edge_weights, list(self.node_weights))
+
     def subgraph(self, nodes: Iterable[int]) -> tuple["Graph", list[int]]:
         """Return the induced subgraph and the list mapping new ids -> old ids."""
         node_list = list(nodes)
@@ -120,6 +185,8 @@ class Graph:
         clone = Graph()
         clone.node_weights = list(self.node_weights)
         clone.adjacency = [dict(neighbors) for neighbors in self.adjacency]
+        clone._num_edges = self._num_edges
+        clone._total_node_weight = self._total_node_weight
         return clone
 
     def connected_components(self) -> list[list[int]]:
@@ -144,3 +211,170 @@ class Graph:
 
     def __repr__(self) -> str:
         return f"Graph(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+class CSRGraph:
+    """Frozen compressed-sparse-row view of a :class:`Graph`.
+
+    ``indices[indptr[u]:indptr[u + 1]]`` are the neighbours of ``u`` and
+    ``edge_weights`` holds the matching weights, so each undirected edge is
+    stored twice (once per endpoint).  The arrays are flat Python lists —
+    the fastest random-access sequence available without native extensions —
+    and hot loops are expected to bind them to locals and index directly
+    rather than going through the convenience accessors below.
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "edge_weights",
+        "node_weights",
+        "_total_node_weight",
+        "_total_edge_weight",
+        "_weighted_degrees",
+    )
+
+    def __init__(
+        self,
+        indptr: list[int],
+        indices: list[int],
+        edge_weights: list[float],
+        node_weights: list[float],
+        weighted_degrees: list[float] | None = None,
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.edge_weights = edge_weights
+        self.node_weights = node_weights
+        self._total_node_weight: float | None = None
+        self._total_edge_weight: float | None = None
+        #: producers that already know each row's weight sum (coarsening,
+        #: subview extraction) pass it in to skip the lazy recomputation.
+        self._weighted_degrees = weighted_degrees
+
+    # -- queries --------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.node_weights)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct undirected edges."""
+        return len(self.indices) // 2
+
+    def nodes(self) -> range:
+        """Iterable of node ids."""
+        return range(len(self.node_weights))
+
+    def degree(self, node: int) -> int:
+        """Number of neighbours of ``node``."""
+        return self.indptr[node + 1] - self.indptr[node]
+
+    def neighbors(self, node: int) -> dict[int, float]:
+        """Neighbour id -> edge weight as a fresh dict (compatibility shim).
+
+        Hot loops should slice ``indices``/``edge_weights`` directly instead.
+        """
+        start, end = self.indptr[node], self.indptr[node + 1]
+        return dict(zip(self.indices[start:end], self.edge_weights[start:end]))
+
+    def neighbor_slice(self, node: int) -> tuple[int, int]:
+        """The ``[start, end)`` range of ``node``'s entries in the flat arrays."""
+        return self.indptr[node], self.indptr[node + 1]
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of the edge ``{u, v}`` (0 when absent; linear in degree(u))."""
+        indices = self.indices
+        for i in range(self.indptr[u], self.indptr[u + 1]):
+            if indices[i] == v:
+                return self.edge_weights[i]
+        return 0.0
+
+    def total_node_weight(self) -> float:
+        """Sum of all node weights (computed once, then cached)."""
+        if self._total_node_weight is None:
+            self._total_node_weight = sum(self.node_weights)
+        return self._total_node_weight
+
+    def total_edge_weight(self) -> float:
+        """Sum of all edge weights (computed once, then cached)."""
+        if self._total_edge_weight is None:
+            self._total_edge_weight = sum(self.edge_weights) / 2.0
+        return self._total_edge_weight
+
+    def weighted_degrees(self) -> list[float]:
+        """Per-node sum of incident edge weights (computed once, then cached).
+
+        The FM refiner uses this to derive move gains from the maintained
+        external-weight array: ``gain(v) = 2 * external(v) - weighted_degree(v)``.
+        """
+        cached = self._weighted_degrees
+        if cached is None:
+            indptr, edge_weights = self.indptr, self.edge_weights
+            cached = [
+                sum(edge_weights[indptr[node] : indptr[node + 1]])
+                for node in range(len(self.node_weights))
+            ]
+            self._weighted_degrees = cached
+        return cached
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over edges as ``(u, v, weight)`` with ``u < v``."""
+        indptr, indices, edge_weights = self.indptr, self.indices, self.edge_weights
+        for u in range(len(self.node_weights)):
+            for i in range(indptr[u], indptr[u + 1]):
+                v = indices[i]
+                if u < v:
+                    yield u, v, edge_weights[i]
+
+    # -- derived graphs ---------------------------------------------------------------
+    def subview(self, nodes: Iterable[int]) -> tuple["CSRGraph", list[int]]:
+        """Induced subgraph as a new CSR plus the new-id -> old-id mapping.
+
+        This is the CSR replacement for :meth:`Graph.subgraph`: a single
+        index-remapped extraction pass with a flat remap table, no per-node
+        dicts.
+        """
+        node_list = list(nodes)
+        old_to_new = [-1] * len(self.node_weights)
+        for new, old in enumerate(node_list):
+            old_to_new[old] = new
+        indptr = [0] * (len(node_list) + 1)
+        sub_indices: list[int] = []
+        sub_weights: list[float] = []
+        src_indptr, src_indices, src_weights = self.indptr, self.indices, self.edge_weights
+        append_index, append_weight = sub_indices.append, sub_weights.append
+        weighted_degrees = [0.0] * len(node_list)
+        for new, old in enumerate(node_list):
+            start, end = src_indptr[old], src_indptr[old + 1]
+            row_weight = 0.0
+            for neighbor, weight in zip(src_indices[start:end], src_weights[start:end]):
+                mapped = old_to_new[neighbor]
+                if mapped >= 0:
+                    append_index(mapped)
+                    append_weight(weight)
+                    row_weight += weight
+            weighted_degrees[new] = row_weight
+            indptr[new + 1] = len(sub_indices)
+        node_weights = [self.node_weights[old] for old in node_list]
+        return CSRGraph(indptr, sub_indices, sub_weights, node_weights, weighted_degrees), node_list
+
+    def thaw(self) -> Graph:
+        """Materialise a mutable :class:`Graph` with identical structure."""
+        graph = Graph()
+        for weight in self.node_weights:
+            graph.add_node(weight)
+        for u, v, weight in self.edges():
+            graph.add_edge(u, v, weight)
+        return graph
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+def as_csr(graph: "Graph | CSRGraph") -> CSRGraph:
+    """Return ``graph`` as a :class:`CSRGraph`, freezing mutable graphs."""
+    if isinstance(graph, CSRGraph):
+        return graph
+    return graph.freeze()

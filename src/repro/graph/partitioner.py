@@ -12,6 +12,14 @@ of two: the weight targets are split proportionally), followed by a greedy
 k-way boundary refinement pass on the full graph.  Balance is expressed as a
 maximum allowed relative imbalance over perfectly even partitions, matching
 the "constant factor of perfect balance" constraint in the paper.
+
+The whole pipeline runs on the frozen CSR representation
+(:class:`~repro.graph.model.CSRGraph`): mutable ``Graph`` inputs are frozen
+once on entry, recursive bisection extracts index-remapped ``subview``\\ s
+instead of dict-copying subgraphs, and every level of the coarsening
+hierarchy is CSR.  Callers that partition the same graph repeatedly (e.g.
+the Figure-5 k sweep) can freeze once themselves and pass the ``CSRGraph``
+directly.
 """
 
 from __future__ import annotations
@@ -20,10 +28,10 @@ from dataclasses import dataclass
 
 from repro.graph.coarsen import coarsen_to, project_assignment
 from repro.graph.initial import greedy_bisection, random_bisection
-from repro.graph.model import Graph
+from repro.graph.model import CSRGraph, Graph, as_csr
 from repro.graph.refine import (
+    _fm_refine_csr,
     cut_weight_two_way,
-    fm_refine_bisection,
     greedy_kway_refine,
     rebalance,
     side_weights,
@@ -44,6 +52,11 @@ class PartitionerOptions:
     initial_trials: int = 8
     #: number of FM passes per uncoarsening level.
     refine_passes: int = 4
+    #: abort an FM pass after this many consecutive non-improving moves.  A
+    #: short streak bounds the speculative hill-climb (and its rollback) per
+    #: pass; empirically 16 is both faster and no worse in cut than long
+    #: streaks on the Figure-5 graphs.
+    fm_negative_streak: int = 16
     #: random seed (tie-breaking, seed selection, matching order).
     seed: int = 0
 
@@ -55,11 +68,12 @@ class GraphPartitioner:
         self.options = options or PartitionerOptions()
 
     # -- public API -----------------------------------------------------------------
-    def partition(self, graph: Graph, num_parts: int) -> list[int]:
+    def partition(self, graph: Graph | CSRGraph, num_parts: int) -> list[int]:
         """Partition ``graph`` into ``num_parts`` balanced parts, minimising the cut.
 
-        Returns a list assigning each node id to a partition in
-        ``[0, num_parts)``.
+        ``graph`` may be a mutable :class:`Graph` (frozen internally) or an
+        already-frozen :class:`CSRGraph`.  Returns a list assigning each node
+        id to a partition in ``[0, num_parts)``.
         """
         if num_parts <= 0:
             raise ValueError("num_parts must be positive")
@@ -67,25 +81,26 @@ class GraphPartitioner:
             return []
         if num_parts == 1:
             return [0] * graph.num_nodes
+        csr = as_csr(graph)
         rng = SeededRng(self.options.seed)
-        assignment = [0] * graph.num_nodes
+        assignment = [0] * csr.num_nodes
         self._recursive_bisect(
-            graph,
-            list(graph.nodes()),
+            csr,
+            list(csr.nodes()),
             num_parts,
             first_part=0,
             assignment=assignment,
             rng=rng,
         )
-        max_weights = self._kway_max_weights(graph, num_parts)
-        rebalance(graph, assignment, num_parts, max_weights)
-        greedy_kway_refine(graph, assignment, num_parts, max_weights, self.options.refine_passes)
+        max_weights = self._kway_max_weights(csr, num_parts)
+        rebalance(csr, assignment, num_parts, max_weights)
+        greedy_kway_refine(csr, assignment, num_parts, max_weights, self.options.refine_passes)
         return assignment
 
     # -- recursive bisection ----------------------------------------------------------
     def _recursive_bisect(
         self,
-        original: Graph,
+        original: CSRGraph,
         node_ids: list[int],
         num_parts: int,
         first_part: int,
@@ -96,7 +111,12 @@ class GraphPartitioner:
             for node in node_ids:
                 assignment[node] = first_part
             return
-        subgraph, mapping = original.subgraph(node_ids)
+        if len(node_ids) == original.num_nodes:
+            # The first level of the recursion covers the whole graph: no
+            # extraction needed, the identity mapping is node_ids itself.
+            subgraph, mapping = original, node_ids
+        else:
+            subgraph, mapping = original.subview(node_ids)
         left_parts = (num_parts + 1) // 2
         right_parts = num_parts - left_parts
         target_fraction = left_parts / num_parts
@@ -116,7 +136,7 @@ class GraphPartitioner:
 
     # -- multilevel bisection -----------------------------------------------------------
     def _multilevel_bisection(
-        self, graph: Graph, target_fraction: float, rng: SeededRng
+        self, graph: CSRGraph, target_fraction: float, rng: SeededRng
     ) -> list[int]:
         total_weight = graph.total_node_weight()
         max_node_weight = max(graph.node_weights, default=0.0)
@@ -127,39 +147,46 @@ class GraphPartitioner:
         )
         levels = coarsen_to(graph, self.options.coarsen_target, rng)
         coarsest = levels[-1].graph if levels else graph
-        assignment = self._initial_bisection(coarsest, target_fraction, rng, max_weights)
-        # Uncoarsen: project back level by level, refining at each step.
-        for level in reversed(levels):
-            assignment = project_assignment(level, assignment)
-            finer_graph = self._finer_graph(graph, levels, level)
-            fm_refine_bisection(
+        assignment, external = self._initial_bisection(coarsest, target_fraction, rng, max_weights)
+        # Uncoarsen: project back level by level, refining at each step.  The
+        # graph one step finer than levels[index] is levels[index - 1] (or the
+        # input graph at index 0), so the loop index is all we need.  A coarse
+        # node with zero external weight proves all its fine members are
+        # interior, so the finer FM call skips their adjacency during init.
+        for index in range(len(levels) - 1, -1, -1):
+            fine_to_coarse = levels[index].fine_to_coarse
+            assignment = project_assignment(levels[index], assignment)
+            boundary_hint = [external[coarse] > 0.0 for coarse in fine_to_coarse]
+            finer_graph = graph if index == 0 else levels[index - 1].graph
+            external = _fm_refine_csr(
                 finer_graph,
                 assignment,
                 max_weights,
                 max_passes=self.options.refine_passes,
+                max_negative_streak=self.options.fm_negative_streak,
+                boundary_hint=boundary_hint,
             )
         if not levels:
-            fm_refine_bisection(graph, assignment, max_weights, self.options.refine_passes)
+            _fm_refine_csr(
+                graph,
+                assignment,
+                max_weights,
+                max_passes=self.options.refine_passes,
+                max_negative_streak=self.options.fm_negative_streak,
+            )
         return assignment
-
-    @staticmethod
-    def _finer_graph(original: Graph, levels: list, level: object) -> Graph:
-        """The graph one step finer than ``level`` in the hierarchy."""
-        index = levels.index(level)
-        if index == 0:
-            return original
-        return levels[index - 1].graph
 
     def _initial_bisection(
         self,
-        graph: Graph,
+        graph: CSRGraph,
         target_fraction: float,
         rng: SeededRng,
         max_weights: tuple[float, float],
-    ) -> list[int]:
+    ) -> tuple[list[int], list[float]]:
         total_weight = graph.total_node_weight()
         target_zero = total_weight * target_fraction
         best_assignment: list[int] | None = None
+        best_external: list[float] | None = None
         best_cut = float("inf")
         trials = max(1, self.options.initial_trials)
         for trial in range(trials):
@@ -168,23 +195,34 @@ class GraphPartitioner:
                 candidate = random_bisection(graph, target_zero, trial_rng)
             else:
                 candidate = greedy_bisection(graph, target_zero, trial_rng)
-            fm_refine_bisection(graph, candidate, max_weights, max_passes=1)
-            cut = cut_weight_two_way(graph, candidate)
+            external = _fm_refine_csr(
+                graph,
+                candidate,
+                max_weights,
+                max_passes=1,
+                max_negative_streak=self.options.fm_negative_streak,
+            )
+            # The refiner's external array is the per-node cut contribution,
+            # so the cut falls out as a sum instead of an edge rescan.
+            cut = sum(external) / 2.0
             balanced = self._is_feasible(graph, candidate, max_weights)
             # Prefer feasible bisections; among those, the smallest cut wins.
             penalty = 0.0 if balanced else graph.total_edge_weight() + 1.0
             if cut + penalty < best_cut:
                 best_cut = cut + penalty
                 best_assignment = candidate
-        assert best_assignment is not None
-        return best_assignment
+                best_external = external
+        assert best_assignment is not None and best_external is not None
+        return best_assignment, best_external
 
     @staticmethod
-    def _is_feasible(graph: Graph, assignment: list[int], max_weights: tuple[float, float]) -> bool:
+    def _is_feasible(
+        graph: CSRGraph, assignment: list[int], max_weights: tuple[float, float]
+    ) -> bool:
         weights = side_weights(graph, assignment, 2)
         return weights[0] <= max_weights[0] and weights[1] <= max_weights[1]
 
-    def _kway_max_weights(self, graph: Graph, num_parts: int) -> list[float]:
+    def _kway_max_weights(self, graph: CSRGraph, num_parts: int) -> list[float]:
         total_weight = graph.total_node_weight()
         max_node_weight = max(graph.node_weights, default=0.0)
         per_part = total_weight / num_parts
@@ -192,7 +230,7 @@ class GraphPartitioner:
 
 
 def partition_graph(
-    graph: Graph,
+    graph: Graph | CSRGraph,
     num_parts: int,
     options: PartitionerOptions | None = None,
 ) -> list[int]:
@@ -200,11 +238,13 @@ def partition_graph(
     return GraphPartitioner(options).partition(graph, num_parts)
 
 
-def cut_weight(graph: Graph, assignment: list[int]) -> float:
+def cut_weight(graph: Graph | CSRGraph, assignment: list[int]) -> float:
     """Total weight of edges whose endpoints are assigned to different parts."""
     return cut_weight_two_way(graph, assignment)
 
 
-def partition_weights(graph: Graph, assignment: list[int], num_parts: int) -> list[float]:
+def partition_weights(
+    graph: Graph | CSRGraph, assignment: list[int], num_parts: int
+) -> list[float]:
     """Total node weight per partition (re-exported for reports and tests)."""
     return side_weights(graph, assignment, num_parts)

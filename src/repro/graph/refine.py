@@ -1,4 +1,4 @@
-"""Partition refinement.
+"""Partition refinement on the frozen CSR representation.
 
 Two refiners are provided:
 
@@ -11,34 +11,63 @@ Two refiners are provided:
   run once on the full graph after recursive bisection.  Nodes on the
   boundary are moved to the neighbouring partition with the highest positive
   gain provided the balance constraint stays satisfied.
+
+**Incremental-gain invariant.**  The FM pass maintains a per-node ``gains``
+array holding the exact cut reduction of moving each node to the other side.
+When node ``u`` moves, only its neighbours change: a neighbour ``v`` now on
+``u``'s new side loses ``2 * w(u, v)`` of gain, a neighbour on the old side
+wins ``2 * w(u, v)``.  Applying those deltas keeps ``gains`` exact at all
+times, so a heap pop never needs an O(degree) recomputation; staleness is
+detected with a per-node generation counter (an entry is valid only when its
+generation matches the node's current one).  The edge weights reachable here
+are sums of the builder's integer transaction counts (plus the replication
+epsilon), so the ±2w updates stay exact in floating point for the workloads
+that matter.
+
+The k-way pass keeps a conservative boundary flag per node (any node whose
+neighbourhood may straddle partitions); interior nodes are skipped without
+touching their adjacency, which is what makes late passes — when only a thin
+frontier is still active — cheap.
+
+All public functions accept either a mutable :class:`Graph` (frozen on
+entry) or a :class:`CSRGraph`; ``assignment`` lists are modified in place
+either way.
 """
 
 from __future__ import annotations
 
 import heapq
 
-from repro.graph.model import Graph
+from repro.graph.model import CSRGraph, Graph, as_csr
 
 
-def cut_weight_two_way(graph: Graph, assignment: list[int]) -> float:
+def cut_weight_two_way(graph: Graph | CSRGraph, assignment: list[int]) -> float:
     """Total weight of edges crossing a two-way (or k-way) assignment."""
+    csr = as_csr(graph)
+    indptr, indices, edge_weights = csr.indptr, csr.indices, csr.edge_weights
     total = 0.0
-    for u, v, weight in graph.edges():
-        if assignment[u] != assignment[v]:
-            total += weight
-    return total
+    for u in range(csr.num_nodes):
+        side = assignment[u]
+        start, end = indptr[u], indptr[u + 1]
+        for v, weight in zip(indices[start:end], edge_weights[start:end]):
+            if assignment[v] != side:
+                total += weight
+    return total / 2.0
 
 
-def side_weights(graph: Graph, assignment: list[int], num_parts: int = 2) -> list[float]:
+def side_weights(
+    graph: Graph | CSRGraph, assignment: list[int], num_parts: int = 2
+) -> list[float]:
     """Total node weight per partition."""
     weights = [0.0] * num_parts
+    node_weights = graph.node_weights
     for node, part in enumerate(assignment):
-        weights[part] += graph.node_weights[node]
+        weights[part] += node_weights[node]
     return weights
 
 
 def fm_refine_bisection(
-    graph: Graph,
+    graph: Graph | CSRGraph,
     assignment: list[int],
     max_weights: tuple[float, float],
     max_passes: int = 4,
@@ -49,7 +78,7 @@ def fm_refine_bisection(
     Parameters
     ----------
     graph:
-        The graph being partitioned.
+        The graph being partitioned (``Graph`` inputs are frozen on entry).
     assignment:
         Current 0/1 side per node; modified in place.
     max_weights:
@@ -59,15 +88,70 @@ def fm_refine_bisection(
     max_negative_streak:
         Abort a pass after this many consecutive non-improving moves.
     """
-    num_nodes = graph.num_nodes
-    if num_nodes == 0:
+    csr = as_csr(graph)
+    if csr.num_nodes == 0:
         return assignment
+    _fm_refine_csr(csr, assignment, max_weights, max_passes, max_negative_streak)
+    return assignment
+
+
+def _fm_refine_csr(
+    csr: CSRGraph,
+    assignment: list[int],
+    max_weights: tuple[float, float],
+    max_passes: int,
+    max_negative_streak: int = 50,
+    boundary_hint: list[bool] | None = None,
+) -> list[float]:
+    """FM core: refine ``assignment`` in place, return the final ``external`` array.
+
+    ``external[v]`` — total weight of v's cut edges — is the maintained
+    quantity of the incremental-gain invariant: gain(v) = 2 * external(v)
+    - weighted_degree(v).  It is initialised once per call (O(E)) and kept
+    exact through every move *and* every rollback flip, so each subsequent
+    pass re-seeds its heap in O(boundary).  The returned array lets callers
+    derive the cut (``sum(external) / 2``) and seed the next uncoarsening
+    level's ``boundary_hint`` without rescanning the graph.
+
+    ``boundary_hint``, when given, must be ``False`` only for nodes that are
+    guaranteed to have zero external weight (e.g. fine nodes whose coarse
+    parent was interior); their adjacency is never scanned during init.
+    """
+    num_nodes = csr.num_nodes
+    indptr, indices, edge_weights, node_weights = (
+        csr.indptr,
+        csr.indices,
+        csr.edge_weights,
+        csr.node_weights,
+    )
+    heappush, heappop = heapq.heappush, heapq.heappop
+    max_weight_zero, max_weight_one = max_weights[0], max_weights[1]
+    weighted_degrees = csr.weighted_degrees()
+    external = [0.0] * num_nodes
+    for node in range(num_nodes):
+        if boundary_hint is not None and not boundary_hint[node]:
+            continue
+        side = assignment[node]
+        start, end = indptr[node], indptr[node + 1]
+        cross = 0.0
+        for neighbor, weight in zip(indices[start:end], edge_weights[start:end]):
+            if assignment[neighbor] != side:
+                cross += weight
+        external[node] = cross
+    # Side weights are maintained through moves *and* rollbacks, so they are
+    # computed once per call rather than once per pass.
+    weight_zero, weight_one = side_weights(csr, assignment, 2)
     for _ in range(max_passes):
-        weights = side_weights(graph, assignment, 2)
-        gains = [_move_gain(graph, node, assignment) for node in range(num_nodes)]
-        heap: list[tuple[float, int, int]] = []
-        for node in range(num_nodes):
-            heapq.heappush(heap, (-gains[node], node, assignment[node]))
+        generation = [0] * num_nodes
+        # Seed the heap with boundary nodes only: an interior node has gain
+        # -weighted_degree <= 0 and is reachable anyway through the neighbour
+        # updates of whichever move first exposes it.
+        heap: list[tuple[float, int, int]] = [
+            (weighted_degrees[node] - external[node] - external[node], node, 0)
+            for node in range(num_nodes)
+            if external[node] > 0.0
+        ]
+        heapq.heapify(heap)
         locked = [False] * num_nodes
         best_cut_delta = 0.0
         current_delta = 0.0
@@ -75,50 +159,84 @@ def fm_refine_bisection(
         best_prefix = 0
         negative_streak = 0
         while heap and negative_streak < max_negative_streak:
-            neg_gain, node, side_at_push = heapq.heappop(heap)
-            if locked[node] or assignment[node] != side_at_push:
+            neg_gain, node, entry_generation = heappop(heap)
+            if locked[node] or entry_generation != generation[node]:
                 continue
-            gain = -neg_gain
-            if abs(gain - _move_gain(graph, node, assignment)) > 1e-9:
-                # Stale entry: re-push with the fresh gain.
-                heapq.heappush(heap, (-_move_gain(graph, node, assignment), node, assignment[node]))
-                continue
-            source = assignment[node]
-            target = 1 - source
-            node_weight = graph.node_weights[node]
-            if weights[target] + node_weight > max_weights[target]:
-                locked[node] = True
-                continue
+            target = 1 - assignment[node]
+            node_weight = node_weights[node]
+            if target == 0:
+                if weight_zero + node_weight > max_weight_zero:
+                    locked[node] = True
+                    continue
+                weight_zero += node_weight
+                weight_one -= node_weight
+            else:
+                if weight_one + node_weight > max_weight_one:
+                    locked[node] = True
+                    continue
+                weight_one += node_weight
+                weight_zero -= node_weight
             # Perform the move.
             assignment[node] = target
-            weights[source] -= node_weight
-            weights[target] += node_weight
+            external[node] = weighted_degrees[node] - external[node]
             locked[node] = True
             moves.append(node)
-            current_delta += gain
+            current_delta -= neg_gain
             if current_delta > best_cut_delta + 1e-12:
                 best_cut_delta = current_delta
                 best_prefix = len(moves)
                 negative_streak = 0
             else:
                 negative_streak += 1
-            # Update neighbours' gains lazily.
-            for neighbor in graph.neighbors(node):
+            # Incremental update: a neighbour on the node's new side has one
+            # edge turn internal (-w external), one left behind turns cut
+            # (+w).  Locked neighbours still get the update (next pass needs
+            # it) but no heap entry.
+            start, end = indptr[node], indptr[node + 1]
+            for neighbor, weight in zip(indices[start:end], edge_weights[start:end]):
+                if assignment[neighbor] == target:
+                    new_external = external[neighbor] - weight
+                else:
+                    new_external = external[neighbor] + weight
+                external[neighbor] = new_external
                 if not locked[neighbor]:
-                    heapq.heappush(
+                    fresh = generation[neighbor] + 1
+                    generation[neighbor] = fresh
+                    heappush(
                         heap,
-                        (-_move_gain(graph, neighbor, assignment), neighbor, assignment[neighbor]),
+                        (weighted_degrees[neighbor] - new_external - new_external, neighbor, fresh),
                     )
-        # Roll back the moves after the best prefix.
+        # Roll back the moves after the best prefix, applying the inverse
+        # external/side-weight updates so the invariants hold at the next
+        # pass start.
         for node in reversed(moves[best_prefix:]):
-            assignment[node] = 1 - assignment[node]
+            back_side = 1 - assignment[node]
+            assignment[node] = back_side
+            external[node] = weighted_degrees[node] - external[node]
+            node_weight = node_weights[node]
+            if back_side == 0:
+                weight_zero += node_weight
+                weight_one -= node_weight
+            else:
+                weight_one += node_weight
+                weight_zero -= node_weight
+            start, end = indptr[node], indptr[node + 1]
+            for neighbor, weight in zip(indices[start:end], edge_weights[start:end]):
+                if assignment[neighbor] == back_side:
+                    external[neighbor] -= weight
+                else:
+                    external[neighbor] += weight
         if best_cut_delta <= 1e-12:
             break
-    return assignment
+    return external
 
 
-def _move_gain(graph: Graph, node: int, assignment: list[int]) -> float:
-    """Cut reduction obtained by moving ``node`` to the other side."""
+def _move_gain(graph: Graph | CSRGraph, node: int, assignment: list[int]) -> float:
+    """Cut reduction obtained by moving ``node`` to the other side.
+
+    Kept as the reference (non-incremental) definition of the gain the FM
+    pass maintains incrementally; used by tests and cold paths only.
+    """
     external = 0.0
     internal = 0.0
     side = assignment[node]
@@ -131,49 +249,90 @@ def _move_gain(graph: Graph, node: int, assignment: list[int]) -> float:
 
 
 def greedy_kway_refine(
-    graph: Graph,
+    graph: Graph | CSRGraph,
     assignment: list[int],
     num_parts: int,
     max_weights: list[float],
     max_passes: int = 3,
 ) -> list[int]:
-    """Greedy boundary refinement for a k-way assignment (modified in place)."""
-    if graph.num_nodes == 0 or num_parts <= 1:
+    """Greedy boundary refinement for a k-way assignment (modified in place).
+
+    Only nodes flagged as (potentially) on the partition boundary are
+    examined: a node with every neighbour in its own partition can never have
+    a positive move gain, so interior nodes are skipped outright.  The flag
+    is conservative — moving a node re-flags its neighbourhood — which keeps
+    the pass exact while making converged passes nearly free.
+    """
+    csr = as_csr(graph)
+    num_nodes = csr.num_nodes
+    if num_nodes == 0 or num_parts <= 1:
         return assignment
-    weights = side_weights(graph, assignment, num_parts)
+    indptr, indices, edge_weights, node_weights = (
+        csr.indptr,
+        csr.indices,
+        csr.edge_weights,
+        csr.node_weights,
+    )
+    weights = side_weights(csr, assignment, num_parts)
+    # Conservative boundary flags: start from the exact boundary.
+    on_boundary = [False] * num_nodes
+    for u in range(num_nodes):
+        side = assignment[u]
+        for v in indices[indptr[u] : indptr[u + 1]]:
+            if assignment[v] != side:
+                on_boundary[u] = True
+                break
+    connectivity = [0.0] * num_parts
+    parts_touched: list[int] = []
     for _ in range(max_passes):
         improved = False
-        for node in graph.nodes():
-            neighbors = graph.neighbors(node)
-            if not neighbors:
+        for node in range(num_nodes):
+            if not on_boundary[node]:
+                continue
+            start, end = indptr[node], indptr[node + 1]
+            if start == end:
+                on_boundary[node] = False
                 continue
             source = assignment[node]
-            connectivity = [0.0] * num_parts
-            for neighbor, weight in neighbors.items():
-                connectivity[assignment[neighbor]] += weight
+            for neighbor, weight in zip(indices[start:end], edge_weights[start:end]):
+                part = assignment[neighbor]
+                if connectivity[part] == 0.0:
+                    parts_touched.append(part)
+                connectivity[part] += weight
             internal = connectivity[source]
             best_part = source
             best_gain = 0.0
-            node_weight = graph.node_weights[node]
-            for part in range(num_parts):
+            node_weight = node_weights[node]
+            external_parts = 0
+            for part in parts_touched:
                 if part == source:
                     continue
+                external_parts += 1
                 gain = connectivity[part] - internal
                 if gain > best_gain + 1e-12 and weights[part] + node_weight <= max_weights[part]:
                     best_gain = gain
                     best_part = part
+            for part in parts_touched:
+                connectivity[part] = 0.0
+            parts_touched.clear()
             if best_part != source:
                 assignment[node] = best_part
                 weights[source] -= node_weight
                 weights[best_part] += node_weight
                 improved = True
+                # The move may have pulled neighbours onto the boundary.
+                for neighbor in indices[start:end]:
+                    on_boundary[neighbor] = True
+            elif external_parts == 0:
+                # Interior node: stays skippable until a neighbour moves.
+                on_boundary[node] = False
         if not improved:
             break
     return assignment
 
 
 def rebalance(
-    graph: Graph,
+    graph: Graph | CSRGraph,
     assignment: list[int],
     num_parts: int,
     max_weights: list[float],
@@ -184,23 +343,30 @@ def rebalance(
     infeasible assignment (e.g. one giant coalesced node).  Cut quality is a
     secondary concern here; feasibility comes first.
     """
-    weights = side_weights(graph, assignment, num_parts)
+    csr = as_csr(graph)
+    indptr, indices, edge_weights = csr.indptr, csr.indices, csr.edge_weights
+    weights = side_weights(csr, assignment, num_parts)
     overweight = [part for part in range(num_parts) if weights[part] > max_weights[part]]
     if not overweight:
         return assignment
+
+    def internal_weight(node: int) -> float:
+        part = assignment[node]
+        return sum(
+            edge_weights[i]
+            for i in range(indptr[node], indptr[node + 1])
+            if assignment[indices[i]] == part
+        )
+
     for part in overweight:
         movable = sorted(
-            (node for node in graph.nodes() if assignment[node] == part),
-            key=lambda node: sum(
-                weight
-                for neighbor, weight in graph.neighbors(node).items()
-                if assignment[neighbor] == part
-            ),
+            (node for node in csr.nodes() if assignment[node] == part),
+            key=internal_weight,
         )
         for node in movable:
             if weights[part] <= max_weights[part]:
                 break
-            node_weight = graph.node_weights[node]
+            node_weight = csr.node_weights[node]
             # Send the node to the partition with the most slack.
             target = min(
                 (candidate for candidate in range(num_parts) if candidate != part),
