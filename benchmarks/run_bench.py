@@ -5,13 +5,18 @@ Runs the same workload as
 ``benchmarks/bench_figure5_partitioner_scalability.py`` without pytest and
 writes ``BENCH_partitioner.json`` next to the repository root so the
 partitioner's throughput (nodes/sec), cut quality and peak RSS can be
-compared across PRs.  Two sections mirror the two pytest benchmarks:
+compared across PRs.  Three sections:
 
 * the k sweep is ``run_figure5`` itself, over the shared
   ``BENCH_GRAPH_SPECS``/``BENCH_PARTITION_COUNTS`` constants;
 * ``single_call`` mirrors ``test_figure5_single_partition_call`` — one
   epinions-sized partition at k=8 with that test's exact options
-  (``refine_passes`` left at its default, unlike the sweep's 2).
+  (``refine_passes`` left at its default, unlike the sweep's 2);
+* ``online_adaptation`` probes the online layer: steady-state ingest
+  throughput of the workload monitor and the incremental graph maintainer
+  (transactions/sec and tuple-accesses, i.e. nodes, per second), plus the
+  latency of a budgeted re-partition vs. a from-scratch one on the same
+  maintained graph.
 
 Invocation (documented in ROADMAP.md):
 
@@ -48,6 +53,113 @@ from repro.graph.partitioner import (  # noqa: E402
 def _peak_rss_kb() -> int:
     """Peak resident set size of this process in kilobytes (Linux semantics)."""
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def run_online_adaptation(repeats: int) -> dict:
+    """Benchmark the online layer: ingest throughput + re-partition latency."""
+    from repro.catalog.tuples import TupleId
+    from repro.core.strategies import LookupTablePartitioning
+    from repro.graph.assignment import PartitionAssignment
+    from repro.online.maintainer import IncrementalGraphMaintainer, MaintainerOptions
+    from repro.online.monitor import MonitorOptions, WorkloadMonitor
+    from repro.online.repartitioner import (
+        BudgetedRepartitioner,
+        RepartitionOptions,
+        repartition_from_scratch,
+    )
+    from repro.workload.rwsets import extract_access_trace
+    from repro.workloads.drifting import generate_rotating_hotspot
+
+    num_partitions = 8
+    bundle = generate_rotating_hotspot(
+        num_rows=6000,
+        transactions_per_phase=3000,
+        num_phases=2,
+        hot_window=1500,
+        uniform_fraction=0.2,
+        seed=0,
+    )
+    traces = [
+        extract_access_trace(bundle.database, phase) for phase in bundle.phases
+    ]
+    accesses = [access for trace in traces for access in trace]
+    tuple_accesses = sum(len(access.touched) for access in accesses)
+
+    # Deployed placement for the monitor's routing attribution: hash-like.
+    assignment = PartitionAssignment(num_partitions)
+    for key in range(6000):
+        assignment.assign(TupleId("usertable", (key,)), {key % num_partitions})
+    strategy = LookupTablePartitioning(num_partitions, assignment, "hash")
+
+    monitor_seconds = float("inf")
+    for _ in range(repeats):
+        monitor = WorkloadMonitor(MonitorOptions(window_size=1000), strategy)
+        start = time.perf_counter()
+        for batch_start in range(0, len(accesses), 200):
+            monitor.ingest_batch(accesses[batch_start : batch_start + 200])
+        monitor_seconds = min(monitor_seconds, time.perf_counter() - start)
+
+    maintainer_seconds = float("inf")
+    maintainer = None
+    for _ in range(repeats):
+        maintainer = IncrementalGraphMaintainer(MaintainerOptions())
+        start = time.perf_counter()
+        for batch_start in range(0, len(accesses), 200):
+            maintainer.apply_batch(accesses[batch_start : batch_start + 200])
+        maintainer_seconds = min(maintainer_seconds, time.perf_counter() - start)
+
+    csr, tuples = maintainer.freeze()
+    warm = [min(strategy.partitions_for_tuple(tuple_id)) for tuple_id in tuples]
+    budgeted_seconds = float("inf")
+    budgeted = None
+    for _ in range(repeats):
+        repartitioner = BudgetedRepartitioner(
+            RepartitionOptions(migration_cost_weight=0.25, imbalance=0.10)
+        )
+        start = time.perf_counter()
+        budgeted = repartitioner.repartition(csr, warm, num_partitions)
+        budgeted_seconds = min(budgeted_seconds, time.perf_counter() - start)
+
+    full_seconds = float("inf")
+    full = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        full = repartition_from_scratch(csr, warm, num_partitions)
+        full_seconds = min(full_seconds, time.perf_counter() - start)
+
+    section = {
+        "transactions": len(accesses),
+        "tuple_accesses": tuple_accesses,
+        "monitor_ingest": {
+            "seconds": round(monitor_seconds, 6),
+            "transactions_per_sec": round(len(accesses) / monitor_seconds, 1),
+            "nodes_per_sec": round(tuple_accesses / monitor_seconds, 1),
+        },
+        "maintainer_ingest": {
+            "seconds": round(maintainer_seconds, 6),
+            "transactions_per_sec": round(len(accesses) / maintainer_seconds, 1),
+            "nodes_per_sec": round(tuple_accesses / maintainer_seconds, 1),
+        },
+        "graph": {"nodes": csr.num_nodes, "edges": csr.num_edges},
+        "budgeted_repartition": {
+            "seconds": round(budgeted_seconds, 6),
+            "moved": budgeted.num_moved,
+            "cut_before": round(budgeted.cut_before, 1),
+            "cut_after": round(budgeted.cut_after, 1),
+        },
+        "full_repartition": {
+            "seconds": round(full_seconds, 6),
+            "moved": full.num_moved,
+            "cut_after": round(full.cut_after, 1),
+        },
+    }
+    print(
+        f"online: monitor {section['monitor_ingest']['nodes_per_sec']:.0f} nodes/s, "
+        f"maintainer {section['maintainer_ingest']['nodes_per_sec']:.0f} nodes/s, "
+        f"budgeted repartition {budgeted_seconds:.3f}s (moved {budgeted.num_moved}), "
+        f"full {full_seconds:.3f}s (moved {full.num_moved})"
+    )
+    return section
 
 
 def run(repeats: int) -> dict:
@@ -112,6 +224,7 @@ def run(repeats: int) -> dict:
         "repeats": repeats,
         "results": results,
         "single_call": single_call,
+        "online_adaptation": run_online_adaptation(repeats),
         "peak_rss_kb": _peak_rss_kb(),
     }
 

@@ -284,3 +284,40 @@ def run_schism(
     elif options.num_partitions != num_partitions:
         raise ValueError("num_partitions argument and options.num_partitions disagree")
     return Schism(options).run(database, training_workload, test_workload)
+
+
+def start_online(
+    result: SchismResult,
+    database: Database,
+    online_options: "OnlineOptions | None" = None,
+    lookup_default_policy: str = "hash",
+):
+    """Deploy a finished offline run as a live, self-adapting system.
+
+    Materialises the cluster from ``database`` under the fine-grained
+    lookup-table placement of ``result``, builds the router, and returns an
+    :class:`~repro.online.controller.OnlineSchism` controller already warmed
+    up on the training trace (so its maintained graph and drift baseline
+    start from what the offline pipeline learned).
+
+    The lookup strategy is always used for the online deployment — live
+    migration updates per-tuple placements, which only the lookup table can
+    express — regardless of which candidate won the offline validation.
+    """
+    # Imported here so the offline pipeline stays importable on its own.
+    from repro.core.strategies import LookupTablePartitioning
+    from repro.distributed.cluster import Cluster
+    from repro.online.controller import OnlineOptions, OnlineSchism
+    from repro.routing.lookup import build_lookup_table
+    from repro.routing.router import Router
+
+    online_options = online_options or OnlineOptions()
+    strategy = LookupTablePartitioning(
+        result.options.num_partitions, result.assignment, lookup_default_policy
+    )
+    cluster = Cluster.from_database(database, strategy)
+    lookup_table = build_lookup_table(result.assignment, backend=online_options.lookup_backend)
+    router = Router(strategy, database.schema, lookup_table)
+    controller = OnlineSchism(cluster, router, online_options)
+    controller.warm_up(result.training_trace)
+    return controller

@@ -41,6 +41,43 @@ class Cluster:
             raise IndexError(f"partition {partition} out of range")
         return self.partition_databases[partition]
 
+    # -- tuple-level operations (live migration) ---------------------------------------
+    def has_tuple(self, tuple_id: TupleId, partition: int) -> bool:
+        """Whether ``partition`` physically stores ``tuple_id``."""
+        return tuple_id.key in self.database(partition).storage(tuple_id.table)
+
+    def tuple_locations(self, tuple_id: TupleId) -> frozenset[int]:
+        """Every partition physically storing ``tuple_id`` (replicas included)."""
+        return frozenset(
+            partition
+            for partition in range(self.num_partitions)
+            if self.has_tuple(tuple_id, partition)
+        )
+
+    def copy_tuple(self, tuple_id: TupleId, source: int, target: int) -> int | None:
+        """Copy one tuple's row from ``source`` to ``target``.
+
+        Returns the bytes written (0 when the target already held a replica —
+        the operation is idempotent), or ``None`` when the source no longer
+        has the row (e.g. it was deleted by live traffic mid-migration).
+        """
+        row = self.database(source).get_row(tuple_id)
+        if row is None:
+            return None
+        target_database = self.database(target)
+        if tuple_id.key in target_database.storage(tuple_id.table):
+            return 0
+        target_database.insert_row(tuple_id.table, dict(row))
+        return target_database.tuple_byte_size(tuple_id)
+
+    def drop_tuple(self, tuple_id: TupleId, partition: int) -> bool:
+        """Delete ``tuple_id``'s replica on ``partition``; False when absent."""
+        storage = self.database(partition).storage(tuple_id.table)
+        if tuple_id.key not in storage:
+            return False
+        storage.delete(tuple_id.key)
+        return True
+
     def row_counts(self) -> list[int]:
         """Number of rows stored on each partition (replicas counted everywhere)."""
         return [db.row_count() for db in self.partition_databases]

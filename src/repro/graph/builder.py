@@ -239,8 +239,11 @@ def _build_groups(
                 tuple(sorted(writing.get(tuple_id, set()))),
             )
             by_signature.setdefault(signature, []).append(tuple_id)
+        # Sort by the *minimum* member, not the first-appended one: the
+        # member lists are built in ``touching``-dict order, which follows
+        # frozenset iteration order and is therefore salted per process.
         for (accessing, writes), members in sorted(
-            by_signature.items(), key=lambda item: item[1][0]
+            by_signature.items(), key=lambda item: min(item[1])
         ):
             groups.append(_TupleGroup(tuple(sorted(members)), accessing, writes))
     else:

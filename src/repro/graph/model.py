@@ -106,6 +106,43 @@ class Graph:
         if not 0 <= node < len(self.node_weights):
             raise IndexError(f"node {node} does not exist")
 
+    # -- online maintenance -----------------------------------------------------------
+    def scale_weights(self, factor: float) -> None:
+        """Multiply every node and edge weight by ``factor`` in place.
+
+        This is the exponential-decay primitive of the online graph
+        maintainer: one call per ingest epoch ages the whole access history
+        without rebuilding the graph.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        node_weights = self.node_weights
+        for node in range(len(node_weights)):
+            node_weights[node] *= factor
+        self._total_node_weight *= factor
+        for row in self.adjacency:
+            for neighbor in row:
+                row[neighbor] *= factor
+
+    def prune_edges(self, min_weight: float) -> int:
+        """Remove edges lighter than ``min_weight``; return how many were dropped.
+
+        Used together with :meth:`scale_weights` to keep the online graph
+        bounded: decayed-out co-access pairs disappear instead of lingering
+        as near-zero-weight edges.  Nodes are never removed (ids stay dense
+        and stable); an isolated node simply keeps decaying.
+        """
+        removed = 0
+        adjacency = self.adjacency
+        for u, row in enumerate(adjacency):
+            dead = [v for v, weight in row.items() if weight < min_weight and v > u]
+            for v in dead:
+                del row[v]
+                del adjacency[v][u]
+            removed += len(dead)
+        self._num_edges -= removed
+        return removed
+
     # -- queries --------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:

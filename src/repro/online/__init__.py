@@ -1,0 +1,61 @@
+"""Online adaptivity layer: closing the loop from live traffic to placement.
+
+The offline Schism pipeline (:mod:`repro.core.schism`) partitions from a
+static training trace and then freezes the system — the limitation the paper
+itself flags when workloads drift.  This package keeps the partitioning
+live:
+
+* :mod:`repro.online.monitor` — streaming workload monitor: sliding-window /
+  exponentially-decayed access statistics plus a drift detector (distributed
+  fraction, per-partition load skew, hot-tuple churn vs. the baseline).
+* :mod:`repro.online.maintainer` — incremental tuple-graph maintenance:
+  decayed edge/node-weight deltas applied to a mutable
+  :class:`~repro.graph.model.Graph`, re-frozen to CSR only on demand.
+* :mod:`repro.online.repartitioner` — budgeted re-partitioning that
+  warm-starts from the *current* assignment with an explicit migration-cost
+  term, so small drifts produce small placement deltas.
+* :mod:`repro.online.migration` — live migration planning and execution:
+  ordered copy-before-drop steps against a
+  :class:`~repro.distributed.cluster.Cluster`, with an atomic swap of the
+  router's lookup table at the end.
+* :mod:`repro.online.controller` — :class:`OnlineSchism`, the controller
+  wiring monitor -> maintainer -> re-partitioner -> migration.
+"""
+
+from repro.online.controller import AdaptationRecord, OnlineOptions, OnlineSchism
+from repro.online.maintainer import IncrementalGraphMaintainer, MaintainerOptions
+from repro.online.migration import (
+    LiveMigrator,
+    MigrationPlan,
+    MigrationReport,
+    MigrationStep,
+    plan_migration,
+)
+from repro.online.monitor import DriftReport, MonitorOptions, WindowStats, WorkloadMonitor
+from repro.online.repartitioner import (
+    BudgetedRepartitioner,
+    RepartitionOptions,
+    RepartitionResult,
+    align_partition_labels,
+)
+
+__all__ = [
+    "AdaptationRecord",
+    "BudgetedRepartitioner",
+    "DriftReport",
+    "IncrementalGraphMaintainer",
+    "LiveMigrator",
+    "MaintainerOptions",
+    "MigrationPlan",
+    "MigrationReport",
+    "MigrationStep",
+    "MonitorOptions",
+    "OnlineOptions",
+    "OnlineSchism",
+    "RepartitionOptions",
+    "RepartitionResult",
+    "WindowStats",
+    "WorkloadMonitor",
+    "align_partition_labels",
+    "plan_migration",
+]

@@ -1,0 +1,277 @@
+"""The :class:`OnlineSchism` controller: traffic in, placement deltas out.
+
+Wiring of the online loop:
+
+1. live transactions stream in as chunked batches (one code path with the
+   offline trace pipeline, see :meth:`AccessTrace.iter_batches`);
+2. each batch feeds the :class:`~repro.online.monitor.WorkloadMonitor`
+   (statistics + drift detection) and the
+   :class:`~repro.online.maintainer.IncrementalGraphMaintainer` (decayed
+   graph deltas);
+3. when the monitor reports drift, :meth:`OnlineSchism.adapt` freezes the
+   maintained graph, warm-starts the
+   :class:`~repro.online.repartitioner.BudgetedRepartitioner` from the
+   deployed placement, plans and executes the live migration against the
+   cluster (copies, then the routing update — an in-place entry delta for
+   exact lookup backends, an atomic wholesale table swap otherwise — then
+   drops), and re-baselines the monitor.
+
+The online layer keeps one node per tuple and produces single-partition
+placements (no replication stars — those are a whole-trace construct);
+tuples that the maintained graph has decayed out of keep their deployed
+placement untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.catalog.tuples import TupleId
+from repro.core.strategies import LookupTablePartitioning
+from repro.distributed.cluster import Cluster
+from repro.graph.assignment import PartitionAssignment
+from repro.online.maintainer import IncrementalGraphMaintainer, MaintainerOptions
+from repro.online.migration import (
+    LiveMigrator,
+    MigrationPlan,
+    MigrationReport,
+    plan_migration,
+)
+from repro.online.monitor import DriftReport, MonitorOptions, WorkloadMonitor
+from repro.online.repartitioner import (
+    BudgetedRepartitioner,
+    RepartitionOptions,
+    RepartitionResult,
+    repartition_from_scratch,
+)
+from repro.routing.router import Router
+from repro.workload.rwsets import AccessTrace
+from repro.workload.trace import TransactionAccess, iter_chunks
+
+
+@dataclass
+class OnlineOptions:
+    """Configuration of the online adaptivity loop."""
+
+    monitor: MonitorOptions = field(default_factory=MonitorOptions)
+    maintainer: MaintainerOptions = field(default_factory=MaintainerOptions)
+    repartition: RepartitionOptions = field(default_factory=RepartitionOptions)
+    #: transactions per ingest batch (= one monitor/maintainer epoch).
+    batch_size: int = 100
+    #: migration cost per tuple: "tuples" (1 each) or "bytes" (schema row size).
+    move_cost: str = "tuples"
+    #: lookup-table backend rebuilt at swap time.
+    lookup_backend: str = "dict"
+    #: suppress re-adaptation for this many batches after an adaptation.
+    cooldown_batches: int = 2
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.move_cost not in ("tuples", "bytes"):
+            raise ValueError("move_cost must be 'tuples' or 'bytes'")
+
+
+@dataclass
+class AdaptationRecord:
+    """Everything produced by one adaptation (re-partition + migration)."""
+
+    trigger: DriftReport | None
+    repartition: RepartitionResult
+    plan: MigrationPlan
+    migration: MigrationReport
+    distributed_fraction_before: float
+    distributed_fraction_after: float
+
+    def describe(self) -> str:
+        """One-line summary for logs and experiment reports."""
+        return (
+            f"adaptation: moved {self.repartition.num_moved} nodes "
+            f"(cost {self.repartition.migration_cost:.0f}), "
+            f"cut {self.repartition.cut_before:.0f} -> {self.repartition.cut_after:.0f}, "
+            f"distributed {self.distributed_fraction_before:.1%} -> "
+            f"{self.distributed_fraction_after:.1%}"
+        )
+
+
+@dataclass
+class ObservationResult:
+    """Outcome of streaming a trace through the controller."""
+
+    batches: int = 0
+    transactions: int = 0
+    drift_reports: list[DriftReport] = field(default_factory=list)
+    adaptations: list[AdaptationRecord] = field(default_factory=list)
+
+
+class OnlineSchism:
+    """Controller closing the loop from live traffic back to placement.
+
+    Parameters
+    ----------
+    cluster:
+        The running shared-nothing cluster the data physically lives in.
+    router:
+        The deployed router; its strategy must be a
+        :class:`LookupTablePartitioning` (fine-grained placement is what
+        live migration updates).
+    options:
+        Loop configuration.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        router: Router,
+        options: OnlineOptions | None = None,
+    ) -> None:
+        if not isinstance(router.strategy, LookupTablePartitioning):
+            raise TypeError("OnlineSchism requires a lookup-table routing strategy")
+        if cluster.num_partitions != router.num_partitions:
+            raise ValueError("cluster and router disagree on the number of partitions")
+        self.cluster = cluster
+        self.router = router
+        self.options = options or OnlineOptions()
+        self.monitor = WorkloadMonitor(self.options.monitor, router.strategy)
+        self.maintainer = IncrementalGraphMaintainer(self.options.maintainer)
+        self.migrator = LiveMigrator(cluster)
+        self.adaptations: list[AdaptationRecord] = []
+        self._cooldown = 0
+
+    @property
+    def strategy(self) -> LookupTablePartitioning:
+        """The deployed fine-grained strategy (shared with the router)."""
+        strategy = self.router.strategy
+        assert isinstance(strategy, LookupTablePartitioning)
+        return strategy
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions of the deployed placement."""
+        return self.router.num_partitions
+
+    # -- ingest -----------------------------------------------------------------------
+    def warm_up(self, trace: AccessTrace | Iterable[TransactionAccess]) -> None:
+        """Seed monitor and maintainer from the training trace, then baseline.
+
+        Gives the online loop the same starting knowledge the offline
+        pipeline trained on: the maintained graph starts as the (decayed)
+        training graph instead of empty, and the drift baseline reflects
+        steady-state traffic.
+        """
+        accesses = trace.accesses if isinstance(trace, AccessTrace) else trace
+        for batch in iter_chunks(accesses, self.options.batch_size):
+            self.monitor.ingest_batch(batch)
+            self.maintainer.apply_batch(batch)
+        self.monitor.set_baseline()
+
+    def observe(
+        self,
+        trace: AccessTrace | Iterable[TransactionAccess],
+        auto_adapt: bool = True,
+    ) -> ObservationResult:
+        """Stream live traffic through the loop, adapting on drift.
+
+        ``trace`` may be a recorded :class:`AccessTrace` or any iterable of
+        transaction accesses (a live feed); it is consumed in
+        ``batch_size`` chunks.
+        """
+        accesses = trace.accesses if isinstance(trace, AccessTrace) else trace
+        result = ObservationResult()
+        for batch in iter_chunks(accesses, self.options.batch_size):
+            self.monitor.ingest_batch(batch)
+            self.maintainer.apply_batch(batch)
+            result.batches += 1
+            result.transactions += len(batch)
+            if self._cooldown > 0:
+                self._cooldown -= 1
+                continue
+            report = self.monitor.check_drift()
+            result.drift_reports.append(report)
+            if report.drifted and auto_adapt:
+                result.adaptations.append(self.adapt(report))
+        return result
+
+    # -- adaptation -------------------------------------------------------------------
+    def current_node_assignment(self) -> tuple[list[int], list[float]]:
+        """Warm-start node assignment + per-node move costs for the maintained graph.
+
+        Each node maps to the (deterministically chosen) minimum partition of
+        its tuple's deployed placement — including tuples placed by the
+        lookup table's default policy, which is where they physically live.
+        """
+        strategy = self.strategy
+        use_bytes = self.options.move_cost == "bytes"
+        database = self.cluster.partition_databases[0]
+        warm: list[int] = []
+        costs: list[float] = []
+        for tuple_id in self.maintainer.tuples():
+            warm.append(min(strategy.partitions_for_tuple(tuple_id)))
+            costs.append(float(database.tuple_byte_size(tuple_id)) if use_bytes else 1.0)
+        return warm, costs
+
+    def adapt(self, trigger: DriftReport | None = None) -> AdaptationRecord:
+        """Re-partition with a migration budget and migrate the delta live.
+
+        Sequencing is copies -> routing update -> drops: while the routing
+        state changes, every affected tuple is resident at both its old and
+        new location, so reads routed under either placement succeed.  The
+        plan and routing update touch only the maintained graph's tuples —
+        O(drifted working set), not O(all deployed tuples) — unless the
+        lookup backend cannot update in place (then a full rebuild + atomic
+        swap is the only sound publication).
+        """
+        before = self.monitor.window_stats().distributed_fraction
+        csr, tuples = self.maintainer.freeze()
+        warm, costs = self.current_node_assignment()
+        repartitioner = BudgetedRepartitioner(self.options.repartition)
+        result = repartitioner.repartition(csr, warm, self.num_partitions, costs)
+        target = PartitionAssignment(self.num_partitions)
+        for node, tuple_id in enumerate(tuples):
+            target.assign(tuple_id, {result.assignment[node]})
+        plan = plan_migration(self.strategy.partitions_for_tuple, target)
+        migration = self.migrator.execute_copies(plan)
+        table = self.router.lookup_table
+        if table is not None and table.supports_update():
+            self.migrator.apply_routing_delta(self.router, plan, migration)
+        else:
+            merged = self.merged_assignment(tuples, result.assignment)
+            self.migrator.swap_routing(
+                self.router, merged, migration, self.options.lookup_backend
+            )
+        self.migrator.execute_drops(plan, migration)
+        self.monitor.rebaseline(self.router.strategy)
+        after = self.monitor.window_stats().distributed_fraction
+        record = AdaptationRecord(trigger, result, plan, migration, before, after)
+        self.adaptations.append(record)
+        self._cooldown = self.options.cooldown_batches
+        return record
+
+    def preview_full_repartition(self) -> RepartitionResult:
+        """What a from-scratch re-partition would do right now (not applied).
+
+        Used by experiments and tests to compare the budgeted delta against
+        the full-reshuffle baseline (labels aligned, so moves are genuine).
+        """
+        csr, _ = self.maintainer.freeze()
+        warm, costs = self.current_node_assignment()
+        return repartition_from_scratch(csr, warm, self.num_partitions, costs)
+
+    def merged_assignment(
+        self, tuples: list[TupleId], node_assignment: list[int]
+    ) -> PartitionAssignment:
+        """Full placement from a node assignment: deployed placements overridden.
+
+        Public so that experiments can evaluate a previewed (not applied)
+        re-partition exactly as :meth:`adapt` would deploy it.
+        """
+        merged = PartitionAssignment(self.num_partitions)
+        deployed = self.strategy.assignment
+        for tuple_id in deployed:
+            placement = deployed.partitions_of(tuple_id)
+            assert placement is not None
+            merged.assign(tuple_id, placement)
+        for node, tuple_id in enumerate(tuples):
+            merged.assign(tuple_id, {node_assignment[node]})
+        return merged

@@ -1,0 +1,190 @@
+"""Incremental maintenance of the tuple-access graph.
+
+The offline builder (:mod:`repro.graph.builder`) reconstructs the whole
+graph from a trace — with coalescing and replication stars — every time it
+runs.  Online we need the opposite trade-off: cheap per-transaction deltas
+on a graph that is always ready to be re-frozen.  The maintainer therefore
+keeps **one node per tuple** (no coalescing, no stars: both are global
+properties of a finished trace and do not compose with streaming deltas; the
+budgeted re-partitioner compensates by warm-starting from the current
+placement) and maintains:
+
+* node weights = decayed per-tuple access counts (the paper's ``workload``
+  balancing mode);
+* clique edges among the tuples touched by each transaction, weights
+  accumulating exactly as in the offline builder;
+* exponential aging via a **global scale factor** (the same trick the
+  workload monitor uses): stored weights are true weights divided by
+  ``_scale``, so one epoch of decay is a single multiplication of the
+  scale, not an O(V + E) sweep.  Fresh contributions are added as
+  ``1 / _scale``; the stored values are renormalised only when that
+  increment risks losing precision.  The periodic prune
+  (:meth:`Graph.prune_edges`, with the threshold expressed in stored
+  units) drops decayed-out co-access pairs so the graph stays bounded.
+
+``freeze`` folds the pending scale into the weights and re-compiles to CSR
+only when the controller decides to re-partition — never per transaction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable
+
+from repro.catalog.tuples import TupleId
+from repro.graph.model import CSRGraph, Graph
+from repro.workload.trace import TransactionAccess
+
+#: Renormalise stored weights once the per-access increment grows past this.
+_RENORMALISE_LIMIT = 1e12
+
+
+@dataclass
+class MaintainerOptions:
+    """Tuning knobs of the incremental graph maintainer."""
+
+    #: per-epoch decay factor applied to all node/edge weights (1.0 disables).
+    decay: float = 0.95
+    #: edges whose decayed (true) weight falls below this are dropped.
+    prune_threshold: float = 0.05
+    #: skip transactions touching more than this many tuples (clique blow-up
+    #: guard, mirroring the offline blanket-statement filter).
+    blanket_transaction_threshold: int = 100
+    #: run the prune sweep every this many epochs (it is O(E)).
+    prune_interval: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if self.prune_interval <= 0:
+            raise ValueError("prune_interval must be positive")
+
+
+class IncrementalGraphMaintainer:
+    """Applies streaming transaction deltas to a mutable tuple graph."""
+
+    def __init__(self, options: MaintainerOptions | None = None) -> None:
+        self.options = options or MaintainerOptions()
+        self.graph = Graph()
+        self._node_of: dict[TupleId, int] = {}
+        self._tuple_of: list[TupleId] = []
+        # Lazy decay state: true weight = stored weight * _scale, and fresh
+        # accesses contribute _increment == 1 / _scale stored units.
+        self._scale = 1.0
+        self._increment = 1.0
+        self.epochs = 0
+        self.transactions_applied = 0
+
+    # -- node bookkeeping --------------------------------------------------------------
+    @property
+    def num_tuples(self) -> int:
+        """Number of tuples represented (== graph nodes; ids are stable)."""
+        return len(self._tuple_of)
+
+    def node_of(self, tuple_id: TupleId) -> int | None:
+        """Graph node for ``tuple_id`` (None when never observed)."""
+        return self._node_of.get(tuple_id)
+
+    def tuple_of(self, node: int) -> TupleId:
+        """Tuple behind graph node ``node``."""
+        return self._tuple_of[node]
+
+    def tuples(self) -> list[TupleId]:
+        """All represented tuples in node-id order."""
+        return list(self._tuple_of)
+
+    def node_weight(self, node: int) -> float:
+        """Decayed (true) access weight of ``node``."""
+        return self.graph.node_weights[node] * self._scale
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Decayed (true) co-access weight of the edge ``{u, v}``."""
+        return self.graph.edge_weight(u, v) * self._scale
+
+    def _node_for(self, tuple_id: TupleId) -> int:
+        node = self._node_of.get(tuple_id)
+        if node is None:
+            node = self.graph.add_node(0.0)
+            self._node_of[tuple_id] = node
+            self._tuple_of.append(tuple_id)
+        return node
+
+    # -- deltas ------------------------------------------------------------------------
+    def apply(self, access: TransactionAccess) -> None:
+        """Fold one transaction into the graph (node weights + clique edges)."""
+        touched = access.touched
+        if len(touched) > self.options.blanket_transaction_threshold:
+            return
+        graph = self.graph
+        increment = self._increment
+        # Sort by tuple id *before* node creation: node ids must not depend
+        # on frozenset iteration order (string hashing is salted per process).
+        nodes = sorted(self._node_for(tuple_id) for tuple_id in sorted(touched))
+        for node in nodes:
+            graph.set_node_weight(node, graph.node_weights[node] + increment)
+        for u, v in combinations(nodes, 2):
+            graph.add_edge(u, v, increment)
+        self.transactions_applied += 1
+
+    def apply_batch(self, batch: Iterable[TransactionAccess]) -> None:
+        """Fold one chunk of transactions, batching edge accumulation, then age.
+
+        Mirrors the offline builder's batched clique accumulation: duplicate
+        pairs within the batch hit one flat Counter instead of two adjacency
+        dicts per occurrence.
+        """
+        graph = self.graph
+        threshold = self.options.blanket_transaction_threshold
+        increment = self._increment
+        pair_weights: Counter[tuple[int, int]] = Counter()
+        for access in batch:
+            touched = access.touched
+            if len(touched) > threshold:
+                continue
+            # Sorted tuple order first: node-id assignment must be
+            # process-independent (see ``apply``).
+            nodes = sorted(self._node_for(tuple_id) for tuple_id in sorted(touched))
+            for node in nodes:
+                graph.set_node_weight(node, graph.node_weights[node] + increment)
+            pair_weights.update(combinations(nodes, 2))
+            self.transactions_applied += 1
+        graph.add_weighted_edges(
+            (pair, count * increment) for pair, count in pair_weights.items()
+        )
+        self.advance_epoch()
+
+    def advance_epoch(self) -> None:
+        """Age all weights one epoch (O(1): one scale update).
+
+        The periodic prune (every ``prune_interval`` epochs) and the rare
+        precision renormalisation are the only O(E) work on the ingest path.
+        """
+        self.epochs += 1
+        if self.options.decay < 1.0:
+            self._scale *= self.options.decay
+            self._increment = 1.0 / self._scale
+            if self._increment > _RENORMALISE_LIMIT:
+                self._materialise_scale()
+        if self.epochs % self.options.prune_interval == 0:
+            # True threshold expressed in stored units.
+            self.graph.prune_edges(self.options.prune_threshold * self._increment)
+
+    def _materialise_scale(self) -> None:
+        """Fold the pending scale into the stored weights (O(V + E), rare)."""
+        if self._scale != 1.0:
+            self.graph.scale_weights(self._scale)
+            self._scale = 1.0
+            self._increment = 1.0
+
+    # -- freezing ----------------------------------------------------------------------
+    def freeze(self) -> tuple[CSRGraph, list[TupleId]]:
+        """Compile the current graph to CSR plus the node -> tuple mapping.
+
+        Folds the lazily-accumulated decay into the weights first, so the
+        CSR carries true weights.  Called only when the controller triggers
+        a re-partition; streaming ingest never pays the O(V + E) freeze.
+        """
+        self._materialise_scale()
+        return self.graph.freeze(), list(self._tuple_of)

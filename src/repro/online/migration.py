@@ -1,0 +1,265 @@
+"""Live migration: turning an assignment delta into ordered data movement.
+
+Given the deployed placement and the re-partitioner's new one, the planner
+emits per-tuple steps in a **copy-before-drop** order: every tuple is first
+copied to each newly-assigned partition (reading from one of its current
+replicas), and only once all copies exist are the stale replicas dropped.
+At no point is a tuple stored on zero of its old-or-new partitions, so reads
+routed under either the old or the new lookup table always find a replica —
+the downtime-free property the executor reports progress on.
+
+The executor applies the plan to a :class:`~repro.distributed.cluster.Cluster`
+with message accounting consistent with the 2PC coordinator (one
+request/response pair per remote read, write, or delete).  The controller
+sequences it as copies -> routing update -> drops, so the routing state is
+only ever consulted while every affected tuple exists at both its old and
+its new location.  Two routing-update paths exist:
+
+* :meth:`LiveMigrator.apply_routing_delta` — for exact lookup backends
+  (``supports_update()``), only the changed entries are re-written in
+  place: O(moved tuples), each entry flip atomic;
+* :meth:`LiveMigrator.swap_routing` — for backends that cannot narrow
+  entries (Bloom filters), the replacement table is fully built off to the
+  side and published with a single reference assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.catalog.tuples import TupleId
+from repro.core.strategies import LookupTablePartitioning
+from repro.distributed.cluster import Cluster
+from repro.graph.assignment import PartitionAssignment
+from repro.routing.lookup import build_lookup_table
+from repro.routing.router import Router
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """One unit of data movement.
+
+    ``action`` is ``"copy"`` (read the tuple from ``source``, write it to
+    ``target``) or ``"drop"`` (delete the replica on ``source``; ``target``
+    is -1).
+    """
+
+    action: str
+    tuple_id: TupleId
+    source: int
+    target: int = -1
+
+
+@dataclass
+class MigrationPlan:
+    """Ordered migration steps plus summary statistics."""
+
+    num_partitions: int
+    #: all copy steps, ordered before every drop step.
+    copies: list[MigrationStep] = field(default_factory=list)
+    drops: list[MigrationStep] = field(default_factory=list)
+    #: the routing delta: new placement per changed tuple, for apply_delta.
+    changes: list[tuple[TupleId, frozenset[int]]] = field(default_factory=list)
+    #: tuples whose placement changed at all.
+    tuples_changed: int = 0
+    #: tuples that gained at least one replica (replication widened).
+    tuples_replicated: int = 0
+    #: tuples that moved (new placement disjoint additions + drops).
+    tuples_moved: int = 0
+
+    @property
+    def steps(self) -> list[MigrationStep]:
+        """All steps in execution order (copies first, then drops)."""
+        return self.copies + self.drops
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the plan does nothing."""
+        return not self.copies and not self.drops
+
+
+def plan_migration(
+    old_placement: Callable[[TupleId], frozenset[int]],
+    new_assignment: PartitionAssignment,
+) -> MigrationPlan:
+    """Diff the deployed placement against ``new_assignment``.
+
+    Parameters
+    ----------
+    old_placement:
+        Resolver for the *current* physical location of a tuple.  Passing
+        the deployed strategy's ``partitions_for_tuple`` (rather than a bare
+        assignment lookup) means tuples that were routed by the default
+        policy — e.g. hash-placed tuples the training trace never saw — are
+        migrated from where they actually live.
+    new_assignment:
+        The target placement for every tuple the re-partitioner assigned.
+        Tuples absent from it keep their current placement (no steps).
+    """
+    plan = MigrationPlan(new_assignment.num_partitions)
+    for tuple_id in sorted(new_assignment):
+        new_parts = new_assignment.partitions_of(tuple_id)
+        assert new_parts is not None
+        old_parts = old_placement(tuple_id)
+        if not old_parts:
+            raise ValueError(f"tuple {tuple_id} has no current placement to migrate from")
+        if new_parts == old_parts:
+            continue
+        plan.tuples_changed += 1
+        plan.changes.append((tuple_id, new_parts))
+        added = new_parts - old_parts
+        removed = old_parts - new_parts
+        if added and not removed:
+            plan.tuples_replicated += 1
+        if removed:
+            plan.tuples_moved += 1
+        # Copy from a deterministic existing replica.
+        source = min(old_parts)
+        for target in sorted(added):
+            plan.copies.append(MigrationStep("copy", tuple_id, source, target))
+        for stale in sorted(removed):
+            plan.drops.append(MigrationStep("drop", tuple_id, stale))
+    return plan
+
+
+@dataclass
+class MigrationReport:
+    """Execution record of one migration."""
+
+    copies: int = 0
+    drops: int = 0
+    skipped: int = 0
+    messages: int = 0
+    bytes_copied: int = 0
+    #: cumulative (copies done, drops done) after each executed batch — the
+    #: "downtime-free progress" trail: copies always complete before drops
+    #: begin, so every prefix leaves all tuples reachable.
+    progress: list[tuple[int, int]] = field(default_factory=list)
+    lookup_swapped: bool = False
+
+    def describe(self) -> str:
+        """One-line summary for logs and experiment reports."""
+        return (
+            f"migration: {self.copies} copies, {self.drops} drops "
+            f"({self.skipped} skipped), {self.messages} messages, "
+            f"{self.bytes_copied} bytes"
+        )
+
+
+class LiveMigrator:
+    """Executes migration plans against a cluster and swaps routing state."""
+
+    def __init__(self, cluster: Cluster, batch_size: int = 64) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.cluster = cluster
+        self.batch_size = batch_size
+
+    def execute(self, plan: MigrationPlan) -> MigrationReport:
+        """Apply ``plan`` to the cluster (copies first, then drops)."""
+        report = self.execute_copies(plan)
+        return self.execute_drops(plan, report)
+
+    def execute_copies(self, plan: MigrationPlan, report: MigrationReport | None = None) -> MigrationReport:
+        """Apply only the copy steps — every tuple becomes dually resident."""
+        return self._execute_steps(plan, plan.copies, report)
+
+    def execute_drops(self, plan: MigrationPlan, report: MigrationReport) -> MigrationReport:
+        """Apply only the drop steps (call after the routing update)."""
+        return self._execute_steps(plan, plan.drops, report)
+
+    def _execute_steps(
+        self,
+        plan: MigrationPlan,
+        steps: list[MigrationStep],
+        report: MigrationReport | None = None,
+    ) -> MigrationReport:
+        if plan.num_partitions != self.cluster.num_partitions:
+            raise ValueError("plan and cluster disagree on the number of partitions")
+        if report is None:
+            report = MigrationReport()
+        pending = 0
+        for step in steps:
+            if step.action == "copy":
+                self._copy(step, report)
+            else:
+                self._drop(step, report)
+            pending += 1
+            if pending >= self.batch_size:
+                report.progress.append((report.copies, report.drops))
+                pending = 0
+        if pending:
+            report.progress.append((report.copies, report.drops))
+        return report
+
+    def _copy(self, step: MigrationStep, report: MigrationReport) -> None:
+        # Read from source: one request/response pair.
+        report.messages += 2
+        copied_bytes = self.cluster.copy_tuple(step.tuple_id, step.source, step.target)
+        if copied_bytes is None:
+            # The tuple vanished (e.g. deleted by live traffic between
+            # planning and execution): nothing to copy, routing will miss it
+            # everywhere, which is consistent.
+            report.skipped += 1
+            return
+        if copied_bytes == 0:
+            # The target already held the replica (e.g. a plan replayed
+            # after a crash between copies and drops): nothing was written,
+            # so no write messages and no copy is recorded — mirroring how
+            # dropping an absent replica reports a skip.
+            report.skipped += 1
+            return
+        # Write to target: one request/response pair.
+        report.messages += 2
+        report.bytes_copied += copied_bytes
+        report.copies += 1
+
+    def _drop(self, step: MigrationStep, report: MigrationReport) -> None:
+        report.messages += 2
+        if self.cluster.drop_tuple(step.tuple_id, step.source):
+            report.drops += 1
+        else:
+            report.skipped += 1
+
+    def apply_routing_delta(
+        self, router: Router, plan: MigrationPlan, report: MigrationReport
+    ) -> None:
+        """Publish the new placement by re-writing only the changed entries.
+
+        The O(moved tuples) routing-update path for exact lookup backends
+        (``supports_update()``): each ``put`` flips one tuple's entry from
+        its old to its new placement — individually atomic, and safe at any
+        interleaving because the copies already ran (both placements are
+        physically valid until the drops execute).
+        """
+        table = router.lookup_table
+        if table is not None:
+            table.apply_delta(plan.changes)
+        strategy = router.strategy
+        if isinstance(strategy, LookupTablePartitioning):
+            for tuple_id, partitions in plan.changes:
+                strategy.assignment.assign(tuple_id, partitions)
+        report.lookup_swapped = True
+
+    def swap_routing(
+        self,
+        router: Router,
+        new_assignment: PartitionAssignment,
+        report: MigrationReport,
+        lookup_backend: str = "dict",
+    ) -> None:
+        """Atomically publish the new placement as a wholesale table swap.
+
+        The fallback for backends that cannot narrow entries in place
+        (Bloom filters): the replacement lookup table is built completely
+        before a single reference assignment swaps it in; the strategy's
+        assignment is updated the same way.  In CPython both rebinds are
+        atomic, so a concurrent ``route_statement`` sees a consistent table.
+        """
+        new_table = build_lookup_table(new_assignment, backend=lookup_backend)
+        strategy = router.strategy
+        if isinstance(strategy, LookupTablePartitioning):
+            strategy.assignment = new_assignment
+        router.lookup_table = new_table
+        report.lookup_swapped = True

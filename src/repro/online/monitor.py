@@ -1,0 +1,305 @@
+"""Streaming workload monitor with drift detection.
+
+The monitor ingests :class:`~repro.workload.trace.TransactionAccess` objects
+one batch at a time (the same chunked batches the offline pipeline can
+stream through :meth:`AccessTrace.iter_batches`) and maintains:
+
+* a **sliding window** of the most recent transactions, used to re-evaluate
+  placement quality (distributed fraction, per-partition load) against the
+  *current* routing strategy;
+* **exponentially-decayed tuple access counts**, aged once per ingest epoch,
+  from which the current hot set is derived.  The decay uses a global scale
+  factor so per-access work stays O(touched tuples) — the stored counts are
+  renormalised only when the scale risks underflow;
+* a **baseline snapshot** (hot set + distributed fraction) taken right after
+  (re-)partitioning, against which drift is measured.
+
+Drift is reported when any of three signals crosses its threshold: the
+windowed distributed-transaction fraction rises above the baseline by more
+than ``drift_distributed_increase``, the per-partition transaction load skew
+(max/mean) exceeds ``drift_skew_threshold``, or the hot-tuple churn (1 -
+overlap between the current and baseline hot sets) exceeds
+``drift_churn_threshold``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable
+
+from repro.catalog.tuples import TupleId
+from repro.core.cost import transaction_partitions
+from repro.core.strategies import PartitioningStrategy
+from repro.workload.trace import TransactionAccess
+
+#: Renormalise stored counts once the inverse scale grows past this.
+_RENORMALISE_LIMIT = 1e12
+#: Drop decayed counts below this fraction of one fresh access.
+_PRUNE_FRACTION = 1e-4
+
+
+@dataclass
+class MonitorOptions:
+    """Tuning knobs of the workload monitor."""
+
+    #: number of recent transactions kept in the sliding window.
+    window_size: int = 1000
+    #: per-epoch decay factor for the tuple access counts (1.0 disables aging).
+    decay: float = 0.95
+    #: size of the tracked hot-tuple set.
+    hot_set_size: int = 32
+    #: drift when the windowed distributed fraction exceeds the baseline by this much.
+    drift_distributed_increase: float = 0.10
+    #: drift when max/mean per-partition transaction load exceeds this...
+    drift_skew_threshold: float = 1.75
+    #: ...and also exceeds the baseline skew by this much (an inherently
+    #: skewed workload must not re-trigger futile adaptations forever).
+    drift_skew_increase: float = 0.25
+    #: drift when 1 - |hot_now & hot_baseline| / hot_set_size exceeds this.
+    drift_churn_threshold: float = 0.60
+    #: suppress drift reports until the window holds at least this many transactions.
+    min_window_fill: int = 50
+
+    def __post_init__(self) -> None:
+        if self.window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if self.hot_set_size <= 0:
+            raise ValueError("hot_set_size must be positive")
+        # The window can never fill past its capacity; an uncapped
+        # min_window_fill would silently disable drift detection forever.
+        self.min_window_fill = min(self.min_window_fill, self.window_size)
+
+
+@dataclass
+class WindowStats:
+    """Placement-quality statistics over the monitor's sliding window."""
+
+    transactions: int
+    distributed_fraction: float
+    load_skew: float
+    hot_tuples: tuple[TupleId, ...]
+    hot_churn: float
+    baseline_distributed_fraction: float
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one drift check."""
+
+    drifted: bool
+    reasons: list[str] = field(default_factory=list)
+    stats: WindowStats | None = None
+
+    def describe(self) -> str:
+        """One-line summary for logs and experiment reports."""
+        if not self.drifted:
+            return "no drift"
+        return "drift: " + "; ".join(self.reasons)
+
+
+class WorkloadMonitor:
+    """Streaming monitor over live transaction accesses.
+
+    Parameters
+    ----------
+    options:
+        Monitor tuning knobs.
+    strategy:
+        The routing strategy currently deployed; used to attribute each
+        observed transaction to partitions.  Replace it via
+        :meth:`rebaseline` after a re-partition.
+    """
+
+    def __init__(
+        self,
+        options: MonitorOptions | None = None,
+        strategy: PartitioningStrategy | None = None,
+    ) -> None:
+        self.options = options or MonitorOptions()
+        self.strategy = strategy
+        num_partitions = strategy.num_partitions if strategy is not None else 0
+        #: (access, participant partitions) per window slot.
+        self._window: Deque[tuple[TransactionAccess, frozenset[int]]] = deque(
+            maxlen=self.options.window_size
+        )
+        self._window_distributed = 0
+        self._partition_load = [0] * num_partitions
+        # Decayed per-tuple access counts via the global-scale trick:
+        # true_count = stored * _scale; ingest adds 1 / _scale, aging divides
+        # _scale by decay, and the stored values are renormalised only when
+        # the increment would lose precision.
+        self._counts: dict[TupleId, float] = {}
+        self._scale = 1.0
+        self._increment = 1.0
+        self.transactions_seen = 0
+        self.epochs = 0
+        self._baseline_hot: frozenset[TupleId] = frozenset()
+        self._baseline_distributed = 0.0
+        self._baseline_skew = 1.0
+
+    # -- ingest -----------------------------------------------------------------------
+    def ingest(self, access: TransactionAccess) -> None:
+        """Observe one transaction."""
+        participants = (
+            transaction_partitions(self.strategy, access)
+            if self.strategy is not None
+            else frozenset()
+        )
+        if len(self._window) == self._window.maxlen:
+            self._evict(self._window[0])
+        self._window.append((access, participants))
+        if len(participants) > 1:
+            self._window_distributed += 1
+        for partition in participants:
+            self._partition_load[partition] += 1
+        increment = self._increment
+        counts = self._counts
+        for tuple_id in access.touched:
+            counts[tuple_id] = counts.get(tuple_id, 0.0) + increment
+        self.transactions_seen += 1
+
+    def ingest_batch(self, batch: Iterable[TransactionAccess]) -> None:
+        """Observe one chunk of transactions, then age the counts one epoch."""
+        for access in batch:
+            self.ingest(access)
+        self.advance_epoch()
+
+    def advance_epoch(self) -> None:
+        """Age the decayed counts by one epoch (cheap; amortised O(1) per call)."""
+        self.epochs += 1
+        decay = self.options.decay
+        if decay >= 1.0:
+            return
+        self._scale *= decay
+        self._increment = 1.0 / self._scale
+        if self._increment > _RENORMALISE_LIMIT:
+            self._renormalise()
+
+    def _renormalise(self) -> None:
+        scale = self._scale
+        prune_below = _PRUNE_FRACTION / scale
+        self._counts = {
+            tuple_id: stored * scale
+            for tuple_id, stored in self._counts.items()
+            if stored >= prune_below
+        }
+        self._scale = 1.0
+        self._increment = 1.0
+
+    def _evict(self, slot: tuple[TransactionAccess, frozenset[int]]) -> None:
+        _, participants = slot
+        if len(participants) > 1:
+            self._window_distributed -= 1
+        for partition in participants:
+            self._partition_load[partition] -= 1
+
+    # -- statistics -------------------------------------------------------------------
+    def access_count(self, tuple_id: TupleId) -> float:
+        """Decayed access count of ``tuple_id``."""
+        return self._counts.get(tuple_id, 0.0) * self._scale
+
+    def hot_tuples(self) -> tuple[TupleId, ...]:
+        """The ``hot_set_size`` most-accessed tuples (deterministic tie-break).
+
+        ``nsmallest`` over ``(-count, id)`` is the O(N log k) top-k selection
+        — this runs inside every drift check, so a full sort of the counts
+        dict would dominate the ingest path once many tuples are tracked.
+        """
+        ranked = heapq.nsmallest(
+            self.options.hot_set_size,
+            self._counts.items(),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return tuple(tuple_id for tuple_id, _ in ranked)
+
+    def window_trace_accesses(self) -> list[TransactionAccess]:
+        """The sliding window's transactions, oldest first."""
+        return [access for access, _ in self._window]
+
+    def window_stats(self) -> WindowStats:
+        """Current window statistics (distributed fraction, skew, churn)."""
+        window = len(self._window)
+        distributed = self._window_distributed / window if window else 0.0
+        load = self._partition_load
+        total_load = sum(load)
+        if load and total_load > 0:
+            mean = total_load / len(load)
+            skew = max(load) / mean
+        else:
+            skew = 1.0
+        hot = self.hot_tuples()
+        if self._baseline_hot:
+            overlap = len(self._baseline_hot & frozenset(hot))
+            churn = 1.0 - overlap / max(1, min(len(self._baseline_hot), self.options.hot_set_size))
+        else:
+            churn = 0.0
+        return WindowStats(
+            transactions=window,
+            distributed_fraction=distributed,
+            load_skew=skew,
+            hot_tuples=hot,
+            hot_churn=churn,
+            baseline_distributed_fraction=self._baseline_distributed,
+        )
+
+    # -- drift ------------------------------------------------------------------------
+    def set_baseline(self) -> None:
+        """Snapshot the current hot set and distributed fraction as "normal".
+
+        Call right after (re-)partitioning: subsequent drift is measured
+        against this snapshot.
+        """
+        self._baseline_hot = frozenset(self.hot_tuples())
+        window = len(self._window)
+        self._baseline_distributed = self._window_distributed / window if window else 0.0
+        self._baseline_skew = self.window_stats().load_skew
+
+    def rebaseline(self, strategy: PartitioningStrategy) -> None:
+        """Adopt a newly deployed ``strategy`` and reset the drift baseline.
+
+        The window's recorded participant sets reflect routing at observation
+        time; they are re-attributed under the new strategy so the baseline
+        distributed fraction matches the post-migration reality.
+        """
+        self.strategy = strategy
+        self._partition_load = [0] * strategy.num_partitions
+        self._window_distributed = 0
+        reattributed: Deque[tuple[TransactionAccess, frozenset[int]]] = deque(
+            maxlen=self.options.window_size
+        )
+        for access, _ in self._window:
+            participants = transaction_partitions(strategy, access)
+            reattributed.append((access, participants))
+            if len(participants) > 1:
+                self._window_distributed += 1
+            for partition in participants:
+                self._partition_load[partition] += 1
+        self._window = reattributed
+        self.set_baseline()
+
+    def check_drift(self) -> DriftReport:
+        """Compare the current window against the baseline snapshot."""
+        stats = self.window_stats()
+        if stats.transactions < self.options.min_window_fill:
+            return DriftReport(False, ["window not yet filled"], stats)
+        reasons: list[str] = []
+        increase = stats.distributed_fraction - self._baseline_distributed
+        if increase > self.options.drift_distributed_increase:
+            reasons.append(
+                f"distributed fraction {stats.distributed_fraction:.1%} "
+                f"(baseline {self._baseline_distributed:.1%})"
+            )
+        if (
+            stats.load_skew > self.options.drift_skew_threshold
+            and stats.load_skew > self._baseline_skew + self.options.drift_skew_increase
+        ):
+            reasons.append(
+                f"load skew {stats.load_skew:.2f} (baseline {self._baseline_skew:.2f})"
+            )
+        if self._baseline_hot and stats.hot_churn > self.options.drift_churn_threshold:
+            reasons.append(f"hot-tuple churn {stats.hot_churn:.1%}")
+        return DriftReport(bool(reasons), reasons, stats)

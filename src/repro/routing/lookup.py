@@ -33,7 +33,7 @@ class LookupTable(ABC):
 
     @abstractmethod
     def put(self, tuple_id: TupleId, partitions: frozenset[int]) -> None:
-        """Record that ``tuple_id`` lives on ``partitions``."""
+        """Record that ``tuple_id`` lives on ``partitions`` (overwriting any prior entry)."""
 
     @abstractmethod
     def get(self, tuple_id: TupleId) -> frozenset[int] | None:
@@ -43,6 +43,15 @@ class LookupTable(ABC):
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the backend."""
 
+    def supports_update(self) -> bool:
+        """Whether :meth:`put` can correctly *narrow* an existing entry.
+
+        Bloom filters cannot unset bits, so re-partitioning must rebuild
+        them; the exact backends update in place.  Live migration uses this
+        to decide between ``apply_delta`` and a full table rebuild + swap.
+        """
+        return True
+
     def load(self, assignment: PartitionAssignment) -> "LookupTable":
         """Bulk-load from a :class:`PartitionAssignment`."""
         for tuple_id in assignment:
@@ -50,6 +59,24 @@ class LookupTable(ABC):
             assert placement is not None
             self.put(tuple_id, placement)
         return self
+
+    def apply_delta(self, changes: Iterable[tuple[TupleId, frozenset[int]]]) -> int:
+        """Apply placement changes in bulk; returns the number of entries written.
+
+        This is the live-migration update path: after a budgeted
+        re-partition only the moved tuples are re-written, instead of
+        rebuilding the whole table.  Backends for which in-place narrowing
+        is unsound (``supports_update() == False``) must be rebuilt instead.
+        """
+        if not self.supports_update():
+            raise ValueError(
+                f"{type(self).__name__} cannot update entries in place; rebuild it"
+            )
+        count = 0
+        for tuple_id, partitions in changes:
+            self.put(tuple_id, partitions)
+            count += 1
+        return count
 
 
 class DictLookupTable(LookupTable):
@@ -122,6 +149,10 @@ class BitArrayLookupTable(LookupTable):
             array = self._array_for(tuple_id.table, key)
             array[key] = self._UNKNOWN
             return
+        # A tuple that used to be replicated may collapse to a single
+        # partition (live migration dropping replicas): clear the overflow
+        # entry or ``get`` would keep answering the stale replica set.
+        self._replicated.pop(tuple_id, None)
         partition = next(iter(partitions))
         array = self._array_for(tuple_id.table, key)
         array[key] = partition + 1
@@ -175,6 +206,11 @@ class BloomFilterLookupTable(LookupTable):
         return [
             (base + index * second) % self._bits_per_filter for index in range(self._hash_count)
         ]
+
+    def supports_update(self) -> bool:
+        # Bits can only be set, never cleared: moving a tuple off a partition
+        # cannot be expressed, so migration rebuilds Bloom tables wholesale.
+        return False
 
     def put(self, tuple_id: TupleId, partitions: frozenset[int]) -> None:
         positions = self._positions(tuple_id)

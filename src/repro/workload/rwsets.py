@@ -16,7 +16,13 @@ from typing import Iterator, Sequence
 
 from repro.catalog.tuples import TupleId
 from repro.engine.database import Database
-from repro.workload.trace import StatementAccess, Transaction, TransactionAccess, Workload
+from repro.workload.trace import (
+    StatementAccess,
+    Transaction,
+    TransactionAccess,
+    Workload,
+    iter_chunks,
+)
 
 
 @dataclass
@@ -58,6 +64,15 @@ class AccessTrace:
     def replace(self, accesses: Sequence[TransactionAccess]) -> "AccessTrace":
         """Return a new trace with the same name and different accesses."""
         return AccessTrace(self.workload_name, list(accesses))
+
+    def iter_batches(self, batch_size: int) -> Iterator[list[TransactionAccess]]:
+        """Stream the trace as chunked batches of transaction accesses.
+
+        The online monitor ingests through this, the batch pipeline consumes
+        the whole list — both see the same ordering and chunking semantics
+        (see :func:`repro.workload.trace.iter_chunks`).
+        """
+        return iter_chunks(self.accesses, batch_size)
 
 
 def extract_access_trace(

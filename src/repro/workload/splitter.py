@@ -1,14 +1,19 @@
-"""Train/test splitting of workloads.
+"""Train/test splitting and streaming of workloads.
 
 The paper trains the partitioner and the explanation classifier on a training
 slice of the trace and reports the distributed-transaction fraction on a
-held-out test slice.  ``split_workload`` reproduces that protocol.
+held-out test slice.  ``split_workload`` reproduces that protocol;
+``stream_workload`` exposes the same workload as an ordered stream of
+chunked sub-workloads, which is how the online monitor consumes live
+traffic (both paths share :func:`repro.workload.trace.iter_chunks`).
 """
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.utils.rng import SeededRng
-from repro.workload.trace import Workload
+from repro.workload.trace import Workload, iter_chunks
 
 
 def split_workload(
@@ -43,3 +48,15 @@ def split_workload(
     train = Workload(f"{workload.name}-train", transactions[:cut])
     test = Workload(f"{workload.name}-test", transactions[cut:])
     return train, test
+
+
+def stream_workload(workload: Workload, batch_size: int) -> Iterator[Workload]:
+    """Stream ``workload`` as ordered chunks of at most ``batch_size`` transactions.
+
+    Each chunk is itself a :class:`Workload` (named ``<name>-batch<i>``) so
+    that anything consuming workloads — trace extraction, the monitor's
+    ingest path, experiment harnesses — can process a live stream and a
+    recorded trace through the same code.
+    """
+    for index, chunk in enumerate(iter_chunks(workload.transactions, batch_size)):
+        yield Workload(f"{workload.name}-batch{index}", chunk)

@@ -10,10 +10,32 @@ and wrote — the "data pre-processing" step of the paper's pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence, TypeVar
 
 from repro.catalog.tuples import TupleId
 from repro.sqlparse.ast import Statement, is_write
+
+_T = TypeVar("_T")
+
+
+def iter_chunks(items: Iterable[_T], chunk_size: int) -> Iterator[list[_T]]:
+    """Yield ``items`` in order as lists of at most ``chunk_size`` elements.
+
+    The single chunking primitive shared by the batch pipeline
+    (:func:`repro.workload.splitter.stream_workload`) and the online
+    monitor's ingest path, so both consume traces through one code path.
+    Works on any iterable — including generators — without materialising it.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    chunk: list[_T] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 @dataclass(frozen=True)
@@ -59,6 +81,10 @@ class Workload:
 
     def __len__(self) -> int:
         return len(self.transactions)
+
+    def iter_batches(self, batch_size: int) -> Iterator[list[Transaction]]:
+        """Stream the workload as chunked transaction batches (in order)."""
+        return iter_chunks(self.transactions, batch_size)
 
     def __repr__(self) -> str:
         return f"Workload({self.name!r}, {len(self.transactions)} transactions)"

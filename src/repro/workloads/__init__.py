@@ -9,10 +9,17 @@ baseline used in Figure 4 where one exists:
 * :mod:`repro.workloads.tpcc` — TPC-C (9 tables, 5 transaction types);
 * :mod:`repro.workloads.tpce` — a reduced TPC-E (12 tables, 10 transaction types);
 * :mod:`repro.workloads.epinions` — the Epinions.com social-network workload;
-* :mod:`repro.workloads.random_workload` — the "impossible to partition" workload.
+* :mod:`repro.workloads.random_workload` — the "impossible to partition" workload;
+* :mod:`repro.workloads.drifting` — multi-phase drifting workloads
+  (rotating hotspot, warehouse shift) for the online adaptivity layer.
 """
 
 from repro.workloads.base import WorkloadBundle
+from repro.workloads.drifting import (
+    DriftingWorkloadBundle,
+    generate_rotating_hotspot,
+    generate_warehouse_shift_tpcc,
+)
 from repro.workloads.simplecount import generate_simplecount
 from repro.workloads.ycsb import generate_ycsb_a, generate_ycsb_e
 from repro.workloads.tpcc import TpccConfig, generate_tpcc, tpcc_manual_strategy
@@ -21,6 +28,7 @@ from repro.workloads.epinions import EpinionsConfig, generate_epinions, epinions
 from repro.workloads.random_workload import generate_random_workload
 
 __all__ = [
+    "DriftingWorkloadBundle",
     "EpinionsConfig",
     "TpccConfig",
     "TpceConfig",
@@ -28,9 +36,11 @@ __all__ = [
     "epinions_manual_strategy",
     "generate_epinions",
     "generate_random_workload",
+    "generate_rotating_hotspot",
     "generate_simplecount",
     "generate_tpcc",
     "generate_tpce",
+    "generate_warehouse_shift_tpcc",
     "generate_ycsb_a",
     "generate_ycsb_e",
     "tpcc_manual_strategy",

@@ -1,0 +1,184 @@
+"""Drifting workloads for the online adaptivity layer.
+
+Two drift scenarios, each producing an ordered list of *phases* whose union
+is one continuous stream:
+
+* :func:`generate_rotating_hotspot` — a YCSB-style single table where every
+  transaction touches a small **group** of keys inside a hot window, and the
+  window (and with it the co-access structure) rotates across the key space
+  between phases.  A placement trained on one phase serves its groups
+  locally and degrades sharply when the hotspot rotates onto keys it never
+  saw together.
+* :func:`generate_warehouse_shift_tpcc` — TPC-C where the home-warehouse
+  distribution concentrates on a rotating subset of warehouses per phase
+  (``home_warehouse_weights``), modelling regional load shifting across a
+  day.
+
+Both return a :class:`DriftingWorkloadBundle`: the loaded database, the
+per-phase workloads, and the concatenated stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.engine.database import Database
+from repro.sqlparse.ast import SelectStatement, UpdateStatement, eq
+from repro.utils.rng import SeededRng
+from repro.workload.trace import Workload
+from repro.workloads.tpcc import TpccConfig, _TpccGenerator
+from repro.workloads.ycsb import ycsb_schema, _load_usertable
+
+
+@dataclass
+class DriftingWorkloadBundle:
+    """A multi-phase workload over one database."""
+
+    name: str
+    database: Database
+    #: one workload per phase, in stream order.
+    phases: list[Workload]
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def training(self) -> Workload:
+        """The first phase — what the offline pipeline trains on."""
+        return self.phases[0]
+
+    def combined(self) -> Workload:
+        """All phases concatenated into one stream."""
+        merged = Workload(self.name)
+        for phase in self.phases:
+            for transaction in phase:
+                merged.add(transaction)
+        return merged
+
+
+def generate_rotating_hotspot(
+    num_rows: int = 1200,
+    transactions_per_phase: int = 600,
+    num_phases: int = 2,
+    group_size: int = 3,
+    hot_window: int = 300,
+    rotation_stride: int | None = None,
+    uniform_fraction: float = 0.05,
+    seed: int = 0,
+) -> DriftingWorkloadBundle:
+    """YCSB-style rotating-hotspot stream.
+
+    Keys are grouped into runs of ``group_size`` consecutive keys.  In phase
+    ``p`` the anchors come from the window of ``hot_window`` keys starting at
+    ``p * rotation_stride`` (default stride = ``hot_window``, i.e. disjoint
+    windows): each transaction updates one member of a group and reads the
+    rest, so groups must be co-located to commit locally.  A small
+    ``uniform_fraction`` of single-row reads is spread over the whole table
+    as background noise.
+    """
+    if hot_window % group_size != 0:
+        raise ValueError("hot_window must be a multiple of group_size")
+    if rotation_stride is None:
+        rotation_stride = hot_window
+    # The last phase's window is [(num_phases-1) * stride, ... + hot_window).
+    if (num_phases - 1) * rotation_stride + hot_window > num_rows:
+        raise ValueError("phases rotate past the end of the table; add rows")
+    rng = SeededRng(seed)
+    database = Database(ycsb_schema())
+    _load_usertable(database, num_rows, rng.fork("load"))
+    groups_per_window = hot_window // group_size
+    phases: list[Workload] = []
+    for phase in range(num_phases):
+        phase_rng = rng.fork(("phase", phase))
+        window_start = phase * rotation_stride
+        workload = Workload(f"rotating-hotspot-p{phase}")
+        for _ in range(transactions_per_phase):
+            if phase_rng.bernoulli(uniform_fraction):
+                key = phase_rng.randint(0, num_rows - 1)
+                workload.add_statements(
+                    [SelectStatement(("usertable",), where=eq("ycsb_key", key))],
+                    kind="background-read",
+                )
+                continue
+            group = phase_rng.randint(0, groups_per_window - 1)
+            base = window_start + group * group_size
+            keys = list(range(base, base + group_size))
+            written = keys[phase_rng.randint(0, group_size - 1)]
+            statements = [
+                UpdateStatement(
+                    "usertable",
+                    {"field0": phase_rng.randint(0, 1_000_000)},
+                    where=eq("ycsb_key", written),
+                )
+            ]
+            statements.extend(
+                SelectStatement(("usertable",), where=eq("ycsb_key", key))
+                for key in keys
+                if key != written
+            )
+            workload.add_statements(statements, kind="group")
+        phases.append(workload)
+    return DriftingWorkloadBundle(
+        name="rotating-hotspot",
+        database=database,
+        phases=phases,
+        metadata={
+            "rows": num_rows,
+            "transactions_per_phase": transactions_per_phase,
+            "num_phases": num_phases,
+            "group_size": group_size,
+            "hot_window": hot_window,
+            "rotation_stride": rotation_stride,
+            "uniform_fraction": uniform_fraction,
+        },
+    )
+
+
+def generate_warehouse_shift_tpcc(
+    warehouses: int = 4,
+    hot_warehouses: int = 1,
+    transactions_per_phase: int = 400,
+    num_phases: int = 2,
+    hot_weight: float = 8.0,
+    config: TpccConfig | None = None,
+    seed: int | None = None,
+) -> DriftingWorkloadBundle:
+    """TPC-C with the hot warehouses rotating between phases.
+
+    In phase ``p`` the ``hot_warehouses`` warehouses starting at
+    ``(p * hot_warehouses) % warehouses`` receive ``hot_weight`` times the
+    traffic of the others; everything else is standard TPC-C over one shared
+    database, so later phases observe the inserts of earlier ones.
+    """
+    if hot_warehouses < 1 or hot_warehouses > warehouses:
+        raise ValueError("hot_warehouses must be in [1, warehouses]")
+    base = config or TpccConfig(warehouses=warehouses)
+    if base.warehouses != warehouses:
+        raise ValueError("config.warehouses and warehouses argument disagree")
+    # Work on a private copy: the per-phase weight rotation must not leak
+    # into the caller's config object.  An explicit ``seed`` wins over the
+    # config's (it must not be silently ignored).
+    working = replace(base, **({"seed": seed} if seed is not None else {}))
+    generator = _TpccGenerator(working)
+    phases: list[Workload] = []
+    for phase in range(num_phases):
+        first_hot = (phase * hot_warehouses) % warehouses
+        hot = {(first_hot + offset) % warehouses for offset in range(hot_warehouses)}
+        working.home_warehouse_weights = tuple(
+            hot_weight if index in hot else 1.0 for index in range(warehouses)
+        )
+        phases.append(
+            generator.generate_workload(
+                transactions_per_phase, f"tpcc-shift-p{phase}"
+            )
+        )
+    return DriftingWorkloadBundle(
+        name="tpcc-warehouse-shift",
+        database=generator.database,
+        phases=phases,
+        metadata={
+            "warehouses": warehouses,
+            "hot_warehouses": hot_warehouses,
+            "hot_weight": hot_weight,
+            "transactions_per_phase": transactions_per_phase,
+            "num_phases": num_phases,
+        },
+    )

@@ -80,11 +80,20 @@ class TpccConfig:
     order_status_weight: float = 0.04
     delivery_weight: float = 0.04
     stock_level_weight: float = 0.04
+    #: relative weight of each warehouse when choosing a transaction's home
+    #: warehouse (None = uniform).  The drifting-workload generator shifts
+    #: this between phases to model load moving across warehouses.
+    home_warehouse_weights: tuple[float, ...] | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.warehouses < 1:
             raise ValueError("warehouses must be >= 1")
+        if (
+            self.home_warehouse_weights is not None
+            and len(self.home_warehouse_weights) != self.warehouses
+        ):
+            raise ValueError("home_warehouse_weights must have one entry per warehouse")
         total = (
             self.new_order_weight
             + self.payment_weight
@@ -342,7 +351,14 @@ class _TpccGenerator:
         return workload
 
     def _random_district(self) -> tuple[int, int]:
-        warehouse_id = self.rng.randint(1, self.config.warehouses)
+        weights = self.config.home_warehouse_weights
+        if weights is None:
+            warehouse_id = self.rng.randint(1, self.config.warehouses)
+        else:
+            warehouse_id = weighted_choice(
+                self.rng,
+                [(index + 1, weight) for index, weight in enumerate(weights)],
+            )
         district_id = self.rng.randint(1, self.config.districts_per_warehouse)
         return warehouse_id, district_id
 

@@ -91,3 +91,99 @@ def test_coordinator_partition_mismatch(bank_database):
     router = Router(range_strategy(3), bank_database.schema)
     with pytest.raises(ValueError):
         TwoPhaseCommitCoordinator(cluster, router)
+
+
+# -- 2PC message accounting (exercised heavily by live migration) --------------------
+def test_coordinator_broadcast_statement_messages(bank_database):
+    strategy = range_strategy()
+    cluster = Cluster.from_database(bank_database, strategy)
+    coordinator = TwoPhaseCommitCoordinator(cluster, Router(strategy, bank_database.schema))
+    # No partitioning attribute pinned: the select is broadcast to both
+    # partitions, and the transaction pays full 2PC.
+    transaction = Transaction((SelectStatement(("account",), where=eq("name", "sam")),))
+    outcome = coordinator.execute_transaction(transaction)
+    assert outcome.participants == {0, 1}
+    # one statement to 2 partitions (4 messages) + 2PC over 2 participants (8).
+    assert outcome.messages == 12
+    assert outcome.is_distributed
+
+
+def test_coordinator_replicated_read_stays_local(bank_database):
+    strategy = FullReplication(3)
+    cluster = Cluster.from_database(bank_database, strategy)
+    coordinator = TwoPhaseCommitCoordinator(cluster, Router(strategy, bank_database.schema))
+    transaction = Transaction(
+        (
+            SelectStatement(("account",), where=eq("id", 1)),
+            SelectStatement(("account",), where=eq("id", 5)),
+        )
+    )
+    outcome = coordinator.execute_transaction(transaction)
+    # Replica selection pins both reads to one replica: local commit.
+    assert len(outcome.participants) == 1
+    assert not outcome.is_distributed
+    # two statements (2 each) + local commit (2).
+    assert outcome.messages == 6
+
+
+def test_coordinator_write_to_replicated_table_pays_full_2pc(bank_database):
+    strategy = FullReplication(3)
+    cluster = Cluster.from_database(bank_database, strategy)
+    coordinator = TwoPhaseCommitCoordinator(cluster, Router(strategy, bank_database.schema))
+    transaction = Transaction(
+        (UpdateStatement("account", {"bal": ("delta", -1)}, where=eq("id", 1)),)
+    )
+    outcome = coordinator.execute_transaction(transaction)
+    assert outcome.participants == {0, 1, 2}
+    # one statement to 3 replicas (6 messages) + 2PC over 3 participants (12).
+    assert outcome.messages == 18
+    # Every replica applied the write.
+    written = next(iter(outcome.statement_results[0].write_set))
+    for partition in range(3):
+        assert cluster.database(partition).get_row(written)["bal"] == 79_999
+
+
+def test_coordinator_statistics_accumulate_message_totals(bank_database):
+    strategy = range_strategy()
+    cluster = Cluster.from_database(bank_database, strategy)
+    coordinator = TwoPhaseCommitCoordinator(cluster, Router(strategy, bank_database.schema))
+    workload = Workload("w")
+    workload.add_statements([SelectStatement(("account",), where=eq("id", 1))])  # 4 msgs
+    workload.add_statements(
+        [
+            SelectStatement(("account",), where=eq("id", 1)),
+            SelectStatement(("account",), where=eq("id", 5)),
+        ]
+    )  # 4 + 8 = 12 msgs
+    outcomes = coordinator.execute_workload(workload)
+    stats = coordinator.statistics
+    assert stats.total_messages == sum(outcome.messages for outcome in outcomes) == 16
+    assert stats.mean_messages == 8.0
+    assert stats.total_participants == 3
+    assert stats.distributed_fraction == 0.5
+
+
+def test_coordinator_empty_statistics_are_zero():
+    from repro.distributed.coordinator import CoordinatorStatistics
+
+    stats = CoordinatorStatistics()
+    assert stats.distributed_fraction == 0.0
+    assert stats.mean_messages == 0.0
+
+
+# -- tuple-level cluster operations (live migration substrate) -----------------------
+def test_cluster_copy_and_drop_tuple(bank_database):
+    from repro.catalog.tuples import TupleId
+
+    cluster = Cluster.from_database(bank_database, range_strategy())
+    tuple_id = TupleId("account", (1,))
+    assert cluster.tuple_locations(tuple_id) == {0}
+    assert cluster.copy_tuple(tuple_id, 0, 1) > 0
+    assert cluster.tuple_locations(tuple_id) == {0, 1}
+    # Copy is idempotent: the second call writes nothing.
+    assert cluster.copy_tuple(tuple_id, 0, 1) == 0
+    assert cluster.drop_tuple(tuple_id, 0)
+    assert cluster.tuple_locations(tuple_id) == {1}
+    assert not cluster.drop_tuple(tuple_id, 0)  # already gone
+    # Copying a vanished row reports None.
+    assert cluster.copy_tuple(TupleId("account", (99,)), 0, 1) is None

@@ -95,3 +95,22 @@ def test_figure6_scaling_shapes():
     assert per_machine[-1].speedup > 6.0
     assert per_machine[-1].speedup > fixed[-1].speedup
     assert "Figure 6" in format_figure6(fixed, per_machine)
+
+
+def test_online_drift_adaptation_beats_full_repartition_on_cost():
+    from repro.experiments import format_online_drift, run_online_drift
+
+    report = run_online_drift(
+        num_partitions=2,
+        num_rows=600,
+        transactions_per_phase=300,
+        uniform_fraction=0.2,
+        seed=0,
+    )
+    assert report.drift_detected
+    assert report.distributed_before > report.distributed_budgeted
+    # The budgeted adaptation approaches the full re-partition's quality at a
+    # fraction of its migration volume.
+    assert report.distributed_budgeted <= report.distributed_full + 0.10
+    assert report.tuples_moved_budgeted < report.tuples_moved_full
+    assert "budgeted" in format_online_drift(report)

@@ -1,0 +1,181 @@
+"""Unit tests for migration planning, execution, and the routing swap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.tuples import TupleId
+from repro.core.strategies import LookupTablePartitioning
+from repro.distributed.cluster import Cluster
+from repro.graph.assignment import PartitionAssignment
+from repro.online.migration import LiveMigrator, plan_migration
+from repro.routing.lookup import build_lookup_table
+from repro.routing.router import Router
+
+
+def _assignment(num_partitions, placements):
+    assignment = PartitionAssignment(num_partitions)
+    for key, partitions in placements.items():
+        assignment.assign(TupleId("account", (key,)), partitions)
+    return assignment
+
+
+def test_plan_diffs_only_changed_tuples():
+    old = _assignment(2, {1: {0}, 2: {0}, 3: {1}})
+    new = _assignment(2, {1: {0}, 2: {1}, 3: {1}})
+    plan = plan_migration(old.partitions_of, new)
+    assert plan.tuples_changed == 1
+    assert plan.tuples_moved == 1
+    assert plan.tuples_replicated == 0
+    assert [step.action for step in plan.steps] == ["copy", "drop"]
+    copy, drop = plan.steps
+    assert copy.tuple_id == TupleId("account", (2,))
+    assert (copy.source, copy.target) == (0, 1)
+    assert (drop.tuple_id, drop.source) == (TupleId("account", (2,)), 0)
+
+
+def test_plan_widening_replication_has_no_drops():
+    old = _assignment(2, {1: {0}})
+    new = _assignment(2, {1: {0, 1}})
+    plan = plan_migration(old.partitions_of, new)
+    assert plan.tuples_replicated == 1
+    assert plan.tuples_moved == 0
+    assert len(plan.copies) == 1 and not plan.drops
+
+
+def test_plan_orders_all_copies_before_all_drops():
+    old = _assignment(2, {1: {0}, 2: {1}})
+    new = _assignment(2, {1: {1}, 2: {0}})
+    plan = plan_migration(old.partitions_of, new)
+    actions = [step.action for step in plan.steps]
+    assert actions == ["copy", "copy", "drop", "drop"]
+
+
+def test_plan_unknown_current_placement_raises():
+    new = _assignment(2, {1: {0}})
+    with pytest.raises(ValueError):
+        plan_migration(lambda tuple_id: frozenset(), new)
+
+
+def test_executor_moves_rows_and_counts_messages(bank_database):
+    old = _assignment(2, {1: {0}, 2: {0}, 3: {0}, 4: {1}, 5: {1}})
+    strategy = LookupTablePartitioning(2, old, "hash")
+    cluster = Cluster.from_database(bank_database, strategy)
+    new = _assignment(2, {1: {0}, 2: {1}, 3: {0}, 4: {1}, 5: {0, 1}})
+    plan = plan_migration(strategy.partitions_for_tuple, new)
+    migrator = LiveMigrator(cluster, batch_size=1)
+    report = migrator.execute(plan)
+    assert report.copies == 2  # tuple 2 moved, tuple 5 replicated
+    assert report.drops == 1
+    assert report.skipped == 0
+    # 2 messages per source read + 2 per target write + 2 per drop.
+    assert report.messages == 2 * (2 + 2) + 2
+    assert report.bytes_copied > 0
+    assert report.progress[-1] == (2, 1)
+    # Physical placement matches the new assignment.
+    assert cluster.database(1).get_row(TupleId("account", (2,))) is not None
+    assert cluster.database(0).get_row(TupleId("account", (2,))) is None
+    assert cluster.database(0).get_row(TupleId("account", (5,))) is not None
+    assert cluster.database(1).get_row(TupleId("account", (5,))) is not None
+
+
+def test_executor_is_idempotent(bank_database):
+    old = _assignment(2, {1: {0}, 2: {0}, 3: {0}, 4: {1}, 5: {1}})
+    strategy = LookupTablePartitioning(2, old, "hash")
+    cluster = Cluster.from_database(bank_database, strategy)
+    new = _assignment(2, {2: {1}})
+    plan = plan_migration(strategy.partitions_for_tuple, new)
+    migrator = LiveMigrator(cluster)
+    migrator.execute(plan)
+    report = migrator.execute(plan)  # replay: copy finds row gone from source
+    assert report.copies == 0
+    assert report.drops == 0
+    assert report.skipped == 2
+    assert cluster.database(1).get_row(TupleId("account", (2,))) is not None
+
+
+def test_swap_routing_is_atomic_and_complete(bank_database):
+    old = _assignment(2, {key: {0} for key in (1, 2, 3)} | {4: {1}, 5: {1}})
+    strategy = LookupTablePartitioning(2, old, "hash")
+    cluster = Cluster.from_database(bank_database, strategy)
+    router = Router(strategy, bank_database.schema, build_lookup_table(old))
+    old_table = router.lookup_table
+    new = _assignment(2, {1: {1}, 2: {0}, 3: {0}, 4: {1}, 5: {1}})
+    plan = plan_migration(strategy.partitions_for_tuple, new)
+    migrator = LiveMigrator(cluster)
+    report = migrator.execute(plan)
+    migrator.swap_routing(router, new, report)
+    assert report.lookup_swapped
+    assert router.lookup_table is not old_table
+    assert router.strategy.assignment is new
+    assert router.lookup_table.get(TupleId("account", (1,))) == {1}
+    # The old table object is untouched (readers mid-flight see a consistent view).
+    assert old_table.get(TupleId("account", (1,))) == {0}
+
+
+def test_executor_partition_mismatch(bank_database):
+    old = _assignment(2, {1: {0}})
+    strategy = LookupTablePartitioning(2, old, "hash")
+    cluster = Cluster.from_database(bank_database, strategy)
+    plan = plan_migration(strategy.partitions_for_tuple, _assignment(3, {1: {2}}))
+    with pytest.raises(ValueError):
+        LiveMigrator(cluster).execute(plan)
+
+
+def test_plan_records_routing_changes():
+    old = _assignment(2, {1: {0}, 2: {0}})
+    new = _assignment(2, {1: {0}, 2: {1}})
+    plan = plan_migration(old.partitions_of, new)
+    assert plan.changes == [(TupleId("account", (2,)), frozenset({1}))]
+
+
+def test_split_execution_copies_then_drops(bank_database):
+    old = _assignment(2, {1: {0}, 2: {0}, 3: {0}, 4: {1}, 5: {1}})
+    strategy = LookupTablePartitioning(2, old, "hash")
+    cluster = Cluster.from_database(bank_database, strategy)
+    new = _assignment(2, {2: {1}})
+    plan = plan_migration(strategy.partitions_for_tuple, new)
+    migrator = LiveMigrator(cluster)
+    report = migrator.execute_copies(plan)
+    # Dually resident between the phases: both placements answer reads.
+    assert cluster.tuple_locations(TupleId("account", (2,))) == {0, 1}
+    assert report.copies == 1 and report.drops == 0
+    migrator.execute_drops(plan, report)
+    assert cluster.tuple_locations(TupleId("account", (2,))) == {1}
+    assert report.drops == 1
+
+
+def test_apply_routing_delta_updates_live_table_in_place(bank_database):
+    old = _assignment(2, {1: {0}, 2: {0}, 3: {0}, 4: {1}, 5: {1}})
+    strategy = LookupTablePartitioning(2, old, "hash")
+    cluster = Cluster.from_database(bank_database, strategy)
+    router = Router(strategy, bank_database.schema, build_lookup_table(old))
+    live_table = router.lookup_table
+    new = _assignment(2, {2: {1}, 3: {0, 1}})
+    plan = plan_migration(strategy.partitions_for_tuple, new)
+    migrator = LiveMigrator(cluster)
+    report = migrator.execute_copies(plan)
+    migrator.apply_routing_delta(router, plan, report)
+    # Same table object, only the changed entries re-written.
+    assert router.lookup_table is live_table
+    assert live_table.get(TupleId("account", (2,))) == {1}
+    assert live_table.get(TupleId("account", (3,))) == {0, 1}
+    assert live_table.get(TupleId("account", (1,))) == {0}
+    # The deployed assignment tracks the delta too.
+    assert strategy.assignment.partitions_of(TupleId("account", (2,))) == {1}
+    assert report.lookup_swapped
+
+
+def test_replayed_copies_report_skips_not_copies(bank_database):
+    old = _assignment(2, {1: {0}, 2: {0}, 3: {0}, 4: {1}, 5: {1}})
+    strategy = LookupTablePartitioning(2, old, "hash")
+    cluster = Cluster.from_database(bank_database, strategy)
+    plan = plan_migration(strategy.partitions_for_tuple, _assignment(2, {2: {1}}))
+    migrator = LiveMigrator(cluster)
+    migrator.execute_copies(plan)
+    # Crash-retry between copies and drops: the replica already exists, so
+    # the replay writes nothing and accounts a skip (and no write messages).
+    report = migrator.execute_copies(plan)
+    assert report.copies == 0
+    assert report.skipped == 1
+    assert report.messages == 2  # the source read only

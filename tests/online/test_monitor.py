@@ -1,0 +1,204 @@
+"""Unit tests for the streaming workload monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.tuples import TupleId
+from repro.core.strategies import LookupTablePartitioning
+from repro.graph.assignment import PartitionAssignment
+from repro.online.monitor import MonitorOptions, WorkloadMonitor
+from repro.workload.rwsets import access_from_tuple_sets
+from repro.workload.trace import Transaction
+from repro.sqlparse.ast import SelectStatement
+
+
+def _access(keys, write_keys=(), txn_id=0):
+    transaction = Transaction(
+        (SelectStatement(("t",)),), transaction_id=txn_id
+    )
+    return access_from_tuple_sets(
+        transaction,
+        [TupleId("t", (key,)) for key in keys],
+        [TupleId("t", (key,)) for key in write_keys],
+    )
+
+
+def _strategy(num_partitions=2, placements=None):
+    assignment = PartitionAssignment(num_partitions)
+    for key, partition in (placements or {}).items():
+        assignment.assign(TupleId("t", (key,)), {partition})
+    return LookupTablePartitioning(num_partitions, assignment, "hash")
+
+
+def test_window_distributed_fraction():
+    strategy = _strategy(2, {0: 0, 1: 0, 2: 1})
+    monitor = WorkloadMonitor(MonitorOptions(window_size=10), strategy)
+    monitor.ingest(_access([0, 1]))  # local
+    monitor.ingest(_access([0, 2]))  # distributed
+    stats = monitor.window_stats()
+    assert stats.transactions == 2
+    assert stats.distributed_fraction == 0.5
+    assert stats.load_skew > 1.0
+
+
+def test_window_eviction_keeps_counters_consistent():
+    strategy = _strategy(2, {0: 0, 1: 1})
+    monitor = WorkloadMonitor(MonitorOptions(window_size=2), strategy)
+    monitor.ingest(_access([0, 1]))  # distributed
+    monitor.ingest(_access([0]))
+    monitor.ingest(_access([0]))  # evicts the distributed one
+    stats = monitor.window_stats()
+    assert stats.transactions == 2
+    assert stats.distributed_fraction == 0.0
+
+
+def test_decayed_counts_and_hot_set():
+    monitor = WorkloadMonitor(MonitorOptions(decay=0.5, hot_set_size=2))
+    monitor.ingest(_access([1]))
+    monitor.ingest(_access([1]))
+    monitor.ingest(_access([2]))
+    monitor.advance_epoch()
+    monitor.ingest(_access([3]))
+    # Tuple 1: 2 accesses decayed once = 1.0; tuple 3: fresh = 1.0; tuple 2: 0.5.
+    assert monitor.access_count(TupleId("t", (1,))) == pytest.approx(1.0)
+    assert monitor.access_count(TupleId("t", (2,))) == pytest.approx(0.5)
+    assert monitor.access_count(TupleId("t", (3,))) == pytest.approx(1.0)
+    # Deterministic tie-break: equal counts rank by tuple id.
+    assert monitor.hot_tuples() == (TupleId("t", (1,)), TupleId("t", (3,)))
+
+
+def test_renormalisation_preserves_relative_counts():
+    monitor = WorkloadMonitor(MonitorOptions(decay=0.5))
+    monitor.ingest(_access([1]))
+    monitor.ingest(_access([1]))
+    monitor.ingest(_access([2]))
+    for _ in range(60):  # decay far past the renormalisation limit
+        monitor.advance_epoch()
+    monitor.ingest(_access([3]))
+    assert monitor.access_count(TupleId("t", (3,))) == pytest.approx(1.0)
+    # Tuple 1 decayed to ~2*2^-60 but is still ranked above tuple 2.
+    hot = monitor.hot_tuples()
+    assert hot.index(TupleId("t", (3,))) == 0
+
+
+def test_drift_requires_window_fill():
+    strategy = _strategy(2, {0: 0, 1: 1})
+    monitor = WorkloadMonitor(
+        MonitorOptions(window_size=100, min_window_fill=50), strategy
+    )
+    for _ in range(10):
+        monitor.ingest(_access([0, 1]))
+    report = monitor.check_drift()
+    assert not report.drifted
+
+
+def test_drift_on_distributed_fraction_increase():
+    strategy = _strategy(2, {0: 0, 1: 0, 2: 1})
+    monitor = WorkloadMonitor(
+        MonitorOptions(window_size=100, min_window_fill=10), strategy
+    )
+    for _ in range(20):
+        monitor.ingest(_access([0, 1]))
+    monitor.set_baseline()
+    for _ in range(30):
+        monitor.ingest(_access([0, 2]))
+    report = monitor.check_drift()
+    assert report.drifted
+    assert any("distributed fraction" in reason for reason in report.reasons)
+
+
+def test_drift_on_hot_tuple_churn():
+    strategy = _strategy(2, {key: 0 for key in range(40)})
+    options = MonitorOptions(
+        window_size=200,
+        min_window_fill=10,
+        hot_set_size=4,
+        decay=0.5,
+        drift_distributed_increase=2.0,  # disable the other signals
+        drift_skew_threshold=100.0,
+        drift_churn_threshold=0.5,
+    )
+    monitor = WorkloadMonitor(options, strategy)
+    for key in (0, 1, 2, 3) * 5:
+        monitor.ingest(_access([key]))
+    monitor.set_baseline()
+    for _ in range(8):
+        monitor.advance_epoch()
+    for key in (10, 11, 12, 13) * 5:
+        monitor.ingest(_access([key]))
+    report = monitor.check_drift()
+    assert report.drifted
+    assert any("churn" in reason for reason in report.reasons)
+
+
+def test_rebaseline_reattributes_window():
+    # Initially tuples 0/1 are split -> every transaction distributed.
+    split = _strategy(2, {0: 0, 1: 1})
+    # Skew is out of scope here: with both tuples co-located on one of two
+    # partitions the load is (correctly) maximally skewed.
+    monitor = WorkloadMonitor(
+        MonitorOptions(window_size=50, min_window_fill=5, drift_skew_threshold=100.0),
+        split,
+    )
+    for _ in range(20):
+        monitor.ingest(_access([0, 1]))
+    assert monitor.window_stats().distributed_fraction == 1.0
+    # After "migration" co-locates them, rebaseline re-attributes the window.
+    colocated = _strategy(2, {0: 0, 1: 0})
+    monitor.rebaseline(colocated)
+    stats = monitor.window_stats()
+    assert stats.distributed_fraction == 0.0
+    assert not monitor.check_drift().drifted
+
+
+def test_ingest_batch_advances_epoch():
+    monitor = WorkloadMonitor(MonitorOptions(decay=0.5))
+    monitor.ingest_batch([_access([1])])
+    assert monitor.epochs == 1
+    assert monitor.access_count(TupleId("t", (1,))) == pytest.approx(0.5)
+
+
+def test_min_window_fill_clamped_to_window_size():
+    # A fill requirement above capacity would disable drift detection forever.
+    options = MonitorOptions(window_size=40, min_window_fill=50)
+    assert options.min_window_fill == 40
+    strategy = _strategy(2, {0: 0, 1: 1})
+    monitor = WorkloadMonitor(options, strategy)
+    for _ in range(40):
+        monitor.ingest(_access([0, 1]))
+    # The full (small) window satisfies the clamped fill gate.
+    assert "window not yet filled" not in monitor.check_drift().reasons
+
+
+def test_inherently_skewed_baseline_does_not_refire_skew_drift():
+    # Everything lives on partition 0 of 4: maximally skewed, but stable.
+    strategy = _strategy(4, {0: 0, 1: 0})
+    monitor = WorkloadMonitor(
+        MonitorOptions(window_size=50, min_window_fill=5), strategy
+    )
+    for _ in range(20):
+        monitor.ingest(_access([0, 1]))
+    monitor.set_baseline()
+    for _ in range(20):
+        monitor.ingest(_access([0, 1]))
+    report = monitor.check_drift()
+    # Skew (4.0) exceeds the absolute threshold but not the baseline: no drift.
+    assert report.stats.load_skew > monitor.options.drift_skew_threshold
+    assert not report.drifted
+
+
+def test_skew_drift_fires_on_increase_over_baseline():
+    strategy = _strategy(4, {0: 0, 1: 1, 2: 0})
+    monitor = WorkloadMonitor(
+        MonitorOptions(window_size=40, min_window_fill=5), strategy
+    )
+    for _ in range(20):
+        monitor.ingest(_access([0]))
+        monitor.ingest(_access([1]))
+    monitor.set_baseline()  # balanced-ish baseline (skew 2.0 over 4 parts)
+    for _ in range(40):
+        monitor.ingest(_access([0, 2]))  # all load collapses onto partition 0
+    report = monitor.check_drift()
+    assert report.drifted
+    assert any("load skew" in reason for reason in report.reasons)

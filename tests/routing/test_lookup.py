@@ -80,3 +80,54 @@ def test_unknown_backend(assignment):
 def test_memory_accounting(assignment):
     table = DictLookupTable(4).load(assignment)
     assert table.memory_bytes() > 0
+
+
+# -- update paths (exercised by live migration) --------------------------------------
+@pytest.mark.parametrize("backend", ["dict", "bitarray"])
+def test_put_overwrites_single_partition(assignment, backend):
+    table = build_lookup_table(assignment, backend=backend)
+    tuple_id = TupleId("t", (7,))
+    table.put(tuple_id, frozenset({1}))
+    assert table.get(tuple_id) == {1}
+
+
+@pytest.mark.parametrize("backend", ["dict", "bitarray"])
+def test_put_narrows_replicated_to_single(assignment, backend):
+    # A replicated tuple collapsing to one copy (migration dropped replicas)
+    # must not keep answering the stale replica set.
+    table = build_lookup_table(assignment, backend=backend)
+    replicated = TupleId("t", (100,))
+    assert table.get(replicated) == {0, 2}
+    table.put(replicated, frozenset({2}))
+    assert table.get(replicated) == {2}
+
+
+def test_bitarray_single_to_replicated_roundtrip():
+    table = BitArrayLookupTable(4)
+    tuple_id = TupleId("t", (5,))
+    table.put(tuple_id, frozenset({1}))
+    table.put(tuple_id, frozenset({1, 3}))
+    assert table.get(tuple_id) == {1, 3}
+    table.put(tuple_id, frozenset({3}))
+    assert table.get(tuple_id) == {3}
+
+
+@pytest.mark.parametrize("backend", ["dict", "bitarray"])
+def test_apply_delta_bulk_updates(assignment, backend):
+    table = build_lookup_table(assignment, backend=backend)
+    changes = [
+        (TupleId("t", (0,)), frozenset({3})),
+        (TupleId("t", (1,)), frozenset({0, 1})),
+    ]
+    assert table.apply_delta(changes) == 2
+    assert table.get(TupleId("t", (0,))) == {3}
+    assert table.get(TupleId("t", (1,))) == {0, 1}
+    # Untouched entries keep their placement.
+    assert table.get(TupleId("t", (2,))) == {2}
+
+
+def test_bloom_rejects_in_place_updates(assignment):
+    bloom = build_lookup_table(assignment, backend="bloom", expected_items=200)
+    assert not bloom.supports_update()
+    with pytest.raises(ValueError):
+        bloom.apply_delta([(TupleId("t", (0,)), frozenset({1}))])

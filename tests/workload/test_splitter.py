@@ -45,3 +45,16 @@ def test_no_shuffle_prefix_split():
 def test_invalid_fraction():
     with pytest.raises(ValueError):
         split_workload(make_workload(10), 1.0)
+
+
+def test_stream_workload_chunks_share_the_batch_code_path():
+    from repro.workload.splitter import stream_workload
+    from repro.workload.trace import iter_chunks
+
+    workload = make_workload(7)
+    chunks = list(stream_workload(workload, 3))
+    assert [len(chunk) for chunk in chunks] == [3, 3, 1]
+    assert [chunk.name for chunk in chunks] == ["w-batch0", "w-batch1", "w-batch2"]
+    # Identical chunking to the shared primitive, transaction for transaction.
+    raw = list(iter_chunks(workload.transactions, 3))
+    assert [chunk.transactions for chunk in chunks] == raw

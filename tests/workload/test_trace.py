@@ -60,3 +60,35 @@ def test_restricted_to():
     restricted = access.restricted_to({TupleId("t", (2,))})
     assert restricted.read_set == frozenset()
     assert restricted.write_set == {TupleId("t", (2,))}
+
+
+def test_iter_chunks_preserves_order_and_sizes():
+    from repro.workload.trace import iter_chunks
+
+    chunks = list(iter_chunks(range(7), 3))
+    assert chunks == [[0, 1, 2], [3, 4, 5], [6]]
+    # Works on a generator (a live stream) too.
+    chunks = list(iter_chunks((i for i in range(4)), 2))
+    assert chunks == [[0, 1], [2, 3]]
+    assert list(iter_chunks([], 3)) == []
+    with pytest.raises(ValueError):
+        list(iter_chunks([1], 0))
+
+
+def test_workload_iter_batches():
+    select = SelectStatement(("t",), where=eq("id", 1))
+    workload = Workload("w")
+    for _ in range(5):
+        workload.add_statements([select])
+    batches = list(workload.iter_batches(2))
+    assert [len(batch) for batch in batches] == [2, 2, 1]
+    assert [t for batch in batches for t in batch] == workload.transactions
+
+
+def test_access_trace_iter_batches():
+    from repro.workload.rwsets import AccessTrace
+
+    trace = AccessTrace("w", [make_access() for _ in range(5)])
+    batches = list(trace.iter_batches(3))
+    assert [len(batch) for batch in batches] == [3, 2]
+    assert [a for batch in batches for a in batch] == trace.accesses

@@ -155,3 +155,118 @@ class TestRandom:
         trace = extract_access_trace(bundle.database, bundle.workload)
         assert all(len(access.write_set) == 2 for access in trace)
         assert all(is_write(s) for t in bundle.workload for s in t.statements)
+
+
+class TestDriftingWorkloads:
+    def test_rotating_hotspot_phases_touch_disjoint_windows(self):
+        from repro.workloads import generate_rotating_hotspot
+
+        bundle = generate_rotating_hotspot(
+            num_rows=600,
+            transactions_per_phase=100,
+            num_phases=2,
+            hot_window=150,
+            uniform_fraction=0.0,
+            seed=0,
+        )
+        assert len(bundle.phases) == 2
+        traces = [
+            extract_access_trace(bundle.database, phase) for phase in bundle.phases
+        ]
+        keys = [
+            {tuple_id.key[0] for access in trace for tuple_id in access.touched}
+            for trace in traces
+        ]
+        assert keys[0] and max(keys[0]) < 150
+        assert keys[1] and min(keys[1]) >= 150 and max(keys[1]) < 300
+        # Group transactions are multi-tuple and contain exactly one write.
+        for trace in traces:
+            for access in trace:
+                assert len(access.touched) == 3
+                assert len(access.write_set) == 1
+
+    def test_rotating_hotspot_is_deterministic(self):
+        from repro.workloads import generate_rotating_hotspot
+
+        a = generate_rotating_hotspot(num_rows=600, transactions_per_phase=50, seed=3)
+        b = generate_rotating_hotspot(num_rows=600, transactions_per_phase=50, seed=3)
+        for phase_a, phase_b in zip(a.phases, b.phases):
+            assert [t.statements for t in phase_a] == [t.statements for t in phase_b]
+
+    def test_rotating_hotspot_validates_geometry(self):
+        from repro.workloads import generate_rotating_hotspot
+
+        with pytest.raises(ValueError):
+            generate_rotating_hotspot(num_rows=100, hot_window=90, num_phases=2)
+        with pytest.raises(ValueError):
+            generate_rotating_hotspot(hot_window=100, group_size=3)
+
+    def test_combined_stream_concatenates_phases(self):
+        from repro.workloads import generate_rotating_hotspot
+
+        bundle = generate_rotating_hotspot(
+            num_rows=600, transactions_per_phase=40, num_phases=2, hot_window=150
+        )
+        combined = bundle.combined()
+        assert len(combined) == sum(len(phase) for phase in bundle.phases)
+        assert bundle.training is bundle.phases[0]
+
+    def test_warehouse_shift_rotates_hot_warehouse(self):
+        from repro.workloads import generate_warehouse_shift_tpcc
+
+        bundle = generate_warehouse_shift_tpcc(
+            warehouses=4,
+            hot_warehouses=1,
+            transactions_per_phase=120,
+            num_phases=2,
+            hot_weight=20.0,
+            seed=0,
+        )
+        assert len(bundle.phases) == 2
+
+        def warehouse_histogram(workload):
+            from repro.sqlparse.predicates import conjunctive_conditions, statement_where
+
+            counts = {}
+            for transaction in workload:
+                for statement in transaction.statements:
+                    if isinstance(statement, SelectStatement) and statement.tables == (
+                        "warehouse",
+                    ):
+                        for condition in conjunctive_conditions(statement_where(statement)):
+                            if condition.column == "w_id":
+                                value = condition.candidate_values()[0]
+                                counts[value] = counts.get(value, 0) + 1
+                        break
+            return counts
+
+        histograms = [warehouse_histogram(phase) for phase in bundle.phases]
+        hot = [max(counts, key=counts.get) for counts in histograms if counts]
+        assert len(hot) == 2
+        # The hot warehouse moved between phases (1-indexed: 1 -> 2).
+        assert hot[0] == 1 and hot[1] == 2
+
+
+def test_warehouse_shift_does_not_mutate_caller_config():
+    from repro.workloads import TpccConfig, generate_warehouse_shift_tpcc
+
+    config = TpccConfig(warehouses=3, seed=1)
+    generate_warehouse_shift_tpcc(
+        warehouses=3, transactions_per_phase=20, num_phases=2, config=config
+    )
+    assert config.home_warehouse_weights is None
+
+
+def test_warehouse_shift_honors_seed_with_config():
+    from repro.workloads import TpccConfig, generate_warehouse_shift_tpcc
+
+    def statements(bundle):
+        return [str(s) for phase in bundle.phases for t in phase for s in t.statements]
+
+    a = generate_warehouse_shift_tpcc(
+        warehouses=2, transactions_per_phase=30, config=TpccConfig(warehouses=2), seed=7
+    )
+    b = generate_warehouse_shift_tpcc(
+        warehouses=2, transactions_per_phase=30, config=TpccConfig(warehouses=2), seed=8
+    )
+    assert statements(a) != statements(b)
