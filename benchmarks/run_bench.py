@@ -9,6 +9,9 @@ compared across PRs.  Three sections:
 
 * the k sweep is ``run_figure5`` itself, over the shared
   ``BENCH_GRAPH_SPECS``/``BENCH_PARTITION_COUNTS`` constants;
+* ``scale_sweep`` partitions the ``SCALE_GRAPH_SPEC`` graph (50k nodes) at
+  the ``SCALE_PARTITION_COUNTS`` — the beyond-laptop point the array-kernel
+  pipeline is sized for;
 * ``single_call`` mirrors ``test_figure5_single_partition_call`` — one
   epinions-sized partition at k=8 with that test's exact options
   (``refine_passes`` left at its default, unlike the sweep's 2);
@@ -18,9 +21,20 @@ compared across PRs.  Three sections:
   latency of a budgeted re-partition vs. a from-scratch one on the same
   maintained graph.
 
+Every result row records ``peak_rss_kb`` — the process-wide peak resident
+set size observed *by the time that row finished* (Linux ``ru_maxrss``
+semantics: the counter is monotone, so a row's value bounds the memory its
+measurement needed).  The active array backend is recorded at the top level.
+
+``--compare`` diffs a fresh run against a committed report (default:
+``BENCH_partitioner.json`` at the repo root) and prints per-row speedup and
+cut deltas.  ``--smoke`` runs only the smallest graph's sweep — a
+seconds-long CI canary for kernel crashes, not a measurement.
+
 Invocation (documented in ROADMAP.md):
 
     PYTHONPATH=src python benchmarks/run_bench.py [--repeats N] [--output PATH]
+                                                  [--compare [BASELINE]] [--smoke]
 """
 
 from __future__ import annotations
@@ -40,9 +54,12 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.experiments.figure5 import (  # noqa: E402
     BENCH_GRAPH_SPECS,
     BENCH_PARTITION_COUNTS,
+    SCALE_GRAPH_SPEC,
+    SCALE_PARTITION_COUNTS,
     run_figure5,
     synthetic_access_graph,
 )
+from repro.graph import backend  # noqa: E402
 from repro.graph.partitioner import (  # noqa: E402
     PartitionerOptions,
     cut_weight,
@@ -162,14 +179,48 @@ def run_online_adaptation(repeats: int) -> dict:
     return section
 
 
-def run(repeats: int) -> dict:
-    """Execute the sweep plus the single-call probe and return the report dict."""
+def run_scale_sweep(repeats: int) -> list[dict]:
+    """Partition the 50k-node scale graph, best-of-``repeats`` per k."""
+    name, num_nodes, num_edges = SCALE_GRAPH_SPEC
+    best: dict[int, dict] = {}
+    for _ in range(repeats):
+        graph = synthetic_access_graph(num_nodes, num_edges, seed=0)
+        frozen = graph.freeze()
+        for num_parts in SCALE_PARTITION_COUNTS:
+            options = PartitionerOptions(seed=0, initial_trials=4, refine_passes=2)
+            start = time.perf_counter()
+            assignment = partition_graph(frozen, num_parts, options)
+            seconds = time.perf_counter() - start
+            entry = best.get(num_parts)
+            if entry is None or seconds < entry["seconds"]:
+                best[num_parts] = {
+                    "graph": name,
+                    "nodes": num_nodes,
+                    "edges": graph.num_edges,
+                    "num_partitions": num_parts,
+                    "seconds": round(seconds, 6),
+                    "nodes_per_sec": round(num_nodes / seconds, 1),
+                    "cut_weight": cut_weight(frozen, assignment),
+                    "peak_rss_kb": _peak_rss_kb(),
+                }
+    rows = list(best.values())
+    for entry in rows:
+        print(
+            f"{entry['graph']:>11} k={entry['num_partitions']:<3} {entry['seconds']:8.3f}s "
+            f"{entry['nodes_per_sec']:>10.0f} nodes/s  cut={entry['cut_weight']:.0f}"
+        )
+    return rows
+
+
+def run(repeats: int, smoke: bool = False) -> dict:
+    """Execute the sweeps plus the probes and return the report dict."""
     repeats = max(1, repeats)
+    graph_specs = BENCH_GRAPH_SPECS[:1] if smoke else BENCH_GRAPH_SPECS
     # k sweep: best-of-``repeats`` seconds per point, quality from the last run
     # (assignments are seed-deterministic, so every run cuts identically).
     best: dict[tuple[str, int], dict] = {}
     for _ in range(repeats):
-        for row in run_figure5(BENCH_PARTITION_COUNTS, BENCH_GRAPH_SPECS):
+        for row in run_figure5(BENCH_PARTITION_COUNTS, graph_specs):
             key = (row.graph_name, row.num_partitions)
             entry = best.get(key)
             if entry is None or row.seconds < entry["seconds"]:
@@ -181,6 +232,7 @@ def run(repeats: int) -> dict:
                     "seconds": round(row.seconds, 6),
                     "nodes_per_sec": round(row.num_nodes / row.seconds, 1),
                     "cut_weight": row.cut_weight,
+                    "peak_rss_kb": _peak_rss_kb(),
                 }
     results = list(best.values())
     for entry in results:
@@ -188,6 +240,21 @@ def run(repeats: int) -> dict:
             f"{entry['graph']:>10} k={entry['num_partitions']:<3} {entry['seconds']:8.3f}s "
             f"{entry['nodes_per_sec']:>10.0f} nodes/s  cut={entry['cut_weight']:.0f}"
         )
+
+    report = {
+        "benchmark": "figure5_partitioner_scalability",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "array_backend": backend.array_backend(),
+        "repeats": repeats,
+        "results": results,
+    }
+    if smoke:
+        report["smoke"] = True
+        report["peak_rss_kb"] = _peak_rss_kb()
+        return report
+
+    report["scale_sweep"] = run_scale_sweep(repeats)
 
     # Single-call probe: the exact configuration asserted by the acceptance
     # criteria (test_figure5_single_partition_call).
@@ -211,22 +278,63 @@ def run(repeats: int) -> dict:
         "seconds": round(seconds, 6),
         "nodes_per_sec": round(num_nodes / seconds, 1),
         "cut_weight": cut_weight(graph, assignment),
+        "peak_rss_kb": _peak_rss_kb(),
     }
     print(
         f"single-call {name} k={num_parts}: {seconds:.3f}s "
         f"({num_nodes / seconds:.0f} nodes/s, cut={single_call['cut_weight']:.0f})"
     )
 
-    return {
-        "benchmark": "figure5_partitioner_scalability",
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "repeats": repeats,
-        "results": results,
-        "single_call": single_call,
-        "online_adaptation": run_online_adaptation(repeats),
-        "peak_rss_kb": _peak_rss_kb(),
-    }
+    report["single_call"] = single_call
+    report["online_adaptation"] = run_online_adaptation(repeats)
+    report["peak_rss_kb"] = _peak_rss_kb()
+    return report
+
+
+def compare_reports(fresh: dict, baseline: dict) -> None:
+    """Print per-row speedup and cut deltas of ``fresh`` vs ``baseline``."""
+
+    def rows_by_key(report: dict) -> dict[tuple[str, int], dict]:
+        rows = {
+            (row["graph"], row["num_partitions"]): row
+            for row in report.get("results", [])
+        }
+        for row in report.get("scale_sweep", []):
+            rows[(row["graph"], row["num_partitions"])] = row
+        single = report.get("single_call")
+        if single:
+            rows[("single-call:" + single["graph"], single["num_partitions"])] = single
+        return rows
+
+    fresh_rows = rows_by_key(fresh)
+    base_rows = rows_by_key(baseline)
+    print(f"\ncomparison vs baseline ({baseline.get('python', '?')}, "
+          f"{baseline.get('array_backend', 'list')} backend):")
+    header = (
+        f"{'row':>22} {'base s':>9} {'new s':>9} {'speedup':>8} "
+        f"{'base cut':>10} {'new cut':>10} {'cut Δ%':>7}"
+    )
+    print(header)
+    for key in sorted(fresh_rows, key=str):
+        new = fresh_rows[key]
+        old = base_rows.get(key)
+        label = f"{key[0]} k={key[1]}"
+        if old is None:
+            print(f"{label:>22} {'—':>9} {new['seconds']:9.3f} {'new':>8}")
+            continue
+        speedup = old["seconds"] / new["seconds"] if new["seconds"] else float("inf")
+        cut_delta = (
+            (new["cut_weight"] - old["cut_weight"]) / old["cut_weight"] * 100.0
+            if old["cut_weight"]
+            else 0.0
+        )
+        print(
+            f"{label:>22} {old['seconds']:9.3f} {new['seconds']:9.3f} {speedup:7.2f}x "
+            f"{old['cut_weight']:10.0f} {new['cut_weight']:10.0f} {cut_delta:+6.1f}%"
+        )
+    for key in sorted(base_rows, key=str):
+        if key not in fresh_rows:
+            print(f"{key[0]} k={key[1]:>3}: missing from fresh run")
 
 
 def main() -> None:
@@ -238,10 +346,32 @@ def main() -> None:
         default=REPO_ROOT / "BENCH_partitioner.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smallest graph only, no online/scale sections (CI crash canary)",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs="?",
+        type=Path,
+        const=REPO_ROOT / "BENCH_partitioner.json",
+        default=None,
+        metavar="BASELINE",
+        help="diff the fresh run against a committed report "
+        "(default baseline: BENCH_partitioner.json at the repo root)",
+    )
     args = parser.parse_args()
-    report = run(args.repeats)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output} (peak RSS {report['peak_rss_kb']} kB)")
+    baseline = None
+    if args.compare is not None:
+        baseline = json.loads(args.compare.read_text())
+    report = run(args.repeats, smoke=args.smoke)
+    if baseline is not None:
+        compare_reports(report, baseline)
+        print(f"not overwriting {args.output} in --compare mode")
+    else:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output} (peak RSS {report['peak_rss_kb']} kB)")
 
 
 if __name__ == "__main__":

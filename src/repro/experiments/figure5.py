@@ -48,6 +48,12 @@ BENCH_GRAPH_SPECS: tuple[tuple[str, int, int], ...] = (
 )
 BENCH_PARTITION_COUNTS: tuple[int, ...] = (2, 8, 32)
 
+#: the large-scale sweep point exercised by ``run_bench.py`` only (not the
+#: pytest benchmarks): an epinions-shaped graph at 50k nodes demonstrating
+#: the array-kernel pipeline beyond laptop scale.
+SCALE_GRAPH_SPEC: tuple[str, int, int] = ("epinions-xl", 50_000, 400_000)
+SCALE_PARTITION_COUNTS: tuple[int, ...] = (8, 32)
+
 
 def synthetic_access_graph(num_nodes: int, num_edges: int, seed: int = 0) -> Graph:
     """Build a graph with local clustering similar to a tuple-access graph.

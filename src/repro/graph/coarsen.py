@@ -5,17 +5,26 @@ preferring heavy edges, so that a good partition of the small coarse graph is
 also a good partition of the original when projected back (Karypis & Kumar,
 1998).  Each call to :func:`coarsen_once` produces one level.
 
-All levels are :class:`~repro.graph.model.CSRGraph` instances: the coarse
-graph is emitted directly into CSR arrays with a scatter-accumulate pass
-(one dense ``accumulator``/``touched`` pair reused across coarse nodes), so
-no intermediate per-node dicts are built anywhere in the hierarchy.  Mutable
-:class:`~repro.graph.model.Graph` inputs are frozen on entry.
+All levels are :class:`~repro.graph.model.CSRGraph` instances.  The matching
+itself is inherently sequential (each decision depends on earlier matches),
+but under numpy each row's neighbours are pre-sorted by (weight desc,
+position asc) with one stable lexsort, so the sequential walk just takes the
+first unmatched candidate — provably the same choice as the scalar
+max-scan, usually after one probe.  The contraction — building the coarse
+CSR — has two implementations: a scalar
+scatter-accumulate (one dense ``accumulator``/``marker`` pair reused across
+coarse nodes) and a vectorised numpy path (gather entries in member-visit
+order, stable-sort by (row, column), ``reduceat`` the duplicate runs).  Both
+emit coarse rows in **sorted column order** and accumulate parallel fine
+edges in member-visit order, so the two backends produce bit-identical
+coarse graphs even for non-integer edge weights.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.graph import backend
 from repro.graph.model import CSRGraph, Graph, as_csr
 from repro.utils.rng import SeededRng
 
@@ -33,33 +42,55 @@ def coarsen_once(graph: Graph | CSRGraph, rng: SeededRng) -> CoarseningLevel:
     """Contract a heavy-edge matching of ``graph``, returning the coarser level."""
     csr = as_csr(graph)
     num_nodes = csr.num_nodes
-    indptr, indices, edge_weights, node_weights = (
-        csr.indptr,
-        csr.indices,
-        csr.edge_weights,
-        csr.node_weights,
-    )
+    indptr, indices, edge_weights, node_weights = csr.lists()
     order = list(range(num_nodes))
     rng.shuffle(order)
     match = [-1] * num_nodes
-    for node in order:
-        if match[node] != -1:
-            continue
-        best_neighbor = -1
-        best_weight = -1.0
-        start, end = indptr[node], indptr[node + 1]
-        for neighbor, weight in zip(indices[start:end], edge_weights[start:end]):
-            if weight > best_weight and match[neighbor] == -1:
-                best_weight = weight
-                best_neighbor = neighbor
-        if best_neighbor != -1:
-            match[node] = best_neighbor
-            match[best_neighbor] = node
-        else:
-            match[node] = node
+    if csr.is_numpy and len(indices) >= 2048:
+        # Vectorised pre-sort: within each row, neighbours ordered by
+        # (weight desc, position asc) — one stable lexsort.  The sequential
+        # walk then takes the *first unmatched* candidate, which is exactly
+        # the scalar scan's "max weight among unmatched, earliest position
+        # on ties", so both paths match identically; the walk itself almost
+        # always stops after one or two probes.
+        np = backend.numpy
+        permutation = np.lexsort(
+            (-csr.edge_weights, np.repeat(np.arange(num_nodes), np.diff(csr.indptr)))
+        )
+        ranked = csr.indices[permutation].tolist()
+        for node in order:
+            if match[node] != -1:
+                continue
+            best_neighbor = -1
+            for i in range(indptr[node], indptr[node + 1]):
+                candidate = ranked[i]
+                if match[candidate] == -1:
+                    best_neighbor = candidate
+                    break
+            if best_neighbor != -1:
+                match[node] = best_neighbor
+                match[best_neighbor] = node
+            else:
+                match[node] = node
+    else:
+        for node in order:
+            if match[node] != -1:
+                continue
+            best_neighbor = -1
+            best_weight = -1.0
+            start, end = indptr[node], indptr[node + 1]
+            for neighbor, weight in zip(indices[start:end], edge_weights[start:end]):
+                if weight > best_weight and match[neighbor] == -1:
+                    best_weight = weight
+                    best_neighbor = neighbor
+            if best_neighbor != -1:
+                match[node] = best_neighbor
+                match[best_neighbor] = node
+            else:
+                match[node] = node
 
     # Assign coarse ids in traversal order; remember each coarse node's fine
-    # members so the coarse CSR can be emitted with one scan per fine node.
+    # members so the contraction can emit one coarse row per scan.
     fine_to_coarse = [-1] * num_nodes
     coarse_weights: list[float] = []
     members: list[tuple[int, int]] = []  # (fine, partner-or-fine) per coarse node
@@ -78,9 +109,30 @@ def coarsen_once(graph: Graph | CSRGraph, rng: SeededRng) -> CoarseningLevel:
             fine_to_coarse[node] = coarse_id
             fine_to_coarse[partner] = coarse_id
 
-    # Scatter-accumulate the coarse adjacency straight into CSR arrays.  The
-    # fine->coarse mapping is applied to the whole ``indices`` array first so
-    # the per-entry loop body stays minimal.
+    if csr.is_numpy and len(indices) >= 2048:
+        coarse = _contract_numpy(csr, fine_to_coarse, members, coarse_weights)
+    else:
+        coarse = _contract_scalar(
+            indptr, indices, edge_weights, fine_to_coarse, members, coarse_weights
+        )
+    return CoarseningLevel(coarse, fine_to_coarse)
+
+
+def _contract_scalar(
+    indptr: list[int],
+    indices: list[int],
+    edge_weights: list[float],
+    fine_to_coarse: list[int],
+    members: list[tuple[int, int]],
+    coarse_weights: list[float],
+) -> CSRGraph:
+    """Scatter-accumulate the coarse adjacency straight into CSR arrays.
+
+    The fine->coarse mapping is applied to the whole ``indices`` array first
+    so the per-entry loop body stays minimal.  Parallel fine edges accumulate
+    in member-visit order and each coarse row is emitted in sorted column
+    order — the exact contract the vectorised path reproduces.
+    """
     num_coarse = len(coarse_weights)
     coarse_indptr = [0] * (num_coarse + 1)
     coarse_indices: list[int] = []
@@ -107,6 +159,7 @@ def coarsen_once(graph: Graph | CSRGraph, rng: SeededRng) -> CoarseningLevel:
                     append_touched(coarse_neighbor)
                 else:
                     accumulator[coarse_neighbor] += weight
+        touched.sort()
         row_weight = 0.0
         for coarse_neighbor in touched:
             append_index(coarse_neighbor)
@@ -117,10 +170,120 @@ def coarsen_once(graph: Graph | CSRGraph, rng: SeededRng) -> CoarseningLevel:
         touched.clear()
         coarse_indptr[coarse_id + 1] = len(coarse_indices)
 
-    coarse = CSRGraph(
+    return CSRGraph(
         coarse_indptr, coarse_indices, coarse_edge_weights, coarse_weights, weighted_degrees
     )
-    return CoarseningLevel(coarse, fine_to_coarse)
+
+
+def _contract_numpy(
+    csr: CSRGraph,
+    fine_to_coarse: list[int],
+    members: list[tuple[int, int]],
+    coarse_weights: list[float],
+) -> CSRGraph:
+    """Vectorised contraction: gather, stable-sort, reduce duplicate runs.
+
+    Entries are gathered in the scalar path's visit order (coarse id, then
+    member, then CSR row order); the stable sort groups duplicates while
+    preserving that order, so ``reduceat`` accumulates parallel fine edges
+    in exactly the same sequence as the scalar accumulator (runs are at most
+    4 entries long, well below numpy's pairwise-summation threshold).
+    """
+    np = backend.numpy
+    num_coarse = len(coarse_weights)
+    member_nodes: list[int] = []
+    member_coarse: list[int] = []
+    for coarse_id, (first, second) in enumerate(members):
+        member_nodes.append(first)
+        member_coarse.append(coarse_id)
+        if second != first:
+            member_nodes.append(second)
+            member_coarse.append(coarse_id)
+    member_arr = np.asarray(member_nodes, dtype=np.int64)
+    indptr = csr.indptr
+    starts = indptr[member_arr]
+    degrees = indptr[member_arr + 1] - starts
+    total = int(degrees.sum())
+    offsets = np.cumsum(degrees) - degrees
+    positions = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, degrees)
+        + np.repeat(starts, degrees)
+    )
+    mapping = np.asarray(fine_to_coarse, dtype=np.int64)
+    rows = np.repeat(np.asarray(member_coarse, dtype=np.int64), degrees)
+    cols = mapping[csr.indices[positions]]
+    weights = csr.edge_weights[positions]
+    keep = cols != rows  # intra-coarse-node (contracted) edges vanish
+    rows, cols, weights = rows[keep], cols[keep], weights[keep]
+    if len(rows) == 0:
+        coarse_indptr = np.zeros(num_coarse + 1, dtype=np.int64)
+        return CSRGraph(coarse_indptr, rows, weights, coarse_weights, [0.0] * num_coarse)
+    key = rows * num_coarse + cols
+    permutation = np.argsort(key, kind="stable")
+    key = key[permutation]
+    run_flags = np.empty(len(key), dtype=bool)
+    run_flags[0] = True
+    np.not_equal(key[1:], key[:-1], out=run_flags[1:])
+    run_starts = np.flatnonzero(run_flags)
+    unique_rows = rows[permutation][run_starts]
+    unique_cols = cols[permutation][run_starts]
+    summed = np.add.reduceat(weights[permutation], run_starts)
+    coarse_indptr = np.zeros(num_coarse + 1, dtype=np.int64)
+    np.cumsum(np.bincount(unique_rows, minlength=num_coarse), out=coarse_indptr[1:])
+    weighted_degrees = np.bincount(
+        unique_rows, weights=summed, minlength=num_coarse
+    ).tolist()
+    return CSRGraph(coarse_indptr, unique_cols, summed, coarse_weights, weighted_degrees)
+
+
+def coarsen_chain(
+    csr: CSRGraph,
+    target_nodes: int,
+    seed: int,
+    min_reduction: float = 0.9,
+    max_levels: int = 40,
+) -> list[CoarseningLevel]:
+    """Memoised coarsening chain of ``csr`` down to ``target_nodes``.
+
+    Unlike :func:`coarsen_to`, the per-level matching order comes from
+    *forked* rng sub-streams (``fork((seed, "coarsen", index))``), so the
+    chain is a pure function of ``(graph, seed)`` — it does not consume any
+    caller rng state.  That makes it cacheable on the frozen graph itself:
+    partitioning the same ``CSRGraph`` for several values of k (the
+    Figure-5 sweep, the paper's "try several k and keep the best" loop)
+    coarsens **once**, with each k using the chain prefix it needs.  Deeper
+    targets extend the cached chain in place; shallower ones slice it.
+
+    Returns the shortest prefix whose last level has at most
+    ``target_nodes`` nodes (the whole chain if matching stalls first).
+    """
+    cache = csr._hierarchy
+    if cache is None:
+        cache = csr._hierarchy = {}
+    state = cache.get(seed)
+    if state is None:
+        state = cache[seed] = {"levels": [], "stalled": False}
+    levels: list[CoarseningLevel] = state["levels"]
+    base = SeededRng(seed)
+    while not state["stalled"] and len(levels) < max_levels:
+        current = levels[-1].graph if levels else csr
+        if current.num_nodes <= target_nodes:
+            break
+        level = coarsen_once(current, base.fork(("coarsen", len(levels))))
+        if level.graph.num_nodes >= current.num_nodes * min_reduction:
+            state["stalled"] = True
+            if level.graph.num_nodes >= current.num_nodes:
+                break
+            levels.append(level)
+            break
+        levels.append(level)
+    prefix: list[CoarseningLevel] = []
+    for level in levels:
+        prefix.append(level)
+        if level.graph.num_nodes <= target_nodes:
+            break
+    return prefix
 
 
 def coarsen_to(

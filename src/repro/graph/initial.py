@@ -34,12 +34,7 @@ def greedy_bisection(
     num_nodes = csr.num_nodes
     if num_nodes == 0:
         return []
-    indptr, indices, edge_weights, node_weights = (
-        csr.indptr,
-        csr.indices,
-        csr.edge_weights,
-        csr.node_weights,
-    )
+    indptr, indices, edge_weights, node_weights = csr.lists()
     assignment = [1] * num_nodes
     grown_weight = 0.0
     in_region = [False] * num_nodes
@@ -94,6 +89,8 @@ def random_bisection(
     """Assign random nodes to side 0 until it reaches the target weight (fallback)."""
     num_nodes = graph.num_nodes
     node_weights = graph.node_weights
+    if not isinstance(node_weights, list):
+        node_weights = graph.lists()[3]
     order = list(range(num_nodes))
     rng.shuffle(order)
     assignment = [1] * num_nodes

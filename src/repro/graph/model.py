@@ -9,11 +9,14 @@ Two representations share this module:
   are maintained incrementally so repeated size queries are O(1).
 * :class:`CSRGraph` — the *frozen compute representation*.  ``Graph.freeze()``
   compiles the adjacency dicts into compressed-sparse-row arrays (``indptr``,
-  ``indices``, ``edge_weights`` plus ``node_weights``) backed by flat Python
-  lists.  Every hot partitioner phase (matching, region growing, FM
-  refinement) runs on the CSR form: neighbour iteration is a contiguous slice
-  scan with no hashing, and induced subgraphs are index-remapped ``subview``
-  extractions instead of dict copies.
+  ``indices``, ``edge_weights`` plus ``node_weights``) stored in the active
+  array backend (:mod:`repro.graph.backend`): ``float64``/``int64`` numpy
+  arrays when numpy is available, flat Python lists otherwise.  Every hot
+  partitioner phase (matching, region growing, FM refinement) runs on the CSR
+  form: bulk kernels (``subview`` extraction, coarsening scatter-accumulate,
+  gain initialisation) are vectorised under numpy, while inherently
+  sequential kernels bind the cached :meth:`CSRGraph.lists` views and index
+  directly.  Both backends produce bit-identical results for a fixed seed.
 
 Lifecycle: build with :class:`Graph`, call :meth:`Graph.freeze` once, then
 hand the :class:`CSRGraph` to the partitioner.  A ``CSRGraph`` is immutable
@@ -25,6 +28,8 @@ repeated ``partition`` calls.
 from __future__ import annotations
 
 from typing import Iterable, Iterator
+
+from repro.graph import backend
 
 
 class Graph:
@@ -255,10 +260,12 @@ class CSRGraph:
 
     ``indices[indptr[u]:indptr[u + 1]]`` are the neighbours of ``u`` and
     ``edge_weights`` holds the matching weights, so each undirected edge is
-    stored twice (once per endpoint).  The arrays are flat Python lists —
-    the fastest random-access sequence available without native extensions —
-    and hot loops are expected to bind them to locals and index directly
-    rather than going through the convenience accessors below.
+    stored twice (once per endpoint).  The arrays live in the active array
+    backend (numpy ndarrays or flat Python lists — see
+    :mod:`repro.graph.backend`).  Vectorised kernels operate on the arrays
+    directly; sequential hot loops bind the plain-list views returned by
+    :meth:`lists` and index those, which is both faster than element-wise
+    ndarray access and guarantees identical arithmetic on either backend.
     """
 
     __slots__ = (
@@ -269,25 +276,56 @@ class CSRGraph:
         "_total_node_weight",
         "_total_edge_weight",
         "_weighted_degrees",
+        "_lists",
+        "_hierarchy",
     )
 
     def __init__(
         self,
-        indptr: list[int],
-        indices: list[int],
-        edge_weights: list[float],
-        node_weights: list[float],
+        indptr,
+        indices,
+        edge_weights,
+        node_weights,
         weighted_degrees: list[float] | None = None,
     ) -> None:
-        self.indptr = indptr
-        self.indices = indices
-        self.edge_weights = edge_weights
-        self.node_weights = node_weights
+        self.indptr = backend.as_index_array(indptr)
+        self.indices = backend.as_index_array(indices)
+        self.edge_weights = backend.as_weight_array(edge_weights)
+        self.node_weights = backend.as_weight_array(node_weights)
         self._total_node_weight: float | None = None
         self._total_edge_weight: float | None = None
         #: producers that already know each row's weight sum (coarsening,
         #: subview extraction) pass it in to skip the lazy recomputation.
         self._weighted_degrees = weighted_degrees
+        self._lists: tuple[list[int], list[int], list[float], list[float]] | None = None
+        #: per-seed memoised coarsening chains (see ``coarsen.coarsen_chain``)
+        #: — derived data, consistent with the immutable arrays by definition.
+        self._hierarchy: dict | None = None
+
+    def lists(self) -> tuple[list[int], list[int], list[float], list[float]]:
+        """``(indptr, indices, edge_weights, node_weights)`` as plain lists.
+
+        Under the list backend this is the stored arrays themselves (free);
+        under numpy the conversion happens once and is cached.  Sequential
+        kernels (matching, FM move loops, greedy growing) run on these so
+        that element access is cheap and float arithmetic is byte-identical
+        across backends.  The views are read-only by convention.
+        """
+        cached = self._lists
+        if cached is None:
+            cached = (
+                backend.to_list(self.indptr),
+                backend.to_list(self.indices),
+                backend.to_list(self.edge_weights),
+                backend.to_list(self.node_weights),
+            )
+            self._lists = cached
+        return cached
+
+    @property
+    def is_numpy(self) -> bool:
+        """True when this graph's arrays are numpy ndarrays."""
+        return not isinstance(self.indices, list)
 
     # -- queries --------------------------------------------------------------------
     @property
@@ -306,38 +344,41 @@ class CSRGraph:
 
     def degree(self, node: int) -> int:
         """Number of neighbours of ``node``."""
-        return self.indptr[node + 1] - self.indptr[node]
+        indptr = self.lists()[0]
+        return indptr[node + 1] - indptr[node]
 
     def neighbors(self, node: int) -> dict[int, float]:
         """Neighbour id -> edge weight as a fresh dict (compatibility shim).
 
         Hot loops should slice ``indices``/``edge_weights`` directly instead.
         """
-        start, end = self.indptr[node], self.indptr[node + 1]
-        return dict(zip(self.indices[start:end], self.edge_weights[start:end]))
+        indptr, indices, edge_weights, _ = self.lists()
+        start, end = indptr[node], indptr[node + 1]
+        return dict(zip(indices[start:end], edge_weights[start:end]))
 
     def neighbor_slice(self, node: int) -> tuple[int, int]:
         """The ``[start, end)`` range of ``node``'s entries in the flat arrays."""
-        return self.indptr[node], self.indptr[node + 1]
+        indptr = self.lists()[0]
+        return indptr[node], indptr[node + 1]
 
     def edge_weight(self, u: int, v: int) -> float:
         """Weight of the edge ``{u, v}`` (0 when absent; linear in degree(u))."""
-        indices = self.indices
-        for i in range(self.indptr[u], self.indptr[u + 1]):
+        indptr, indices, edge_weights, _ = self.lists()
+        for i in range(indptr[u], indptr[u + 1]):
             if indices[i] == v:
-                return self.edge_weights[i]
+                return edge_weights[i]
         return 0.0
 
     def total_node_weight(self) -> float:
         """Sum of all node weights (computed once, then cached)."""
         if self._total_node_weight is None:
-            self._total_node_weight = sum(self.node_weights)
+            self._total_node_weight = float(sum(self.lists()[3]))
         return self._total_node_weight
 
     def total_edge_weight(self) -> float:
         """Sum of all edge weights (computed once, then cached)."""
         if self._total_edge_weight is None:
-            self._total_edge_weight = sum(self.edge_weights) / 2.0
+            self._total_edge_weight = float(sum(self.lists()[2])) / 2.0
         return self._total_edge_weight
 
     def weighted_degrees(self) -> list[float]:
@@ -345,21 +386,33 @@ class CSRGraph:
 
         The FM refiner uses this to derive move gains from the maintained
         external-weight array: ``gain(v) = 2 * external(v) - weighted_degree(v)``.
+        Always a plain list — it is consumed element-wise by scalar loops.
+        Under numpy the per-row sums come from an order-preserving
+        ``bincount`` (sequential accumulation in entry order), which is
+        bit-identical to the scalar left-to-right sums.
         """
         cached = self._weighted_degrees
         if cached is None:
-            indptr, edge_weights = self.indptr, self.edge_weights
-            cached = [
-                sum(edge_weights[indptr[node] : indptr[node + 1]])
-                for node in range(len(self.node_weights))
-            ]
+            num_nodes = len(self.node_weights)
+            if self.is_numpy and len(self.indices) >= 2048:
+                np = backend.numpy
+                rows = np.repeat(np.arange(num_nodes), np.diff(self.indptr))
+                cached = np.bincount(
+                    rows, weights=self.edge_weights, minlength=num_nodes
+                ).tolist()
+            else:
+                indptr, _, edge_weights, _ = self.lists()
+                cached = [
+                    sum(edge_weights[indptr[node] : indptr[node + 1]])
+                    for node in range(num_nodes)
+                ]
             self._weighted_degrees = cached
         return cached
 
     def edges(self) -> Iterator[tuple[int, int, float]]:
         """Iterate over edges as ``(u, v, weight)`` with ``u < v``."""
-        indptr, indices, edge_weights = self.indptr, self.indices, self.edge_weights
-        for u in range(len(self.node_weights)):
+        indptr, indices, edge_weights, _ = self.lists()
+        for u in range(len(indptr) - 1):
             for i in range(indptr[u], indptr[u + 1]):
                 v = indices[i]
                 if u < v:
@@ -371,16 +424,22 @@ class CSRGraph:
 
         This is the CSR replacement for :meth:`Graph.subgraph`: a single
         index-remapped extraction pass with a flat remap table, no per-node
-        dicts.
+        dicts.  Under numpy the whole extraction is one vectorised gather
+        (row-visit entry order is preserved, so results match the scalar
+        path bit for bit); small extractions take the scalar loop, where
+        the ndarray round-trips would cost more than they save.
         """
         node_list = list(nodes)
+        if self.is_numpy and len(node_list) >= 512:
+            return self._subview_numpy(node_list), node_list
+        indptr, indices, edge_weights, node_weights_list = self.lists()
         old_to_new = [-1] * len(self.node_weights)
         for new, old in enumerate(node_list):
             old_to_new[old] = new
-        indptr = [0] * (len(node_list) + 1)
+        sub_indptr = [0] * (len(node_list) + 1)
         sub_indices: list[int] = []
         sub_weights: list[float] = []
-        src_indptr, src_indices, src_weights = self.indptr, self.indices, self.edge_weights
+        src_indptr, src_indices, src_weights = indptr, indices, edge_weights
         append_index, append_weight = sub_indices.append, sub_weights.append
         weighted_degrees = [0.0] * len(node_list)
         for new, old in enumerate(node_list):
@@ -393,14 +452,55 @@ class CSRGraph:
                     append_weight(weight)
                     row_weight += weight
             weighted_degrees[new] = row_weight
-            indptr[new + 1] = len(sub_indices)
-        node_weights = [self.node_weights[old] for old in node_list]
-        return CSRGraph(indptr, sub_indices, sub_weights, node_weights, weighted_degrees), node_list
+            sub_indptr[new + 1] = len(sub_indices)
+        node_weights = [node_weights_list[old] for old in node_list]
+        return (
+            CSRGraph(sub_indptr, sub_indices, sub_weights, node_weights, weighted_degrees),
+            node_list,
+        )
+
+    def _subview_numpy(self, node_list: list[int]) -> "CSRGraph":
+        """Vectorised induced-subgraph extraction (numpy-backed graphs only).
+
+        Entries are gathered in row-visit order (``node_list`` order, original
+        CSR order within each row) and the per-row weight sums accumulate in
+        that same order, so the result is bit-identical to the scalar path.
+        """
+        np = backend.numpy
+        indptr, indices = self.indptr, self.indices
+        num_nodes = len(self.node_weights)
+        selected = np.asarray(node_list, dtype=np.int64)
+        num_selected = len(node_list)
+        remap = np.full(num_nodes, -1, dtype=np.int64)
+        remap[selected] = np.arange(num_selected, dtype=np.int64)
+        starts = indptr[selected]
+        degrees = indptr[selected + 1] - starts
+        total = int(degrees.sum())
+        # Gather each selected row's entry positions contiguously.
+        offsets = np.cumsum(degrees) - degrees
+        positions = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, degrees)
+            + np.repeat(starts, degrees)
+        )
+        mapped = remap[indices[positions]]
+        keep = mapped >= 0
+        kept_rows = np.repeat(np.arange(num_selected, dtype=np.int64), degrees)[keep]
+        kept_cols = mapped[keep]
+        kept_weights = self.edge_weights[positions][keep]
+        sub_indptr = np.zeros(num_selected + 1, dtype=np.int64)
+        np.cumsum(np.bincount(kept_rows, minlength=num_selected), out=sub_indptr[1:])
+        weighted_degrees = np.bincount(
+            kept_rows, weights=kept_weights, minlength=num_selected
+        ).tolist()
+        return CSRGraph(
+            sub_indptr, kept_cols, kept_weights, self.node_weights[selected], weighted_degrees
+        )
 
     def thaw(self) -> Graph:
         """Materialise a mutable :class:`Graph` with identical structure."""
         graph = Graph()
-        for weight in self.node_weights:
+        for weight in self.lists()[3]:
             graph.add_node(weight)
         for u, v, weight in self.edges():
             graph.add_edge(u, v, weight)

@@ -7,32 +7,42 @@ The partitioner combines three classic ingredients:
    of several trials);
 3. **Uncoarsening** with Fiduccia–Mattheyses refinement at every level.
 
-k-way partitions are obtained by recursive bisection (k need not be a power
-of two: the weight targets are split proportionally), followed by a greedy
-k-way boundary refinement pass on the full graph.  Balance is expressed as a
-maximum allowed relative imbalance over perfectly even partitions, matching
-the "constant factor of perfect balance" constraint in the paper.
+Two-way partitions run the classic multilevel bisection.  k-way partitions
+for k > 2 use a **direct k-way multilevel path** by default: coarsen the
+graph *once*, k-way partition the coarsest graph (by recursive bisection,
+which is cheap at that size; k need not be a power of two — weight targets
+split proportionally), then refine all k parts in one boundary-FM sweep per
+uncoarsening level (:func:`~repro.graph.refine.kway_fm_refine`, per-part
+gain buckets).  This eliminates the repeated subview/coarsen work that
+recursive bisection performs once per bisection branch — log(k) coarsening
+hierarchies collapse into one.  ``PartitionerOptions.kway_mode`` restores
+the old recursive behaviour when needed.  Balance is expressed as a maximum
+allowed relative imbalance over perfectly even partitions, matching the
+"constant factor of perfect balance" constraint in the paper.
 
 The whole pipeline runs on the frozen CSR representation
 (:class:`~repro.graph.model.CSRGraph`): mutable ``Graph`` inputs are frozen
 once on entry, recursive bisection extracts index-remapped ``subview``\\ s
 instead of dict-copying subgraphs, and every level of the coarsening
-hierarchy is CSR.  Callers that partition the same graph repeatedly (e.g.
-the Figure-5 k sweep) can freeze once themselves and pass the ``CSRGraph``
-directly.
+hierarchy is CSR.  Under the numpy array backend
+(:mod:`repro.graph.backend`) the bulk kernels are vectorised; both backends
+produce bit-identical assignments for a fixed seed.  Callers that partition
+the same graph repeatedly (e.g. the Figure-5 k sweep) can freeze once
+themselves and pass the ``CSRGraph`` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.graph.coarsen import coarsen_to, project_assignment
+from repro.graph.coarsen import coarsen_chain, coarsen_to, project_assignment
 from repro.graph.initial import greedy_bisection, random_bisection
 from repro.graph.model import CSRGraph, Graph, as_csr
 from repro.graph.refine import (
     _fm_refine_csr,
     cut_weight_two_way,
     greedy_kway_refine,
+    kway_fm_refine,
     rebalance,
     side_weights,
 )
@@ -41,24 +51,64 @@ from repro.utils.rng import SeededRng
 
 @dataclass
 class PartitionerOptions:
-    """Tuning knobs for the partitioner."""
+    """Tuning knobs for the partitioner.
+
+    Count-valued knobs (``coarsen_target``, ``initial_trials``,
+    ``refine_passes``, ``fm_negative_streak``) are clamped to at least 1 on
+    construction — zero or negative values used to degrade silently (empty
+    trial loops, runaway coarsening).  ``imbalance`` and ``kway_mode`` are
+    validated outright.
+
+    The array backend (numpy vs. pure-Python CSR arrays) is *not* an option
+    here: it is process-wide, selected by the ``REPRO_ARRAY_BACKEND``
+    environment variable via :mod:`repro.graph.backend`.  Both backends
+    produce identical assignments; the option surface stays
+    backend-agnostic.
+    """
 
     #: permissible relative imbalance; 0.05 means partitions may exceed the
     #: ideal weight by 5% (plus one maximal node, to guarantee feasibility).
     imbalance: float = 0.05
-    #: stop coarsening when the graph has at most this many nodes.
+    #: stop coarsening when the graph has at most this many nodes.  The
+    #: direct k-way path coarsens to ``max(coarsen_target, 4 * k)`` so the
+    #: coarsest graph always has a few nodes per part to work with.
     coarsen_target: int = 120
     #: number of greedy-graph-growing trials for the initial bisection.
     initial_trials: int = 8
-    #: number of FM passes per uncoarsening level.
+    #: number of FM passes per uncoarsening level (two-way and k-way alike).
     refine_passes: int = 4
     #: abort an FM pass after this many consecutive non-improving moves.  A
     #: short streak bounds the speculative hill-climb (and its rollback) per
     #: pass; empirically 16 is both faster and no worse in cut than long
     #: streaks on the Figure-5 graphs.
     fm_negative_streak: int = 16
+    #: how partitions for k > 2 are produced: "auto"/"direct" use the direct
+    #: k-way multilevel path (coarsen once, k-way FM per level), "recursive"
+    #: forces the legacy recursive-bisection path.
+    kway_mode: str = "auto"
+    #: the direct k-way path stops coarsening at
+    #: ``max(coarsen_target, kway_coarse_factor * k)`` nodes, so the initial
+    #: k-way partition always has a handful of coarse nodes per part to
+    #: allocate; larger factors trade initial-partition time for cut quality.
+    kway_coarse_factor: int = 20
+    #: run the extra FM polish when a bisection's graph needed no coarsening
+    #: (the per-trial refinement already ran once).  The direct k-way path
+    #: disables this for its coarsest-graph initial partition, where the
+    #: k-way refinement sweep immediately follows anyway.
+    flat_refine: bool = True
     #: random seed (tie-breaking, seed selection, matching order).
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.imbalance < 0:
+            raise ValueError("imbalance must be non-negative")
+        if self.kway_mode not in ("auto", "direct", "recursive"):
+            raise ValueError("kway_mode must be 'auto', 'direct' or 'recursive'")
+        self.coarsen_target = max(1, int(self.coarsen_target))
+        self.initial_trials = max(1, int(self.initial_trials))
+        self.refine_passes = max(1, int(self.refine_passes))
+        self.fm_negative_streak = max(1, int(self.fm_negative_streak))
+        self.kway_coarse_factor = max(1, int(self.kway_coarse_factor))
 
 
 class GraphPartitioner:
@@ -83,6 +133,8 @@ class GraphPartitioner:
             return [0] * graph.num_nodes
         csr = as_csr(graph)
         rng = SeededRng(self.options.seed)
+        if num_parts > 2 and self.options.kway_mode != "recursive":
+            return self._direct_kway(csr, num_parts, rng)
         assignment = [0] * csr.num_nodes
         self._recursive_bisect(
             csr,
@@ -95,6 +147,90 @@ class GraphPartitioner:
         max_weights = self._kway_max_weights(csr, num_parts)
         rebalance(csr, assignment, num_parts, max_weights)
         greedy_kway_refine(csr, assignment, num_parts, max_weights, self.options.refine_passes)
+        return assignment
+
+    # -- direct k-way -----------------------------------------------------------------
+    def _direct_kway(self, csr: CSRGraph, num_parts: int, rng: SeededRng) -> list[int]:
+        """Coarsen once, k-way partition the coarsest graph, k-way FM per level.
+
+        The coarsening chain is memoised on the frozen graph
+        (:func:`~repro.graph.coarsen.coarsen_chain`): sweeping k over one
+        graph — the Figure-5 protocol, and the paper's own "partition for
+        several k, keep the best" loop — pays for the hierarchy once.  The
+        initial k-way partition of the coarsest graph comes from recursive
+        bisection with a tightened balance (a quarter of the slack, so the
+        per-branch tolerances cannot compound into overweight parts that the
+        rebalance would then fix at the cut's expense) and a lean trial
+        budget — at
+        coarsest size its quality is dominated by the later refinement
+        anyway.  Every uncoarsening level then refines all k parts in a
+        single bucket-FM sweep instead of one two-way FM per bisection
+        branch: one fast pass at the intermediate levels, ``refine_passes``
+        hill-climbing passes (wider streak, adaptive early exit) at the
+        finest level where the cut is actually realised, and a final greedy
+        boundary polish.  Balance is repaired once at the coarsest level;
+        projection preserves part weights and the FM never violates
+        ``max_weights``, so the final rebalance is a no-op safety net.
+        """
+        options = self.options
+        max_weights = self._kway_max_weights(csr, num_parts)
+        coarse_target = max(options.coarsen_target, options.kway_coarse_factor * num_parts)
+        levels = coarsen_chain(csr, coarse_target, options.seed)
+        # A level far below the target over-coarsens the initial partition's
+        # granularity (one matching round can overshoot); back up one level.
+        while len(levels) > 1 and levels[-1].graph.num_nodes < coarse_target // 2:
+            levels.pop()
+        coarsest = levels[-1].graph if levels else csr
+        initial = GraphPartitioner(
+            replace(
+                options,
+                imbalance=options.imbalance * 0.25,
+                initial_trials=min(options.initial_trials, 2),
+                refine_passes=1,
+                coarsen_target=max(options.coarsen_target, coarsest.num_nodes),
+                flat_refine=False,
+            )
+        )
+        assignment = [0] * coarsest.num_nodes
+        initial._recursive_bisect(
+            coarsest,
+            list(coarsest.nodes()),
+            num_parts,
+            first_part=0,
+            assignment=assignment,
+            rng=rng,
+        )
+        rebalance(coarsest, assignment, num_parts, max_weights)
+        external = kway_fm_refine(
+            coarsest,
+            assignment,
+            num_parts,
+            max_weights,
+            max_passes=max(options.refine_passes, 2),
+            max_negative_streak=4 * options.fm_negative_streak,
+            pass_gain_tolerance=0.002,
+        )
+        for index in range(len(levels) - 1, -1, -1):
+            fine_to_coarse = levels[index].fine_to_coarse
+            assignment = project_assignment(levels[index], assignment)
+            boundary_hint = [external[coarse] > 0.0 for coarse in fine_to_coarse]
+            finest = index == 0
+            finer_graph = csr if finest else levels[index - 1].graph
+            external = kway_fm_refine(
+                finer_graph,
+                assignment,
+                num_parts,
+                max_weights,
+                max_passes=options.refine_passes if finest else 1,
+                max_negative_streak=8 * options.fm_negative_streak
+                if finest
+                else 4 * options.fm_negative_streak,
+                boundary_hint=boundary_hint,
+                want_external=not finest,
+                pass_gain_tolerance=0.002,
+            )
+        rebalance(csr, assignment, num_parts, max_weights)
+        greedy_kway_refine(csr, assignment, num_parts, max_weights, max_passes=1)
         return assignment
 
     # -- recursive bisection ----------------------------------------------------------
@@ -120,7 +256,9 @@ class GraphPartitioner:
         left_parts = (num_parts + 1) // 2
         right_parts = num_parts - left_parts
         target_fraction = left_parts / num_parts
-        two_way = self._multilevel_bisection(subgraph, target_fraction, rng)
+        two_way = self._multilevel_bisection(
+            subgraph, target_fraction, rng, use_chain=subgraph is original
+        )
         left_nodes = [mapping[i] for i, side in enumerate(two_way) if side == 0]
         right_nodes = [mapping[i] for i, side in enumerate(two_way) if side == 1]
         if not left_nodes or not right_nodes:
@@ -136,16 +274,26 @@ class GraphPartitioner:
 
     # -- multilevel bisection -----------------------------------------------------------
     def _multilevel_bisection(
-        self, graph: CSRGraph, target_fraction: float, rng: SeededRng
+        self,
+        graph: CSRGraph,
+        target_fraction: float,
+        rng: SeededRng,
+        use_chain: bool = False,
     ) -> list[int]:
         total_weight = graph.total_node_weight()
-        max_node_weight = max(graph.node_weights, default=0.0)
+        max_node_weight = max(graph.lists()[3], default=0.0)
         slack = 1.0 + self.options.imbalance
         max_weights = (
             total_weight * target_fraction * slack + max_node_weight,
             total_weight * (1.0 - target_fraction) * slack + max_node_weight,
         )
-        levels = coarsen_to(graph, self.options.coarsen_target, rng)
+        if use_chain:
+            # Root bisection of a caller-owned graph: reuse (or build) the
+            # memoised coarsening chain so repeated partitions of the same
+            # frozen graph — any k, including 2 — share one hierarchy.
+            levels = coarsen_chain(graph, self.options.coarsen_target, self.options.seed)
+        else:
+            levels = coarsen_to(graph, self.options.coarsen_target, rng)
         coarsest = levels[-1].graph if levels else graph
         assignment, external = self._initial_bisection(coarsest, target_fraction, rng, max_weights)
         # Uncoarsen: project back level by level, refining at each step.  The
@@ -166,7 +314,7 @@ class GraphPartitioner:
                 max_negative_streak=self.options.fm_negative_streak,
                 boundary_hint=boundary_hint,
             )
-        if not levels:
+        if not levels and self.options.flat_refine:
             _fm_refine_csr(
                 graph,
                 assignment,
@@ -191,7 +339,10 @@ class GraphPartitioner:
         trials = max(1, self.options.initial_trials)
         for trial in range(trials):
             trial_rng = rng.fork(("initial", trial))
-            if trial == trials - 1 and best_assignment is None:
+            if trial > 0 and trial == trials - 1 and best_assignment is None:
+                # Diversity fallback only: a single-trial configuration must
+                # still use greedy growing (a lone random bisection would
+                # silently degrade the partition).
                 candidate = random_bisection(graph, target_zero, trial_rng)
             else:
                 candidate = greedy_bisection(graph, target_zero, trial_rng)
@@ -224,7 +375,7 @@ class GraphPartitioner:
 
     def _kway_max_weights(self, graph: CSRGraph, num_parts: int) -> list[float]:
         total_weight = graph.total_node_weight()
-        max_node_weight = max(graph.node_weights, default=0.0)
+        max_node_weight = max(graph.lists()[3], default=0.0)
         per_part = total_weight / num_parts
         return [per_part * (1.0 + self.options.imbalance) + max_node_weight] * num_parts
 

@@ -1,50 +1,58 @@
 """Partition refinement on the frozen CSR representation.
 
-Two refiners are provided:
+Three refiners are provided:
 
 * :func:`fm_refine_bisection` — a Fiduccia–Mattheyses style pass for two-way
   partitions, used inside the multilevel bisection at every uncoarsening
   level.  It permits temporarily negative-gain moves (up to a bounded streak)
   and rolls back to the best prefix, which lets it climb out of small local
   minima.
+* :func:`kway_fm_refine` — the direct k-way counterpart: boundary FM over all
+  k parts in one sweep, built on a **per-part gain structure** — each
+  boundary node keeps a dense connectivity row over the k parts plus its
+  cached best move, mirrored by one target-tagged entry in the move queue —
+  so the best admissible move is one heap pop and most row updates are O(1).
+  It powers the direct k-way multilevel path and, through an optional
+  :class:`MoveCostModel`, the online budgeted re-partitioner's warm-start
+  refinement.
 * :func:`greedy_kway_refine` — a greedy boundary pass for k-way partitions,
-  run once on the full graph after recursive bisection.  Nodes on the
-  boundary are moved to the neighbouring partition with the highest positive
-  gain provided the balance constraint stays satisfied.
+  run on the full graph after recursive bisection.  Nodes on the boundary are
+  moved to the neighbouring partition with the highest positive gain provided
+  the balance constraint stays satisfied.
 
-**Incremental-gain invariant.**  The FM pass maintains a per-node ``gains``
-array holding the exact cut reduction of moving each node to the other side.
-When node ``u`` moves, only its neighbours change: a neighbour ``v`` now on
-``u``'s new side loses ``2 * w(u, v)`` of gain, a neighbour on the old side
-wins ``2 * w(u, v)``.  Applying those deltas keeps ``gains`` exact at all
-times, so a heap pop never needs an O(degree) recomputation; staleness is
-detected with a per-node generation counter (an entry is valid only when its
-generation matches the node's current one).  The edge weights reachable here
-are sums of the builder's integer transaction counts (plus the replication
-epsilon), so the ±2w updates stay exact in floating point for the workloads
-that matter.
+**Incremental-gain invariant.**  The FM passes maintain a per-node ``gains``
+quantity holding the exact cut reduction of the node's best move.  When node
+``u`` moves, only its neighbours change: the two-way pass applies exact
+``±2w`` deltas, while the k-way pass updates each neighbour's connectivity
+row in two slots and its cached best move in O(1) (a full O(k) rescan only
+when the vacated part was the cached target).  Staleness is detected with a
+per-node generation counter (an entry is valid only when its generation
+matches the node's current one), so a heap pop never acts on outdated state.
 
-The k-way pass keeps a conservative boundary flag per node (any node whose
-neighbourhood may straddle partitions); interior nodes are skipped without
-touching their adjacency, which is what makes late passes — when only a thin
-frontier is still active — cheap.
-
-All public functions accept either a mutable :class:`Graph` (frozen on
-entry) or a :class:`CSRGraph`; ``assignment`` lists are modified in place
-either way.
+**Array backends.**  All public functions accept either a mutable
+:class:`Graph` (frozen on entry) or a :class:`CSRGraph`; ``assignment``
+lists are modified in place either way.  Bulk initialisation (the per-node
+external cut weight, :func:`compute_external`; k-way gain seeding) is
+vectorised when the graph is numpy-backed, with order-preserving summation
+so both backends produce bit-identical refinements.  The sequential move
+loops always run on the plain-list views.
 """
 
 from __future__ import annotations
 
 import heapq
 
+from repro.graph import backend
 from repro.graph.model import CSRGraph, Graph, as_csr
+
+#: comparison slack for "strictly improving" decisions, shared by all passes.
+_TOL = 1e-12
 
 
 def cut_weight_two_way(graph: Graph | CSRGraph, assignment: list[int]) -> float:
     """Total weight of edges crossing a two-way (or k-way) assignment."""
     csr = as_csr(graph)
-    indptr, indices, edge_weights = csr.indptr, csr.indices, csr.edge_weights
+    indptr, indices, edge_weights, _ = csr.lists()
     total = 0.0
     for u in range(csr.num_nodes):
         side = assignment[u]
@@ -61,9 +69,52 @@ def side_weights(
     """Total node weight per partition."""
     weights = [0.0] * num_parts
     node_weights = graph.node_weights
+    if not isinstance(node_weights, list):
+        node_weights = graph.lists()[3]
     for node, part in enumerate(assignment):
         weights[part] += node_weights[node]
     return weights
+
+
+def compute_external(
+    graph: Graph | CSRGraph,
+    assignment: list[int],
+    boundary_hint: list[bool] | None = None,
+) -> list[float]:
+    """Per-node total weight of cut edges (``external[v]``), as a plain list.
+
+    The seed of the incremental-gain invariant: ``gain_2way(v) =
+    2 * external(v) - weighted_degree(v)``, a node is on the boundary iff
+    ``external[v] > 0``, and the cut is ``sum(external) / 2``.
+
+    ``boundary_hint``, when given, must be ``False`` only for nodes that are
+    guaranteed to have zero external weight (e.g. fine nodes whose coarse
+    parent was interior); the scalar path skips their adjacency entirely.
+    The vectorised path computes every row — the hint's guarantee makes the
+    results identical.
+    """
+    csr = as_csr(graph)
+    num_nodes = csr.num_nodes
+    if csr.is_numpy and len(csr.indices) >= 2048:
+        np = backend.numpy
+        part = np.asarray(assignment, dtype=np.int64)
+        rows = np.repeat(np.arange(num_nodes), np.diff(csr.indptr))
+        cut = part[csr.indices] != part[rows]
+        masked = np.where(cut, csr.edge_weights, 0.0)
+        return np.bincount(rows, weights=masked, minlength=num_nodes).tolist()
+    indptr, indices, edge_weights, _ = csr.lists()
+    external = [0.0] * num_nodes
+    for node in range(num_nodes):
+        if boundary_hint is not None and not boundary_hint[node]:
+            continue
+        side = assignment[node]
+        start, end = indptr[node], indptr[node + 1]
+        cross = 0.0
+        for neighbor, weight in zip(indices[start:end], edge_weights[start:end]):
+            if assignment[neighbor] != side:
+                cross += weight
+        external[node] = cross
+    return external
 
 
 def fm_refine_bisection(
@@ -107,37 +158,19 @@ def _fm_refine_csr(
 
     ``external[v]`` — total weight of v's cut edges — is the maintained
     quantity of the incremental-gain invariant: gain(v) = 2 * external(v)
-    - weighted_degree(v).  It is initialised once per call (O(E)) and kept
-    exact through every move *and* every rollback flip, so each subsequent
-    pass re-seeds its heap in O(boundary).  The returned array lets callers
-    derive the cut (``sum(external) / 2``) and seed the next uncoarsening
-    level's ``boundary_hint`` without rescanning the graph.
-
-    ``boundary_hint``, when given, must be ``False`` only for nodes that are
-    guaranteed to have zero external weight (e.g. fine nodes whose coarse
-    parent was interior); their adjacency is never scanned during init.
+    - weighted_degree(v).  It is initialised once per call
+    (:func:`compute_external`, vectorised under numpy) and kept exact through
+    every move *and* every rollback flip, so each subsequent pass re-seeds
+    its heap in O(boundary).  The returned array lets callers derive the cut
+    (``sum(external) / 2``) and seed the next uncoarsening level's
+    ``boundary_hint`` without rescanning the graph.
     """
     num_nodes = csr.num_nodes
-    indptr, indices, edge_weights, node_weights = (
-        csr.indptr,
-        csr.indices,
-        csr.edge_weights,
-        csr.node_weights,
-    )
+    indptr, indices, edge_weights, node_weights = csr.lists()
     heappush, heappop = heapq.heappush, heapq.heappop
     max_weight_zero, max_weight_one = max_weights[0], max_weights[1]
     weighted_degrees = csr.weighted_degrees()
-    external = [0.0] * num_nodes
-    for node in range(num_nodes):
-        if boundary_hint is not None and not boundary_hint[node]:
-            continue
-        side = assignment[node]
-        start, end = indptr[node], indptr[node + 1]
-        cross = 0.0
-        for neighbor, weight in zip(indices[start:end], edge_weights[start:end]):
-            if assignment[neighbor] != side:
-                cross += weight
-        external[node] = cross
+    external = compute_external(csr, assignment, boundary_hint)
     # Side weights are maintained through moves *and* rollbacks, so they are
     # computed once per call rather than once per pass.
     weight_zero, weight_one = side_weights(csr, assignment, 2)
@@ -182,7 +215,7 @@ def _fm_refine_csr(
             locked[node] = True
             moves.append(node)
             current_delta -= neg_gain
-            if current_delta > best_cut_delta + 1e-12:
+            if current_delta > best_cut_delta + _TOL:
                 best_cut_delta = current_delta
                 best_prefix = len(moves)
                 negative_streak = 0
@@ -226,7 +259,7 @@ def _fm_refine_csr(
                     external[neighbor] -= weight
                 else:
                     external[neighbor] += weight
-        if best_cut_delta <= 1e-12:
+        if best_cut_delta <= _TOL:
             break
     return external
 
@@ -248,6 +281,485 @@ def _move_gain(graph: Graph | CSRGraph, node: int, assignment: list[int]) -> flo
     return external - internal
 
 
+class MoveCostModel:
+    """Migration-cost charging for warm-start k-way refinement.
+
+    Shared between :func:`kway_fm_refine` and the online budgeted
+    re-partitioner: each move is charged relative to the node's *home* (the
+    deployed placement) — leaving home costs ``costs[node]``, returning home
+    refunds it, moving between two foreign partitions is free.  ``spent`` is
+    the running ledger; when ``budget`` is set, cost-increasing moves that
+    would exceed it are inadmissible.  The presence of a cost model switches
+    :func:`kway_fm_refine` to greedy mode: only moves whose cut gain exceeds
+    ``cost_weight`` times the cost delta are taken, and there is no
+    speculative hill-climbing (a live system never wants to migrate tuples
+    it will migrate straight back).
+    """
+
+    __slots__ = ("home", "costs", "cost_weight", "budget", "spent")
+
+    def __init__(
+        self,
+        home: list[int],
+        costs: list[float],
+        cost_weight: float,
+        budget: float | None = None,
+        already_spent: float = 0.0,
+    ) -> None:
+        self.home = home
+        self.costs = costs
+        self.cost_weight = cost_weight
+        self.budget = budget
+        self.spent = already_spent
+
+    def delta(self, node: int, source: int, target: int) -> float:
+        """Migration-cost change of moving ``node`` from ``source`` to ``target``."""
+        home_part = self.home[node]
+        if source == home_part and target != home_part:
+            return self.costs[node]
+        if source != home_part and target == home_part:
+            return -self.costs[node]
+        return 0.0
+
+    def admissible(self, cost_delta: float) -> bool:
+        """Whether a move with this cost delta fits in the remaining budget."""
+        return (
+            self.budget is None
+            or cost_delta <= 0.0
+            or self.spent + cost_delta <= self.budget
+        )
+
+
+def kway_fm_refine(
+    graph: Graph | CSRGraph,
+    assignment: list[int],
+    num_parts: int,
+    max_weights: list[float],
+    max_passes: int = 4,
+    max_negative_streak: int = 16,
+    boundary_hint: list[bool] | None = None,
+    cost_model: MoveCostModel | None = None,
+    want_external: bool = True,
+    pass_gain_tolerance: float = 0.0,
+) -> list[float]:
+    """Direct k-way FM with a per-part gain structure; returns the external array.
+
+    Refines all ``num_parts`` parts in one sweep instead of log(k)
+    bisections.  The k-ary gain structure: every boundary node keeps a dense
+    **per-part connectivity row** (weight towards each of the k parts) plus
+    its cached best move ``(gain, target)``, mirrored by one live
+    target-tagged entry in the move queue.  When node ``u`` moves from ``a``
+    to ``b``, each neighbour's row changes in exactly two slots
+    (``row[a] -= w``, ``row[b] += w``), so the cached best move updates in
+    O(1) for the common cases — a full O(k) row rescan is needed only when
+    the cached target was ``a`` (its gain fell) or the node just became
+    boundary.  Entries are invalidated by a per-node generation counter;
+    when a popped entry's target is balance- (or budget-)blocked, the node's
+    best *admissible* move is recomputed from its row and re-queued, so a
+    saturated part never stalls the sweep.
+
+    Without a cost model the pass hill-climbs exactly like the two-way FM
+    (bounded negative streak, rollback to the best prefix).  With a
+    :class:`MoveCostModel` it runs greedily: only net-positive moves (cut
+    gain minus weighted cost delta) are applied and nothing is rolled back.
+
+    ``assignment`` is modified in place.  The returned list is the exact
+    per-node external weight of the final assignment (recomputed once at the
+    end), ready to seed the next uncoarsening level's boundary hint.
+    """
+    csr = as_csr(graph)
+    num_nodes = csr.num_nodes
+    if num_nodes == 0 or num_parts <= 1:
+        return [0.0] * num_nodes
+    indptr, indices, edge_weights, node_weights = csr.lists()
+    heappush, heappop = heapq.heappush, heapq.heappop
+    weighted_degrees = csr.weighted_degrees()
+    external = compute_external(csr, assignment, boundary_hint)
+    weights = side_weights(csr, assignment, num_parts)
+    greedy = cost_model is not None
+    cost_weight = cost_model.cost_weight if greedy else 0.0
+    neg_inf = -float("inf")
+    # Adaptive pass exit: a pass that shaves less than this fraction of the
+    # entry cut is treated as converged (0.0 keeps the exact-convergence
+    # behaviour).  ``sum`` over the plain list is backend-identical.
+    min_pass_delta = _TOL
+    if pass_gain_tolerance > 0.0:
+        min_pass_delta = max(_TOL, pass_gain_tolerance * (sum(external) / 2.0))
+    #: greedy mode converges within one seeding except for balance/budget
+    #: blocked nodes; later passes re-seed only those.
+    reseed_nodes: list[int] | None = None
+
+    for _ in range(max_passes):
+        #: per-pass k-ary gain state.  ``rows[v]`` is v's connectivity row
+        #: (None until v reaches the boundary); ``best_gain``/``best_target``
+        #: mirror v's live queue entry (−inf/−1 = no entry).
+        rows: list[list[float] | None] = [None] * num_nodes
+        #: parts each row has (ever had) weight towards — scan_best iterates
+        #: this short list instead of all k parts.  May contain duplicates or
+        #: parts whose weight decayed back to zero; both are skipped cheaply.
+        row_parts: list[list[int] | None] = [None] * num_nodes
+        best_gain = [neg_inf] * num_nodes
+        best_target = [-1] * num_nodes
+        generation = [0] * num_nodes
+        locked = [False] * num_nodes
+        #: move queue: (−gain, node, target, generation).  One live entry per
+        #: node; the global minimum is exactly the best of the per-part
+        #: bucket tops, found in O(log) instead of a k-way peek.
+        heap: list[tuple[float, int, int, int]] = []
+
+        def build_row(node: int) -> list[float]:
+            row = [0.0] * num_parts
+            parts: list[int] = []
+            for i in range(indptr[node], indptr[node + 1]):
+                part = assignment[indices[i]]
+                if row[part] == 0.0:
+                    parts.append(part)
+                row[part] += edge_weights[i]
+            rows[node] = row
+            row_parts[node] = parts
+            return row
+
+        def scan_best(node: int, row: list[float], blocked_target: int = -1) -> tuple[float, int]:
+            """Best (gain, target) from ``node``'s row; ties to the smallest part.
+
+            Only connected parts are candidates — an unconnected target's
+            gain (``-internal``) can never beat a connected one, and boundary
+            nodes always have at least one connected foreign part.  The
+            explicit smallest-part tie-break makes the scan independent of
+            the candidate list's order (and of its harmless duplicates).
+            With ``blocked_target`` >= 0 only currently admissible targets
+            count (balance and, in greedy mode, budget), excluding the
+            blocked part itself so re-queueing makes progress.
+            """
+            source = assignment[node]
+            internal = row[source]
+            node_weight = node_weights[node]
+            check_admissible = blocked_target >= 0
+            gain_best = neg_inf
+            target_best = -1
+            for part in row_parts[node]:
+                if part == source:
+                    continue
+                towards = row[part]
+                if towards == 0.0:
+                    continue
+                if check_admissible:
+                    if part == blocked_target:
+                        continue
+                    if weights[part] + node_weight > max_weights[part]:
+                        continue
+                gain = towards - internal
+                if greedy:
+                    cost_delta = cost_model.delta(node, source, part)
+                    if check_admissible and not cost_model.admissible(cost_delta):
+                        continue
+                    gain -= cost_weight * cost_delta
+                if gain > gain_best or (gain == gain_best and part < target_best):
+                    gain_best = gain
+                    target_best = part
+            return gain_best, target_best
+
+        seeded = _seed_kway_queue(
+            csr, assignment, num_parts, external, rows, row_parts, best_gain,
+            best_target, heap, build_row, scan_best, greedy, reseed_nodes,
+            cost_model,
+        )
+        if not seeded:
+            break
+        moves: list[tuple[int, int, int]] = []  # (node, source, target)
+        best_cut_delta = 0.0
+        current_delta = 0.0
+        best_prefix = 0
+        negative_streak = 0
+        moved_this_pass = 0
+        blocked_locks = 0
+        blocked_list: list[int] = []
+        # Greedy mode runs to convergence within one seeding: moved nodes are
+        # not locked (each accepted move strictly decreases cut +
+        # cost_weight·displacement, so the loop terminates), capped defensively.
+        greedy_move_cap = num_nodes * max(max_passes, 4)
+        while heap and (greedy or negative_streak < max_negative_streak):
+            neg_gain, node, target, entry_generation = heappop(heap)
+            if locked[node] or entry_generation != generation[node]:
+                continue
+            gain = -neg_gain
+            source = assignment[node]
+            node_weight = node_weights[node]
+            blocked = weights[target] + node_weight > max_weights[target]
+            if greedy and not blocked:
+                blocked = not cost_model.admissible(cost_model.delta(node, source, target))
+            if blocked:
+                retry_gain, retry_target = scan_best(node, rows[node], blocked_target=target)
+                if retry_target >= 0 and (not greedy or retry_gain > _TOL):
+                    generation[node] += 1
+                    best_gain[node] = retry_gain
+                    best_target[node] = retry_target
+                    heappush(heap, (-retry_gain, node, retry_target, generation[node]))
+                else:
+                    locked[node] = True
+                    blocked_locks += 1
+                    if greedy:
+                        blocked_list.append(node)
+                continue
+            if greedy and gain <= _TOL:
+                locked[node] = True
+                continue
+            # Perform the move.
+            assignment[node] = target
+            weights[source] -= node_weight
+            weights[target] += node_weight
+            moved_this_pass += 1
+            external[node] = weighted_degrees[node] - rows[node][target]
+            if greedy:
+                cost_model.spent += cost_model.delta(node, source, target)
+                if moved_this_pass >= greedy_move_cap:
+                    break
+                fresh_gain, fresh_target = scan_best(node, rows[node])
+                best_gain[node] = fresh_gain
+                best_target[node] = fresh_target
+                generation[node] += 1
+                if fresh_target >= 0 and fresh_gain > _TOL:
+                    heappush(heap, (-fresh_gain, node, fresh_target, generation[node]))
+            else:
+                locked[node] = True
+                moves.append((node, source, target))
+                current_delta += gain
+                if current_delta > best_cut_delta + _TOL:
+                    best_cut_delta = current_delta
+                    best_prefix = len(moves)
+                    negative_streak = 0
+                else:
+                    negative_streak += 1
+            # Propagate the move: each neighbour's row changes in two slots;
+            # its cached best move updates in O(1) unless the old target was
+            # the vacated part (or the node just reached the boundary).
+            for i in range(indptr[node], indptr[node + 1]):
+                neighbor = indices[i]
+                weight = edge_weights[i]
+                neighbor_part = assignment[neighbor]
+                if neighbor_part == target:
+                    external[neighbor] -= weight
+                elif neighbor_part == source:
+                    external[neighbor] += weight
+                if locked[neighbor]:
+                    continue
+                row = rows[neighbor]
+                if row is None:
+                    if external[neighbor] > 0.0:
+                        row = build_row(neighbor)
+                        fresh_gain, fresh_target = scan_best(neighbor, row)
+                        best_gain[neighbor] = fresh_gain
+                        best_target[neighbor] = fresh_target
+                        if fresh_target >= 0 and (not greedy or fresh_gain > _TOL):
+                            generation[neighbor] += 1
+                            heappush(
+                                heap,
+                                (-fresh_gain, neighbor, fresh_target, generation[neighbor]),
+                            )
+                    continue
+                row[source] -= weight
+                row[target] += weight
+                if row[target] == weight:
+                    # First weight towards this part (0 + w == w exactly);
+                    # a rare duplicate append (decay back through zero) is
+                    # harmless — scans skip zero entries and re-visits.
+                    row_parts[neighbor].append(target)
+                old_gain = best_gain[neighbor]
+                old_target = best_target[neighbor]
+                if old_target == source or old_target == -1:
+                    new_gain, new_target = scan_best(neighbor, row)
+                else:
+                    new_gain, new_target = old_gain, old_target
+                    if neighbor_part == source:
+                        new_gain += weight
+                    elif neighbor_part == target:
+                        new_gain -= weight
+                    if target != neighbor_part:
+                        candidate = row[target] - row[neighbor_part]
+                        if greedy:
+                            candidate -= cost_weight * cost_model.delta(
+                                neighbor, neighbor_part, target
+                            )
+                        if candidate > new_gain or (
+                            candidate == new_gain and target < new_target
+                        ):
+                            new_gain = candidate
+                            new_target = target
+                if new_gain != old_gain or new_target != old_target:
+                    best_gain[neighbor] = new_gain
+                    best_target[neighbor] = new_target
+                    generation[neighbor] += 1
+                    if new_target >= 0 and (not greedy or new_gain > _TOL):
+                        heappush(
+                            heap,
+                            (-new_gain, neighbor, new_target, generation[neighbor]),
+                        )
+        if not greedy:
+            # Roll back the moves after the best prefix.  Neighbour external
+            # updates only need *current* parts; the undone node's own
+            # external is recomputed exactly from its adjacency.
+            for node, source, target in reversed(moves[best_prefix:]):
+                assignment[node] = source
+                node_weight = node_weights[node]
+                weights[target] -= node_weight
+                weights[source] += node_weight
+                start, end = indptr[node], indptr[node + 1]
+                cross = 0.0
+                for neighbor, weight in zip(indices[start:end], edge_weights[start:end]):
+                    part = assignment[neighbor]
+                    if part == source:
+                        external[neighbor] -= weight
+                    elif part == target:
+                        external[neighbor] += weight
+                    if part != source:
+                        cross += weight
+                external[node] = cross
+            if best_cut_delta <= min_pass_delta:
+                break
+        elif (
+            moved_this_pass == 0
+            or blocked_locks == 0
+            or moved_this_pass >= greedy_move_cap
+        ):
+            # Greedy convergence: the queue drained with nothing blocked, so
+            # another seeding round cannot surface new net-positive moves.
+            break
+        else:
+            # Unblocked candidates converged live; only the blocked nodes
+            # need a fresh look now that part weights have shifted.
+            reseed_nodes = blocked_list
+    if not want_external:
+        # Final-level callers discard the hint; skip the exit recompute.
+        return []
+    # The maintained external is only a boundary filter (the incremental
+    # updates drift in ulps); recompute it exactly for the caller.
+    return compute_external(csr, assignment)
+
+
+def _seed_kway_queue(
+    csr: CSRGraph,
+    assignment: list[int],
+    num_parts: int,
+    external: list[float],
+    rows: list,
+    row_parts: list,
+    best_gain: list[float],
+    best_target: list[int],
+    heap: list[tuple[float, int, int, int]],
+    build_row,
+    scan_best,
+    greedy: bool,
+    reseed_nodes: list[int] | None = None,
+    cost_model: MoveCostModel | None = None,
+) -> int:
+    """Fill the k-ary gain structure with every boundary node's best move.
+
+    Returns the number of seeded entries.  The numpy path computes the whole
+    boundary's connectivity matrix with one order-preserving ``bincount``
+    and takes a row-wise argmax — bit-identical to the scalar
+    ``build_row``/``scan_best`` pair: same accumulation order, the same
+    ``(towards - internal)`` then cost-adjustment operation order in greedy
+    mode, argmax picks the smallest part on ties, and unconnected parts are
+    masked out exactly as the scalar scan skips them.  Small graphs and
+    blocked-node re-seeds take the scalar path outright: below a few
+    thousand entries the ndarray round-trips cost more than the loop.
+    """
+    seeded = 0
+    if csr.is_numpy and reseed_nodes is None and len(csr.indices) >= 2048:
+        np = backend.numpy
+        boundary = np.flatnonzero(np.asarray(external) > 0.0)
+        if len(boundary) == 0:
+            return 0
+        part = np.asarray(assignment, dtype=np.int64)
+        indptr = csr.indptr
+        starts = indptr[boundary]
+        degrees = indptr[boundary + 1] - starts
+        total = int(degrees.sum())
+        offsets = np.cumsum(degrees) - degrees
+        positions = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, degrees)
+            + np.repeat(starts, degrees)
+        )
+        local_rows = np.repeat(np.arange(len(boundary), dtype=np.int64), degrees)
+        connectivity = np.bincount(
+            local_rows * num_parts + part[csr.indices[positions]],
+            weights=csr.edge_weights[positions],
+            minlength=len(boundary) * num_parts,
+        ).reshape(len(boundary), num_parts)
+        row_lists = connectivity.tolist()
+        nonzero_rows, nonzero_cols = np.nonzero(connectivity)
+        part_offsets = np.cumsum(
+            np.bincount(nonzero_rows, minlength=len(boundary))
+        ).tolist()
+        nonzero_cols = nonzero_cols.tolist()
+        row_ids = np.arange(len(boundary))
+        source_parts = part[boundary]
+        internal = connectivity[row_ids, source_parts]
+        if greedy:
+            # Candidate gains with migration-cost charging, in the scalar
+            # operation order: (towards - internal), then -= cost_weight *
+            # cost_delta.  Leaving home charges every foreign target the
+            # same penalty (uniform row shift); a foreign node's home target
+            # gets the refund.  Unconnected parts are no candidates.
+            adjusted = connectivity - internal[:, None]
+            adjusted[connectivity == 0.0] = -np.inf
+            adjusted[row_ids, source_parts] = -np.inf
+            penalty = cost_model.cost_weight * np.asarray(cost_model.costs)[boundary]
+            home = np.asarray(cost_model.home, dtype=np.int64)[boundary]
+            leaving = source_parts == home
+            adjusted[leaving] -= penalty[leaving][:, None]
+            foreign = ~leaving
+            adjusted[row_ids[foreign], home[foreign]] += penalty[foreign]
+            targets = np.argmax(adjusted, axis=1)
+            gains = adjusted[row_ids, targets].tolist()
+        else:
+            masked = connectivity.copy()
+            # Unconnected parts are no candidates (matches the scalar scan);
+            # a maintained-external drift can flag a node with zero true
+            # foreign connectivity as boundary, so the guard is load-bearing.
+            masked[masked == 0.0] = -np.inf
+            masked[row_ids, source_parts] = -np.inf
+            targets = np.argmax(masked, axis=1)
+            gains = (masked[row_ids, targets] - internal).tolist()
+        targets = targets.tolist()
+        neg_inf = float("-inf")
+        parts_start = 0
+        for local, node in enumerate(boundary.tolist()):
+            rows[node] = row_lists[local]
+            parts_end = part_offsets[local]
+            row_parts[node] = nonzero_cols[parts_start:parts_end]
+            parts_start = parts_end
+            gain = gains[local]
+            if gain == neg_inf:
+                # No connected foreign part: the scalar scan returns -1.
+                best_gain[node] = neg_inf
+                best_target[node] = -1
+                continue
+            target = targets[local]
+            best_gain[node] = gain
+            best_target[node] = target
+            if greedy and gain <= _TOL:
+                continue
+            heap.append((-gain, node, target, 0))
+            seeded += 1
+        heapq.heapify(heap)
+        return seeded
+    candidates = range(csr.num_nodes) if reseed_nodes is None else reseed_nodes
+    for node in candidates:
+        if external[node] <= 0.0:
+            continue
+        gain, target = scan_best(node, build_row(node))
+        best_gain[node] = gain
+        best_target[node] = target
+        if target < 0 or (greedy and gain <= _TOL):
+            continue
+        heap.append((-gain, node, target, 0))
+        seeded += 1
+    heapq.heapify(heap)
+    return seeded
+
+
 def greedy_kway_refine(
     graph: Graph | CSRGraph,
     assignment: list[int],
@@ -267,21 +779,11 @@ def greedy_kway_refine(
     num_nodes = csr.num_nodes
     if num_nodes == 0 or num_parts <= 1:
         return assignment
-    indptr, indices, edge_weights, node_weights = (
-        csr.indptr,
-        csr.indices,
-        csr.edge_weights,
-        csr.node_weights,
-    )
+    indptr, indices, edge_weights, node_weights = csr.lists()
     weights = side_weights(csr, assignment, num_parts)
-    # Conservative boundary flags: start from the exact boundary.
-    on_boundary = [False] * num_nodes
-    for u in range(num_nodes):
-        side = assignment[u]
-        for v in indices[indptr[u] : indptr[u + 1]]:
-            if assignment[v] != side:
-                on_boundary[u] = True
-                break
+    # Conservative boundary flags, from the (vectorised) exact boundary.
+    external = compute_external(csr, assignment)
+    on_boundary = [cross > 0.0 for cross in external]
     connectivity = [0.0] * num_parts
     parts_touched: list[int] = []
     for _ in range(max_passes):
@@ -309,7 +811,7 @@ def greedy_kway_refine(
                     continue
                 external_parts += 1
                 gain = connectivity[part] - internal
-                if gain > best_gain + 1e-12 and weights[part] + node_weight <= max_weights[part]:
+                if gain > best_gain + _TOL and weights[part] + node_weight <= max_weights[part]:
                     best_gain = gain
                     best_part = part
             for part in parts_touched:
@@ -339,12 +841,12 @@ def rebalance(
 ) -> list[int]:
     """Move nodes out of overweight partitions, preferring low-connectivity nodes.
 
-    Used as a last resort when recursive bisection produces a slightly
-    infeasible assignment (e.g. one giant coalesced node).  Cut quality is a
-    secondary concern here; feasibility comes first.
+    Used as a last resort when the initial k-way assignment is slightly
+    infeasible (e.g. one giant coalesced node).  Cut quality is a secondary
+    concern here; feasibility comes first.
     """
     csr = as_csr(graph)
-    indptr, indices, edge_weights = csr.indptr, csr.indices, csr.edge_weights
+    indptr, indices, edge_weights, node_weights = csr.lists()
     weights = side_weights(csr, assignment, num_parts)
     overweight = [part for part in range(num_parts) if weights[part] > max_weights[part]]
     if not overweight:
@@ -366,7 +868,7 @@ def rebalance(
         for node in movable:
             if weights[part] <= max_weights[part]:
                 break
-            node_weight = csr.node_weights[node]
+            node_weight = node_weights[node]
             # Send the node to the partition with the most slack.
             target = min(
                 (candidate for candidate in range(num_parts) if candidate != part),

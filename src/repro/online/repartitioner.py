@@ -14,6 +14,13 @@ have to be copied across partitions):
   leaving home costs the tuple's size, returning home refunds it, and moving
   between two foreign partitions is free (the copy already happened).
 
+The refinement itself is the offline partitioner's k-way bucket-FM kernel
+(:func:`repro.graph.refine.kway_fm_refine`) run in greedy mode with a
+:class:`~repro.graph.refine.MoveCostModel` — the same per-part gain
+structure, vectorised boundary initialisation and generation-counter
+invalidation that power the direct k-way multilevel path, so live
+re-partitioning rides every speedup the offline kernel gets.
+
 :func:`repartition_from_scratch` wraps the offline multilevel partitioner
 and — because fresh runs label partitions arbitrarily — re-aligns its labels
 against the current assignment (:func:`align_partition_labels`) so the two
@@ -26,7 +33,12 @@ from dataclasses import dataclass, field
 
 from repro.graph.model import CSRGraph
 from repro.graph.partitioner import GraphPartitioner, PartitionerOptions
-from repro.graph.refine import cut_weight_two_way, side_weights
+from repro.graph.refine import (
+    MoveCostModel,
+    cut_weight_two_way,
+    kway_fm_refine,
+    side_weights,
+)
 
 
 @dataclass
@@ -143,8 +155,7 @@ class BudgetedRepartitioner:
         Returns the migration cost spent.  Budget is intentionally not
         enforced here: feasibility comes first (documented in the options).
         """
-        indptr, indices, edge_weights = graph.indptr, graph.indices, graph.edge_weights
-        node_weights = graph.node_weights
+        indptr, indices, edge_weights, node_weights = graph.lists()
         num_parts = len(weights)
         spent = 0.0
         overweight = [part for part in range(num_parts) if weights[part] > max_weights[part]]
@@ -190,78 +201,33 @@ class BudgetedRepartitioner:
         max_weights: list[float],
         already_spent: float,
     ) -> float:
-        """Gain-driven boundary passes with migration-cost charging."""
+        """Cost-charged k-way refinement via the shared bucket-FM kernel.
+
+        Delegates to :func:`repro.graph.refine.kway_fm_refine` in greedy
+        mode: the :class:`MoveCostModel` adjusts every candidate gain by
+        ``migration_cost_weight`` times its cost delta, enforces the budget
+        (moves that would exceed it are inadmissible; returning home — a
+        refund — always is), and keeps the running ledger.  Returns the
+        migration cost this phase spent.
+        """
         options = self.options
-        num_nodes = graph.num_nodes
-        num_parts = len(weights)
-        indptr, indices, edge_weights = graph.indptr, graph.indices, graph.edge_weights
-        node_weights = graph.node_weights
-        cost_weight = options.migration_cost_weight
-        budget = options.migration_budget
-        spent = 0.0
-        on_boundary = [False] * num_nodes
-        for u in range(num_nodes):
-            side = assignment[u]
-            for v in indices[indptr[u] : indptr[u + 1]]:
-                if assignment[v] != side:
-                    on_boundary[u] = True
-                    break
-        connectivity = [0.0] * num_parts
-        parts_touched: list[int] = []
-        for _ in range(options.max_passes):
-            improved = False
-            for node in range(num_nodes):
-                if not on_boundary[node]:
-                    continue
-                start, end = indptr[node], indptr[node + 1]
-                if start == end:
-                    on_boundary[node] = False
-                    continue
-                source = assignment[node]
-                for neighbor, weight in zip(indices[start:end], edge_weights[start:end]):
-                    part = assignment[neighbor]
-                    if connectivity[part] == 0.0:
-                        parts_touched.append(part)
-                    connectivity[part] += weight
-                internal = connectivity[source]
-                node_weight = node_weights[node]
-                best_part = source
-                best_net_gain = 0.0
-                external_parts = 0
-                for part in sorted(parts_touched):
-                    if part == source:
-                        continue
-                    external_parts += 1
-                    cost_delta = self._cost_delta(node, source, part, home, costs)
-                    if (
-                        budget is not None
-                        and cost_delta > 0.0
-                        and already_spent + spent + cost_delta > budget
-                    ):
-                        continue
-                    net_gain = connectivity[part] - internal - cost_weight * cost_delta
-                    if (
-                        net_gain > best_net_gain + 1e-12
-                        and weights[part] + node_weight <= max_weights[part]
-                    ):
-                        best_net_gain = net_gain
-                        best_part = part
-                for part in parts_touched:
-                    connectivity[part] = 0.0
-                parts_touched.clear()
-                if best_part != source:
-                    spent += self._cost_delta(node, source, best_part, home, costs)
-                    assignment[node] = best_part
-                    weights[source] -= node_weight
-                    weights[best_part] += node_weight
-                    improved = True
-                    for neighbor in indices[start:end]:
-                        on_boundary[neighbor] = True
-                elif external_parts == 0:
-                    on_boundary[node] = False
-            if not improved:
-                break
-        return spent
+        cost_model = MoveCostModel(
+            home,
+            costs,
+            options.migration_cost_weight,
+            options.migration_budget,
+            already_spent,
+        )
+        kway_fm_refine(
+            graph,
+            assignment,
+            len(weights),
+            max_weights,
+            max_passes=options.max_passes,
+            cost_model=cost_model,
+            want_external=False,
+        )
+        return cost_model.spent - already_spent
 
     @staticmethod
     def _cost_delta(

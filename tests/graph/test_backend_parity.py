@@ -1,0 +1,195 @@
+"""Cross-backend parity: numpy and pure-Python CSR kernels must match bit-for-bit.
+
+The array backend (:mod:`repro.graph.backend`) only changes *how* the bulk
+kernels execute, never *what* they compute: every vectorised kernel preserves
+the scalar path's floating-point operation order.  These tests enforce the
+contract end to end — same-seed partitioner assignments over real
+workload-derived fixture graphs (epinions / TPC-C / TPC-E) for k in
+{2, 7, 32} (the 7 exercises non-power-of-two proportional weight targets) —
+and kernel by kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure5 import synthetic_access_graph
+from repro.graph import backend
+from repro.graph.builder import GraphBuildOptions, build_tuple_graph
+from repro.graph.coarsen import coarsen_once
+from repro.graph.model import CSRGraph, Graph
+from repro.graph.partitioner import PartitionerOptions, partition_graph
+from repro.graph.refine import compute_external, kway_fm_refine
+from repro.utils.rng import SeededRng
+from repro.workload.rwsets import extract_access_trace
+from repro.workloads import TpccConfig, generate_tpcc
+from repro.workloads.epinions import EpinionsConfig, generate_epinions
+from repro.workloads.tpce import TpceConfig, generate_tpce
+
+numpy_available = backend.numpy is not None
+requires_numpy = pytest.mark.skipif(not numpy_available, reason="numpy not installed")
+
+PARTITION_COUNTS = (2, 7, 32)
+
+
+def fixture_graphs() -> dict[str, Graph]:
+    """Workload-derived fixture graphs, including replication (epsilon weights).
+
+    The replication star edges carry ``count + 0.1`` weights, so duplicate
+    accumulation during coarsening exercises genuine non-integer float sums —
+    exactly where an order-changing vectorisation would diverge.
+    """
+    graphs: dict[str, Graph] = {}
+    epinions = generate_epinions(
+        EpinionsConfig(num_users=120, num_items=120, num_communities=4, seed=3),
+        num_transactions=400,
+    )
+    graphs["epinions"] = build_tuple_graph(
+        extract_access_trace(epinions.database, epinions.workload),
+        options=GraphBuildOptions(replication=True),
+    ).graph
+    tpcc = generate_tpcc(
+        TpccConfig(warehouses=2, districts_per_warehouse=3, customers_per_district=12, items=60),
+        num_transactions=400,
+    )
+    graphs["tpcc"] = build_tuple_graph(
+        extract_access_trace(tpcc.database, tpcc.workload),
+        options=GraphBuildOptions(replication=True),
+    ).graph
+    tpce = generate_tpce(
+        TpceConfig(customers=60, securities=30, companies=15), num_transactions=300
+    )
+    graphs["tpce"] = build_tuple_graph(
+        extract_access_trace(tpce.database, tpce.workload),
+        options=GraphBuildOptions(replication=False),
+    ).graph
+    return graphs
+
+
+class TestBackendModule:
+    def test_active_backend_is_valid(self):
+        assert backend.array_backend() in ("numpy", "list")
+
+    def test_backend_context_restores(self):
+        before = backend.array_backend()
+        with backend.backend_context("list"):
+            assert backend.array_backend() == "list"
+            csr = Graph().freeze()
+            assert isinstance(csr.indices, list)
+        assert backend.array_backend() == before
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            backend.set_array_backend("cupy")
+
+    def test_list_backend_conversion_helpers(self):
+        with backend.backend_context("list"):
+            assert backend.as_index_array([1, 2]) == [1, 2]
+            assert backend.as_weight_array([1.0]) == [1.0]
+        assert backend.to_list([3, 4]) == [3, 4]
+
+    @requires_numpy
+    def test_numpy_backend_array_types(self):
+        np = backend.numpy
+        with backend.backend_context("numpy"):
+            graph = Graph()
+            graph.add_nodes(3)
+            graph.add_edge(0, 1, 2.0)
+            csr = graph.freeze()
+            assert isinstance(csr.indices, np.ndarray)
+            assert csr.indices.dtype == np.int64
+            assert csr.edge_weights.dtype == np.float64
+            assert csr.is_numpy
+        assert backend.to_list(csr.indices) == [1, 0]
+
+
+@requires_numpy
+class TestKernelParity:
+    """Each vectorised kernel must reproduce the scalar kernel exactly."""
+
+    def _both(self, build):
+        with backend.backend_context("numpy"):
+            from_numpy = build()
+        with backend.backend_context("list"):
+            from_list = build()
+        return from_numpy, from_list
+
+    @staticmethod
+    def _csr_equal(a: CSRGraph, b: CSRGraph):
+        assert a.lists() == b.lists()
+
+    def test_freeze_and_weighted_degrees(self):
+        graph = synthetic_access_graph(900, 8000, seed=2)
+        a, b = self._both(graph.freeze)
+        self._csr_equal(a, b)
+        assert a.weighted_degrees() == b.weighted_degrees()
+
+    def test_subview_parity(self):
+        graph = synthetic_access_graph(1500, 12000, seed=4)
+        nodes = [n for n in range(1500) if n % 5 != 0]
+
+        def build():
+            view, mapping = graph.freeze().subview(nodes)
+            return view, mapping
+
+        (va, ma), (vb, mb) = self._both(build)
+        assert ma == mb
+        self._csr_equal(va, vb)
+
+    def test_coarsen_parity(self):
+        graph = synthetic_access_graph(1200, 10000, seed=5)
+
+        def build():
+            level = coarsen_once(graph.freeze(), SeededRng(9))
+            return level
+
+        la, lb = self._both(build)
+        assert la.fine_to_coarse == lb.fine_to_coarse
+        self._csr_equal(la.graph, lb.graph)
+
+    def test_compute_external_parity(self):
+        graph = synthetic_access_graph(1100, 9000, seed=6)
+        assignment = [node % 5 for node in range(1100)]
+
+        def build():
+            return compute_external(graph.freeze(), assignment)
+
+        ea, eb = self._both(build)
+        assert ea == eb
+
+    def test_kway_fm_parity(self):
+        graph = synthetic_access_graph(1100, 9000, seed=7)
+        base = [node % 6 for node in range(1100)]
+        max_weights = [graph.total_node_weight() / 6 * 1.2] * 6
+
+        def build():
+            assignment = list(base)
+            kway_fm_refine(graph.freeze(), assignment, 6, max_weights, 2, 32)
+            return assignment
+
+        ra, rb = self._both(build)
+        assert ra == rb
+
+
+@requires_numpy
+class TestAssignmentParity:
+    """Fixture-graph partitions must be byte-identical across backends."""
+
+    @pytest.mark.parametrize("num_parts", PARTITION_COUNTS)
+    def test_fixture_graph_assignments(self, num_parts):
+        for name, graph in fixture_graphs().items():
+            options = PartitionerOptions(seed=13, initial_trials=4, refine_passes=2)
+            with backend.backend_context("numpy"):
+                from_numpy = partition_graph(graph.freeze(), num_parts, options)
+            with backend.backend_context("list"):
+                from_list = partition_graph(graph.freeze(), num_parts, options)
+            assert from_numpy == from_list, (name, num_parts)
+
+    def test_synthetic_large_graph_assignment(self):
+        graph = synthetic_access_graph(2500, 20000, seed=1)
+        options = PartitionerOptions(seed=0, initial_trials=4, refine_passes=2)
+        with backend.backend_context("numpy"):
+            from_numpy = partition_graph(graph.freeze(), 32, options)
+        with backend.backend_context("list"):
+            from_list = partition_graph(graph.freeze(), 32, options)
+        assert from_numpy == from_list
