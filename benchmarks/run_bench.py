@@ -19,7 +19,9 @@ compared across PRs.  Three sections:
   throughput of the workload monitor and the incremental graph maintainer
   (transactions/sec and tuple-accesses, i.e. nodes, per second), plus the
   latency of a budgeted re-partition vs. a from-scratch one on the same
-  maintained graph.
+  maintained graph, plus a replication-aware re-partition over the
+  star-expanded graph (read-hot candidate selection + expansion + budgeted
+  refinement) with the replica counts it produced.
 
 Every result row records ``peak_rss_kb`` — the process-wide peak resident
 set size observed *by the time that row finished* (Linux ``ru_maxrss``
@@ -144,6 +146,26 @@ def run_online_adaptation(repeats: int) -> dict:
         full = repartition_from_scratch(csr, warm, num_partitions)
         full_seconds = min(full_seconds, time.perf_counter() - start)
 
+    # Replication-aware probe: candidate selection + star expansion +
+    # budgeted replica-set refinement, timed end to end (what one
+    # replication-aware adaptation pays on top of the plain freeze).
+    placements = [frozenset({part}) for part in warm]
+    replicated_seconds = float("inf")
+    replicated = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        candidates = maintainer.replication_candidates(
+            min_read_fraction=0.85, max_candidates=64, min_weight=2.0
+        )
+        expanded, _tuples, star = maintainer.freeze_replicated(candidates, warm)
+        repartitioner = BudgetedRepartitioner(
+            RepartitionOptions(migration_cost_weight=0.25, imbalance=0.10)
+        )
+        replicated = repartitioner.repartition_replicated(
+            expanded, star, placements, num_partitions
+        )
+        replicated_seconds = min(replicated_seconds, time.perf_counter() - start)
+
     section = {
         "transactions": len(accesses),
         "tuple_accesses": tuple_accesses,
@@ -169,12 +191,21 @@ def run_online_adaptation(repeats: int) -> dict:
             "moved": full.num_moved,
             "cut_after": round(full.cut_after, 1),
         },
+        "replicated_repartition": {
+            "seconds": round(replicated_seconds, 6),
+            "changed": replicated.num_changed,
+            "replicated": replicated.replicated_count,
+            "replica_copies": replicated.replica_copies,
+            "cut_after": round(replicated.cut_after, 1),
+        },
     }
     print(
         f"online: monitor {section['monitor_ingest']['nodes_per_sec']:.0f} nodes/s, "
         f"maintainer {section['maintainer_ingest']['nodes_per_sec']:.0f} nodes/s, "
         f"budgeted repartition {budgeted_seconds:.3f}s (moved {budgeted.num_moved}), "
-        f"full {full_seconds:.3f}s (moved {full.num_moved})"
+        f"full {full_seconds:.3f}s (moved {full.num_moved}), "
+        f"replication-aware {replicated_seconds:.3f}s "
+        f"({replicated.replicated_count} replicated)"
     )
     return section
 

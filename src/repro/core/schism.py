@@ -300,6 +300,30 @@ def start_online(
     up on the training trace (so its maintained graph and drift baseline
     start from what the offline pipeline learned).
 
+    The controller then closes the loop on live traffic (``observe`` /
+    ``observe_batches``): it detects drift, re-partitions under a migration
+    budget — widening read-hot tuples into **replica sets** when their
+    decayed read/write ratio clears the ``OnlineOptions.replication_*``
+    thresholds — and, when ``OnlineOptions.elastic`` is enabled, grows or
+    shrinks ``num_partitions`` to follow the offered load.
+
+    Parameters
+    ----------
+    result:
+        The finished :class:`SchismResult` whose placement to deploy.
+    database:
+        The loaded database the cluster is materialised from.
+    online_options:
+        :class:`~repro.online.controller.OnlineOptions` for the loop
+        (monitor/maintainer/repartition knobs, replication thresholds,
+        elastic policy); defaults throughout when omitted.
+    lookup_default_policy:
+        Routing for tuples absent from the lookup table: ``"hash"``
+        (default) or ``"replicate"``.  Note the *offline* pipeline defaults
+        to ``"auto"``; online deployments default to ``"hash"`` because
+        implicit full replication would make every later write to an
+        untracked tuple a cluster-wide transaction.
+
     The lookup strategy is always used for the online deployment — live
     migration updates per-tuple placements, which only the lookup table can
     express — regardless of which candidate won the offline validation.

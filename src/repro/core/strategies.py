@@ -35,6 +35,19 @@ def stable_hash(value: object) -> int:
     return int.from_bytes(digest, "big")
 
 
+def hash_home(tuple_id: TupleId, num_partitions: int) -> frozenset[int]:
+    """Primary-key hash placement of ``tuple_id``.
+
+    The single definition of where "hash" default policies and fallbacks
+    send a tuple — shared by the strategies here and by the online
+    controller's clamp/pinning paths, so they can never diverge from where
+    the router actually routes implicitly-placed tuples.  The table name is
+    included so same-valued keys of different tables do not artificially
+    co-locate.
+    """
+    return frozenset({stable_hash((tuple_id.table, tuple_id.key)) % num_partitions})
+
+
 class PartitioningStrategy(ABC):
     """Base class for all strategies."""
 
@@ -110,9 +123,7 @@ class HashPartitioning(PartitioningStrategy):
     ) -> frozenset[int]:
         columns = self.columns_per_table.get(tuple_id.table)
         if columns is None:
-            # Primary-key hashing: include the table name so same-valued keys
-            # of different tables do not artificially co-locate.
-            return frozenset({stable_hash((tuple_id.table, tuple_id.key)) % self.num_partitions})
+            return hash_home(tuple_id, self.num_partitions)
         if row is not None and all(column in row for column in columns):
             value: tuple[object, ...] = tuple(row[column] for column in columns)
         else:
@@ -242,7 +253,7 @@ class RangePredicatePartitioning(PartitioningStrategy):
     def _fallback_partitions(self, tuple_id: TupleId) -> frozenset[int]:
         if self.fallback == "replicate":
             return self.all_partitions
-        return frozenset({stable_hash((tuple_id.table, tuple_id.key)) % self.num_partitions})
+        return hash_home(tuple_id, self.num_partitions)
 
     def partitions_for_conditions(
         self, table: str, conditions: Sequence[AttributeCondition]
@@ -309,7 +320,7 @@ class LookupTablePartitioning(PartitioningStrategy):
             return placement
         if self.default_policy == "replicate":
             return self.all_partitions
-        return frozenset({stable_hash((tuple_id.table, tuple_id.key)) % self.num_partitions})
+        return hash_home(tuple_id, self.num_partitions)
 
     def partitions_for_conditions(
         self, table: str, conditions: Sequence[AttributeCondition]

@@ -41,6 +41,62 @@ class Cluster:
             raise IndexError(f"partition {partition} out of range")
         return self.partition_databases[partition]
 
+    # -- elastic membership (online partition scaling) ---------------------------------
+    def grow_to(self, new_num_partitions: int) -> None:
+        """Add empty partitions until the cluster has ``new_num_partitions``.
+
+        Called by the elastic controller *before* migration copies, so data
+        can land on the new partitions while every existing placement stays
+        valid.
+        """
+        if new_num_partitions <= self.num_partitions:
+            raise ValueError("grow_to requires more partitions than the cluster has")
+        while self.num_partitions < new_num_partitions:
+            self.partition_databases.append(Database(self.schema))
+            self.num_partitions += 1
+
+    def shrink_to(self, new_num_partitions: int) -> None:
+        """Remove the trailing partitions down to ``new_num_partitions``.
+
+        The partitions being removed must already be empty: the elastic
+        controller migrates their tuples away (copy -> routing update ->
+        drop) before shrinking, so removal never destroys a live replica.
+        """
+        if not 0 < new_num_partitions < self.num_partitions:
+            raise ValueError("shrink_to requires fewer (but at least 1) partitions")
+        for partition in range(new_num_partitions, self.num_partitions):
+            remaining = self.partition_databases[partition].row_count()
+            if remaining:
+                raise ValueError(
+                    f"partition {partition} still stores {remaining} rows; "
+                    "migrate them away before shrinking"
+                )
+        del self.partition_databases[new_num_partitions:]
+        self.num_partitions = new_num_partitions
+
+    def all_tuple_ids(self) -> set[TupleId]:
+        """Every tuple stored anywhere in the cluster (replicas deduplicated)."""
+        return set(self.tuple_locations_map())
+
+    def tuple_locations_map(self) -> dict[TupleId, frozenset[int]]:
+        """Physical replica set of every stored tuple, in one storage walk.
+
+        The bulk counterpart of :meth:`tuple_locations`: the elastic resize
+        needs the location of *every* tuple (pinning + migration planning),
+        and per-tuple probing would rescan each partition's storage once per
+        tuple instead of once in total.
+        """
+        locations: dict[TupleId, set[int]] = {}
+        for partition, database in enumerate(self.partition_databases):
+            for table in self.schema.tables:
+                storage = database.storage(table.name)
+                for key, _row in storage.rows():
+                    locations.setdefault(TupleId(table.name, key), set()).add(partition)
+        return {
+            tuple_id: frozenset(partitions)
+            for tuple_id, partitions in locations.items()
+        }
+
     # -- tuple-level operations (live migration) ---------------------------------------
     def has_tuple(self, tuple_id: TupleId, partition: int) -> bool:
         """Whether ``partition`` physically stores ``tuple_id``."""

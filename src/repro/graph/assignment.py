@@ -18,7 +18,19 @@ from repro.catalog.tuples import TupleId
 
 @dataclass
 class PartitionAssignment:
-    """Mapping of tuple id -> frozenset of partition ids."""
+    """Mapping of tuple id -> frozenset of partition ids.
+
+    >>> from repro.catalog.tuples import TupleId
+    >>> assignment = PartitionAssignment(num_partitions=2)
+    >>> assignment.assign(TupleId("users", (1,)), {0})
+    >>> assignment.assign(TupleId("users", (2,)), {0, 1})
+    >>> assignment.is_replicated(TupleId("users", (2,)))
+    True
+    >>> assignment.replication_label(TupleId("users", (2,)))
+    'R0_1'
+    >>> assignment.partition_tuple_counts()
+    [2, 1]
+    """
 
     num_partitions: int
     placements: dict[TupleId, frozenset[int]] = field(default_factory=dict)

@@ -19,16 +19,56 @@ from repro.graph.model import CSRGraph, Graph, as_csr
 from repro.utils.rng import SeededRng
 
 
+def peripheral_seed(graph: Graph | CSRGraph) -> int:
+    """A pseudo-peripheral node found by double-BFS (deterministic).
+
+    Start from node 0, BFS to the last level and take its smallest node,
+    then BFS again from there: the second endpoint lies near the graph's
+    periphery, which makes it a strong *deterministic* seed for greedy
+    growing — a region grown from the rim meets the opposite rim with a
+    short boundary, where a random interior seed can leave a ragged cut.
+    On a disconnected graph this explores node 0's component only; the seed
+    is a heuristic, so that is acceptable.
+    """
+    csr = as_csr(graph)
+    num_nodes = csr.num_nodes
+    if num_nodes == 0:
+        raise ValueError("cannot seed an empty graph")
+    indptr, indices, _, _ = csr.lists()
+
+    def farthest(start: int) -> int:
+        seen = [False] * num_nodes
+        seen[start] = True
+        frontier = [start]
+        representative = start
+        while frontier:
+            next_frontier: list[int] = []
+            for node in frontier:
+                for neighbor in indices[indptr[node] : indptr[node + 1]]:
+                    if not seen[neighbor]:
+                        seen[neighbor] = True
+                        next_frontier.append(neighbor)
+            if next_frontier:
+                representative = min(next_frontier)
+            frontier = next_frontier
+        return representative
+
+    return farthest(farthest(0))
+
+
 def greedy_bisection(
     graph: Graph | CSRGraph,
     target_weight_zero: float,
     rng: SeededRng,
+    seed_node: int | None = None,
 ) -> list[int]:
     """Return a 0/1 assignment whose side 0 weighs approximately ``target_weight_zero``.
 
-    The algorithm grows side 0 from a random seed node; everything not
-    absorbed stays on side 1.  Disconnected graphs are handled by restarting
-    the growth from a new unabsorbed seed whenever the frontier empties.
+    The algorithm grows side 0 from a random seed node (or ``seed_node``
+    when given — e.g. a :func:`peripheral_seed` for a deterministic trial);
+    everything not absorbed stays on side 1.  Disconnected graphs are
+    handled by restarting the growth from a new unabsorbed seed whenever
+    the frontier empties.
     """
     csr = as_csr(graph)
     num_nodes = csr.num_nodes
@@ -60,7 +100,7 @@ def greedy_bisection(
             return None
         return candidates[rng.randint(0, len(candidates) - 1)]
 
-    seed = new_seed()
+    seed = seed_node if seed_node is not None else new_seed()
     while grown_weight < target_weight_zero and seed is not None:
         if not in_region[seed]:
             in_region[seed] = True

@@ -36,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.graph.coarsen import coarsen_chain, coarsen_to, project_assignment
-from repro.graph.initial import greedy_bisection, random_bisection
+from repro.graph.initial import greedy_bisection, peripheral_seed, random_bisection
 from repro.graph.model import CSRGraph, Graph, as_csr
 from repro.graph.refine import (
     _fm_refine_csr,
@@ -54,10 +54,19 @@ class PartitionerOptions:
     """Tuning knobs for the partitioner.
 
     Count-valued knobs (``coarsen_target``, ``initial_trials``,
-    ``refine_passes``, ``fm_negative_streak``) are clamped to at least 1 on
-    construction — zero or negative values used to degrade silently (empty
-    trial loops, runaway coarsening).  ``imbalance`` and ``kway_mode`` are
-    validated outright.
+    ``refine_passes``, ``fm_negative_streak``, ``kway_coarse_factor``,
+    ``bisection_carry``, ``two_way_chain_trials``) are clamped to at least 1
+    on construction — zero or negative values used to degrade silently
+    (empty trial loops, runaway coarsening).  ``imbalance`` and
+    ``kway_mode`` are validated outright, and a single-trial configuration
+    still uses greedy growing for its initial bisection (it never silently
+    degrades to a random split).
+
+    Two-way quality knobs (``peripheral_seed_trial``, ``bisection_carry``,
+    ``two_way_chain_trials``) apply to root-level bisections only; the
+    direct k-way path pins them to their cheap settings for its
+    coarsest-graph initial partition, whose quality is dominated by the
+    k-way refinement that follows.
 
     The array backend (numpy vs. pure-Python CSR arrays) is *not* an option
     here: it is process-wide, selected by the ``REPRO_ARRAY_BACKEND``
@@ -96,6 +105,32 @@ class PartitionerOptions:
     #: disables this for its coarsest-graph initial partition, where the
     #: k-way refinement sweep immediately follows anyway.
     flat_refine: bool = True
+    #: add one deterministic greedy-growing trial seeded from a
+    #: pseudo-peripheral node (double-BFS) to every *root-level* initial
+    #: bisection, on top of the ``initial_trials`` random-seed trials.  A
+    #: rim-grown region tends to meet the opposite rim with a short
+    #: boundary, which stabilises two-way cut quality against unlucky
+    #: random seeds (the k=2 regression noted after the PR-3 coarsening
+    #: re-roll).  Inner recursive bisections skip it.
+    peripheral_seed_trial: bool = True
+    #: at a root-level bisection (the graphs that own a memoised coarsening
+    #: chain), refine this many of the best initial candidates through the
+    #: *whole* uncoarsening and keep the best final cut.  Selecting at the
+    #: coarsest level alone commits to one basin before refinement has had a
+    #: say — carrying 2 candidates recovers most of the spread at roughly
+    #: twice the two-way refinement cost (coarsening itself is shared).
+    #: Clamped to at least 1; inner recursive bisections always carry 1.
+    bisection_carry: int = 2
+    #: at a root-level *two-way* bisection, also try the multilevel pipeline
+    #: over this many differently-seeded coarsening chains (seed, seed+1, …)
+    #: and keep the best final cut.  The two-way cut's variance lives mostly
+    #: in the coarsening randomisation — initial-candidate diversity alone
+    #: cannot reach basins a chain never exposes.  Chains are memoised per
+    #: seed on the frozen graph, so repeated k=2 calls pay the extra
+    #: coarsening once.  Clamped to at least 1 (1 restores the single-chain
+    #: behaviour); the direct k-way path's coarsest-level initial partition
+    #: keeps a single chain, its quality being dominated by later refinement.
+    two_way_chain_trials: int = 2
     #: random seed (tie-breaking, seed selection, matching order).
     seed: int = 0
 
@@ -109,6 +144,8 @@ class PartitionerOptions:
         self.refine_passes = max(1, int(self.refine_passes))
         self.fm_negative_streak = max(1, int(self.fm_negative_streak))
         self.kway_coarse_factor = max(1, int(self.kway_coarse_factor))
+        self.bisection_carry = max(1, int(self.bisection_carry))
+        self.two_way_chain_trials = max(1, int(self.two_way_chain_trials))
 
 
 class GraphPartitioner:
@@ -189,6 +226,12 @@ class GraphPartitioner:
                 refine_passes=1,
                 coarsen_target=max(options.coarsen_target, coarsest.num_nodes),
                 flat_refine=False,
+                # The coarsest-level initial partition is dominated by the
+                # k-way refinement that follows; the two-way quality knobs
+                # would only add work (and reshuffle the k>2 results).
+                peripheral_seed_trial=False,
+                bisection_carry=1,
+                two_way_chain_trials=1,
             )
         )
         assignment = [0] * coarsest.num_nodes
@@ -287,42 +330,81 @@ class GraphPartitioner:
             total_weight * target_fraction * slack + max_node_weight,
             total_weight * (1.0 - target_fraction) * slack + max_node_weight,
         )
-        if use_chain:
-            # Root bisection of a caller-owned graph: reuse (or build) the
-            # memoised coarsening chain so repeated partitions of the same
-            # frozen graph — any k, including 2 — share one hierarchy.
-            levels = coarsen_chain(graph, self.options.coarsen_target, self.options.seed)
-        else:
-            levels = coarsen_to(graph, self.options.coarsen_target, rng)
-        coarsest = levels[-1].graph if levels else graph
-        assignment, external = self._initial_bisection(coarsest, target_fraction, rng, max_weights)
-        # Uncoarsen: project back level by level, refining at each step.  The
-        # graph one step finer than levels[index] is levels[index - 1] (or the
-        # input graph at index 0), so the loop index is all we need.  A coarse
-        # node with zero external weight proves all its fine members are
-        # interior, so the finer FM call skips their adjacency during init.
-        for index in range(len(levels) - 1, -1, -1):
-            fine_to_coarse = levels[index].fine_to_coarse
-            assignment = project_assignment(levels[index], assignment)
-            boundary_hint = [external[coarse] > 0.0 for coarse in fine_to_coarse]
-            finer_graph = graph if index == 0 else levels[index - 1].graph
-            external = _fm_refine_csr(
-                finer_graph,
-                assignment,
+        chain_trials = self.options.two_way_chain_trials if use_chain else 1
+        best_assignment: list[int] | None = None
+        best_score = float("inf")
+        for chain_index in range(chain_trials):
+            if use_chain:
+                # Root bisection of a caller-owned graph: reuse (or build)
+                # the memoised coarsening chain so repeated partitions of
+                # the same frozen graph — any k, including 2 — share one
+                # hierarchy per chain seed.
+                levels = coarsen_chain(
+                    graph, self.options.coarsen_target, self.options.seed + chain_index
+                )
+                chain_rng = (
+                    rng if chain_trials == 1 else rng.fork(("chain", chain_index))
+                )
+            else:
+                levels = coarsen_to(graph, self.options.coarsen_target, rng)
+                chain_rng = rng
+            coarsest = levels[-1].graph if levels else graph
+            # Root-level bisections carry several initial candidates through
+            # the full uncoarsening (selection at the coarsest level alone
+            # commits to a basin before refinement has spoken); inner
+            # recursive bisections carry one — their mistakes are cheap and
+            # local.
+            carry = self.options.bisection_carry if use_chain else 1
+            candidates = self._initial_bisection(
+                coarsest,
+                target_fraction,
+                chain_rng,
                 max_weights,
-                max_passes=self.options.refine_passes,
-                max_negative_streak=self.options.fm_negative_streak,
-                boundary_hint=boundary_hint,
+                count=carry,
+                root=use_chain,
             )
-        if not levels and self.options.flat_refine:
-            _fm_refine_csr(
-                graph,
-                assignment,
-                max_weights,
-                max_passes=self.options.refine_passes,
-                max_negative_streak=self.options.fm_negative_streak,
-            )
-        return assignment
+            single_shot = len(candidates) == 1 and chain_trials == 1
+            for assignment, external in candidates:
+                # Uncoarsen: project back level by level, refining at each
+                # step.  The graph one step finer than levels[index] is
+                # levels[index - 1] (or the input graph at index 0), so the
+                # loop index is all we need.  A coarse node with zero
+                # external weight proves all its fine members are interior,
+                # so the finer FM call skips their adjacency during init.
+                for index in range(len(levels) - 1, -1, -1):
+                    fine_to_coarse = levels[index].fine_to_coarse
+                    assignment = project_assignment(levels[index], assignment)
+                    boundary_hint = [external[coarse] > 0.0 for coarse in fine_to_coarse]
+                    finer_graph = graph if index == 0 else levels[index - 1].graph
+                    external = _fm_refine_csr(
+                        finer_graph,
+                        assignment,
+                        max_weights,
+                        max_passes=self.options.refine_passes,
+                        max_negative_streak=self.options.fm_negative_streak,
+                        boundary_hint=boundary_hint,
+                    )
+                if not levels and self.options.flat_refine:
+                    external = _fm_refine_csr(
+                        graph,
+                        assignment,
+                        max_weights,
+                        max_passes=self.options.refine_passes,
+                        max_negative_streak=self.options.fm_negative_streak,
+                    )
+                if single_shot:
+                    return assignment
+                cut = sum(external) / 2.0
+                penalty = (
+                    0.0
+                    if self._is_feasible(graph, assignment, max_weights)
+                    else graph.total_edge_weight() + 1.0
+                )
+                if cut + penalty < best_score:
+                    best_score = cut + penalty
+                    best_assignment = assignment
+        assert best_assignment is not None
+        return best_assignment
 
     def _initial_bisection(
         self,
@@ -330,22 +412,34 @@ class GraphPartitioner:
         target_fraction: float,
         rng: SeededRng,
         max_weights: tuple[float, float],
-    ) -> tuple[list[int], list[float]]:
+        count: int = 1,
+        root: bool = False,
+    ) -> list[tuple[list[int], list[float]]]:
+        """The ``count`` best initial candidates, ranked, duplicates dropped.
+
+        Each candidate is ``(assignment, external)`` after one quick FM pass;
+        feasible bisections rank before infeasible ones, smaller cuts first.
+        ``root`` marks a root-level bisection — the only place the two-way
+        quality extras (the peripheral seed trial, the scaled trial pool)
+        run; inner recursive bisections keep the lean per-branch cost.
+        """
         total_weight = graph.total_node_weight()
         target_zero = total_weight * target_fraction
-        best_assignment: list[int] | None = None
-        best_external: list[float] | None = None
-        best_cut = float("inf")
-        trials = max(1, self.options.initial_trials)
-        for trial in range(trials):
-            trial_rng = rng.fork(("initial", trial))
-            if trial > 0 and trial == trials - 1 and best_assignment is None:
-                # Diversity fallback only: a single-trial configuration must
-                # still use greedy growing (a lone random bisection would
-                # silently degrade the partition).
-                candidate = random_bisection(graph, target_zero, trial_rng)
-            else:
-                candidate = greedy_bisection(graph, target_zero, trial_rng)
+        #: (score, arrival order, assignment, external) — order breaks ties
+        #: deterministically in favour of the earlier trial.
+        ranked: list[tuple[float, int, list[int], list[float]]] = []
+        seen_raw: set[tuple[int, ...]] = set()
+        seen_refined: set[tuple[int, ...]] = set()
+
+        def consider(candidate: list[int]) -> None:
+            # Identical raw candidates refine identically: drop them before
+            # paying the FM pass.  Distinct raw candidates can still refine
+            # into the same assignment, so dedup again after refinement or
+            # the carry would waste a full uncoarsening on a duplicate.
+            raw_key = tuple(candidate)
+            if raw_key in seen_raw:
+                return
+            seen_raw.add(raw_key)
             external = _fm_refine_csr(
                 graph,
                 candidate,
@@ -353,18 +447,51 @@ class GraphPartitioner:
                 max_passes=1,
                 max_negative_streak=self.options.fm_negative_streak,
             )
+            key = tuple(candidate)
+            if key in seen_refined:
+                return
+            seen_refined.add(key)
             # The refiner's external array is the per-node cut contribution,
             # so the cut falls out as a sum instead of an edge rescan.
             cut = sum(external) / 2.0
             balanced = self._is_feasible(graph, candidate, max_weights)
             # Prefer feasible bisections; among those, the smallest cut wins.
             penalty = 0.0 if balanced else graph.total_edge_weight() + 1.0
-            if cut + penalty < best_cut:
-                best_cut = cut + penalty
-                best_assignment = candidate
-                best_external = external
-        assert best_assignment is not None and best_external is not None
-        return best_assignment, best_external
+            ranked.append((cut + penalty, len(ranked), candidate, external))
+
+        if root and self.options.peripheral_seed_trial:
+            # Deterministic trial: grow from a pseudo-peripheral node.  Runs
+            # first so random trials only replace it by strictly beating it.
+            trial_rng = rng.fork(("initial", "peripheral"))
+            consider(
+                greedy_bisection(
+                    graph, target_zero, trial_rng, seed_node=peripheral_seed(graph)
+                )
+            )
+        trials = max(1, self.options.initial_trials)
+        if count > 1:
+            # A carried selection needs a candidate pool several times the
+            # carry, or the "runners-up" are whatever happened to be drawn.
+            # Root-level trials run on the coarsest graph, where each one is
+            # a few thousand scalar ops — diversity here is nearly free,
+            # unlike in recursive branches (count == 1) where trials
+            # multiply across the bisection tree.
+            trials = max(trials, 4 * count)
+        for trial in range(trials):
+            trial_rng = rng.fork(("initial", trial))
+            if trial > 0 and trial == trials - 1 and not ranked:
+                # Diversity fallback only: a single-trial configuration must
+                # still use greedy growing (a lone random bisection would
+                # silently degrade the partition).
+                candidate = random_bisection(graph, target_zero, trial_rng)
+            else:
+                candidate = greedy_bisection(graph, target_zero, trial_rng)
+            consider(candidate)
+        ranked.sort(key=lambda entry: entry[:2])
+        return [
+            (assignment, external)
+            for _, _, assignment, external in ranked[: max(1, count)]
+        ]
 
     @staticmethod
     def _is_feasible(

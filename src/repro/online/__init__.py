@@ -22,8 +22,18 @@ live:
   wiring monitor -> maintainer -> re-partitioner -> migration.
 """
 
-from repro.online.controller import AdaptationRecord, OnlineOptions, OnlineSchism
-from repro.online.maintainer import IncrementalGraphMaintainer, MaintainerOptions
+from repro.online.controller import (
+    AdaptationRecord,
+    ElasticOptions,
+    OnlineOptions,
+    OnlineSchism,
+    ResizeRecord,
+)
+from repro.online.maintainer import (
+    IncrementalGraphMaintainer,
+    MaintainerOptions,
+    StarExpansion,
+)
 from repro.online.migration import (
     LiveMigrator,
     MigrationPlan,
@@ -36,6 +46,7 @@ from repro.online.repartitioner import (
     BudgetedRepartitioner,
     RepartitionOptions,
     RepartitionResult,
+    ReplicatedRepartitionResult,
     align_partition_labels,
 )
 
@@ -43,6 +54,7 @@ __all__ = [
     "AdaptationRecord",
     "BudgetedRepartitioner",
     "DriftReport",
+    "ElasticOptions",
     "IncrementalGraphMaintainer",
     "LiveMigrator",
     "MaintainerOptions",
@@ -54,6 +66,9 @@ __all__ = [
     "OnlineSchism",
     "RepartitionOptions",
     "RepartitionResult",
+    "ReplicatedRepartitionResult",
+    "ResizeRecord",
+    "StarExpansion",
     "WindowStats",
     "WorkloadMonitor",
     "align_partition_labels",

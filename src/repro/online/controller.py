@@ -9,26 +9,36 @@ Wiring of the online loop:
    :class:`~repro.online.maintainer.IncrementalGraphMaintainer` (decayed
    graph deltas);
 3. when the monitor reports drift, :meth:`OnlineSchism.adapt` freezes the
-   maintained graph, warm-starts the
+   maintained graph — with the read-hot tuples expanded into **replication
+   stars** (decayed read/write ratios decide the candidates, mirroring the
+   offline builder's §3.1 expansion) — warm-starts the
    :class:`~repro.online.repartitioner.BudgetedRepartitioner` from the
-   deployed placement, plans and executes the live migration against the
-   cluster (copies, then the routing update — an in-place entry delta for
-   exact lookup backends, an atomic wholesale table swap otherwise — then
-   drops), and re-baselines the monitor.
+   deployed placement, and deploys the resulting replica sets: copies
+   (one per added replica), then the routing update — an in-place entry
+   delta for exact lookup backends, an atomic wholesale table swap
+   otherwise — then drops of the stale replicas;
+4. independently of cut drift, the **elastic policy**
+   (:class:`ElasticOptions`) watches the monitor's decayed transaction
+   rate and proposes growing or shrinking ``num_partitions``;
+   :meth:`OnlineSchism.resize` re-seeds the k-way kernel at the new k and
+   deploys through the same budgeted copy-before-drop path, pinning every
+   tuple the lookup table routed implicitly (a resize changes the hash
+   default policy's modulus, so implicit placements must become explicit
+   or those tuples would become unreachable).
 
-The online layer keeps one node per tuple and produces single-partition
-placements (no replication stars — those are a whole-trace construct);
-tuples that the maintained graph has decayed out of keep their deployed
-placement untouched.
+Tuples that the maintained graph has decayed out of keep their deployed
+placement untouched (except during a resize, which must touch every
+implicitly-routed tuple for the reachability reason above).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.catalog.tuples import TupleId
-from repro.core.strategies import LookupTablePartitioning
+from repro.core.strategies import LookupTablePartitioning, hash_home
 from repro.distributed.cluster import Cluster
 from repro.graph.assignment import PartitionAssignment
 from repro.online.maintainer import IncrementalGraphMaintainer, MaintainerOptions
@@ -43,11 +53,73 @@ from repro.online.repartitioner import (
     BudgetedRepartitioner,
     RepartitionOptions,
     RepartitionResult,
+    ReplicatedRepartitionResult,
     repartition_from_scratch,
 )
+from repro.routing.lookup import build_lookup_table
 from repro.routing.router import Router
 from repro.workload.rwsets import AccessTrace
 from repro.workload.trace import TransactionAccess, iter_chunks
+
+
+@dataclass
+class ElasticOptions:
+    """Drift-triggered elastic scaling of ``num_partitions``.
+
+    The policy watches the monitor's decayed transactions-per-epoch rate and
+    sizes the cluster so each partition carries about
+    ``target_rate_per_partition``: it proposes ``ceil(rate / target)``
+    partitions, but only once the implied count leaves the
+    ``[shrink_hysteresis * k, grow_hysteresis * k]`` dead band around the
+    current ``k`` (hysteresis prevents flapping on noisy load).  Disabled by
+    default — elasticity migrates data, so it must be an explicit choice.
+    """
+
+    #: master switch; when False :meth:`propose` never fires.
+    enabled: bool = False
+    #: desired decayed transactions-per-epoch load per partition.
+    target_rate_per_partition: float = 100.0
+    #: grow only when the ideal partition count exceeds ``k`` times this.
+    grow_hysteresis: float = 1.3
+    #: shrink only when the ideal partition count falls below ``k`` times this.
+    shrink_hysteresis: float = 0.6
+    #: never shrink below / grow above these bounds.
+    min_partitions: int = 1
+    max_partitions: int = 64
+    #: suppress further resize proposals for this many batches after one.
+    cooldown_batches: int = 4
+
+    def __post_init__(self) -> None:
+        if self.target_rate_per_partition <= 0:
+            raise ValueError("target_rate_per_partition must be positive")
+        if self.grow_hysteresis < 1.0:
+            raise ValueError("grow_hysteresis must be at least 1.0")
+        if not 0.0 < self.shrink_hysteresis < 1.0:
+            raise ValueError("shrink_hysteresis must be in (0, 1)")
+        if not 1 <= self.min_partitions <= self.max_partitions:
+            raise ValueError("need 1 <= min_partitions <= max_partitions")
+
+    def propose(self, rate: float, num_partitions: int) -> int | None:
+        """The partition count the current load calls for (None = keep ``k``).
+
+        >>> policy = ElasticOptions(enabled=True, target_rate_per_partition=100.0)
+        >>> policy.propose(rate=450.0, num_partitions=2)
+        5
+        >>> policy.propose(rate=210.0, num_partitions=2)  # inside the dead band
+        >>> policy.propose(rate=40.0, num_partitions=4)
+        1
+        """
+        if not self.enabled:
+            return None
+        ideal = rate / self.target_rate_per_partition
+        if (
+            ideal > num_partitions * self.grow_hysteresis
+            or ideal < num_partitions * self.shrink_hysteresis
+        ):
+            proposed = max(self.min_partitions, min(self.max_partitions, math.ceil(ideal)))
+            if proposed != num_partitions:
+                return proposed
+        return None
 
 
 @dataclass
@@ -57,6 +129,7 @@ class OnlineOptions:
     monitor: MonitorOptions = field(default_factory=MonitorOptions)
     maintainer: MaintainerOptions = field(default_factory=MaintainerOptions)
     repartition: RepartitionOptions = field(default_factory=RepartitionOptions)
+    elastic: ElasticOptions = field(default_factory=ElasticOptions)
     #: transactions per ingest batch (= one monitor/maintainer epoch).
     batch_size: int = 100
     #: migration cost per tuple: "tuples" (1 each) or "bytes" (schema row size).
@@ -65,12 +138,34 @@ class OnlineOptions:
     lookup_backend: str = "dict"
     #: suppress re-adaptation for this many batches after an adaptation.
     cooldown_batches: int = 2
+    #: widen read-hot tuples into replica sets during adaptation.  Candidates
+    #: must clear every one of the three thresholds below.
+    replication_enabled: bool = True
+    #: minimum decayed read fraction for a tuple to be replication-worthy
+    #: (0.9 mirrors the paper's "read-mostly" bar of < 10% writes).
+    replication_min_read_fraction: float = 0.9
+    #: at most this many tuples are star-expanded per adaptation.
+    replication_max_candidates: int = 64
+    #: minimum decayed access weight — cold tuples never earn a replica.
+    replication_min_weight: float = 2.0
+    #: retention hysteresis: a tuple that is *already replicated* stays a
+    #: candidate down to ``replication_min_read_fraction`` minus this slack,
+    #: so decay noise around the entry bar cannot trigger drop/re-copy churn
+    #: of replicas the budget just paid for.  (The min-cut still consolidates
+    #: retained candidates whose replicas stop earning their write cost.)
+    replication_retention_slack: float = 0.05
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if self.move_cost not in ("tuples", "bytes"):
             raise ValueError("move_cost must be 'tuples' or 'bytes'")
+        if not 0.0 <= self.replication_min_read_fraction <= 1.0:
+            raise ValueError("replication_min_read_fraction must be in [0, 1]")
+        if self.replication_max_candidates < 0:
+            raise ValueError("replication_max_candidates must be non-negative")
+        if self.replication_retention_slack < 0:
+            raise ValueError("replication_retention_slack must be non-negative")
 
 
 @dataclass
@@ -78,20 +173,58 @@ class AdaptationRecord:
     """Everything produced by one adaptation (re-partition + migration)."""
 
     trigger: DriftReport | None
-    repartition: RepartitionResult
+    repartition: RepartitionResult | ReplicatedRepartitionResult
     plan: MigrationPlan
     migration: MigrationReport
     distributed_fraction_before: float
     distributed_fraction_after: float
 
+    @property
+    def replicated_count(self) -> int:
+        """Tuples the adaptation left on more than one partition (0 = none)."""
+        if isinstance(self.repartition, ReplicatedRepartitionResult):
+            return self.repartition.replicated_count
+        return 0
+
     def describe(self) -> str:
         """One-line summary for logs and experiment reports."""
         return (
             f"adaptation: moved {self.repartition.num_moved} nodes "
-            f"(cost {self.repartition.migration_cost:.0f}), "
+            f"(cost {self.repartition.migration_cost:.0f}, "
+            f"{self.replicated_count} replicated), "
             f"cut {self.repartition.cut_before:.0f} -> {self.repartition.cut_after:.0f}, "
             f"distributed {self.distributed_fraction_before:.1%} -> "
             f"{self.distributed_fraction_after:.1%}"
+        )
+
+
+@dataclass
+class ResizeRecord:
+    """Everything produced by one elastic resize (grow or shrink)."""
+
+    old_partitions: int
+    new_partitions: int
+    #: the decayed transaction rate that triggered the proposal (None when
+    #: :meth:`OnlineSchism.resize` was called directly).
+    trigger_rate: float | None
+    repartition: ReplicatedRepartitionResult
+    plan: MigrationPlan
+    migration: MigrationReport
+    #: previously implicitly-routed tuples pinned to explicit entries.
+    tuples_pinned: int
+
+    @property
+    def grew(self) -> bool:
+        """Whether the cluster gained partitions."""
+        return self.new_partitions > self.old_partitions
+
+    def describe(self) -> str:
+        """One-line summary for logs and experiment reports."""
+        direction = "grow" if self.grew else "shrink"
+        return (
+            f"resize ({direction}): {self.old_partitions} -> {self.new_partitions} "
+            f"partitions, {self.migration.copies} copies, {self.migration.drops} drops, "
+            f"{self.tuples_pinned} pinned"
         )
 
 
@@ -103,21 +236,33 @@ class ObservationResult:
     transactions: int = 0
     drift_reports: list[DriftReport] = field(default_factory=list)
     adaptations: list[AdaptationRecord] = field(default_factory=list)
+    resizes: list[ResizeRecord] = field(default_factory=list)
 
 
 class OnlineSchism:
     """Controller closing the loop from live traffic back to placement.
 
+    Feed it traffic with :meth:`observe` (fixed-size epochs) or
+    :meth:`observe_batches` (caller-defined epochs, which lets the elastic
+    policy see the offered load); it detects drift, adapts the placement
+    under a migration budget (:meth:`adapt` — replication-aware: read-hot
+    tuples widen into replica sets), and scales the partition count
+    (:meth:`resize`) when the elastic policy proposes it.
+
     Parameters
     ----------
     cluster:
         The running shared-nothing cluster the data physically lives in.
+        Resizes grow/shrink this cluster in place.
     router:
         The deployed router; its strategy must be a
         :class:`LookupTablePartitioning` (fine-grained placement is what
-        live migration updates).
+        live migration updates).  A resize republishes strategy and lookup
+        table wholesale via :meth:`Router.replace_strategy`.
     options:
-        Loop configuration.
+        Loop configuration (:class:`OnlineOptions`): monitor / maintainer /
+        repartition knobs, the ``replication_*`` thresholds and the
+        :class:`ElasticOptions` policy.
     """
 
     def __init__(
@@ -137,7 +282,9 @@ class OnlineSchism:
         self.maintainer = IncrementalGraphMaintainer(self.options.maintainer)
         self.migrator = LiveMigrator(cluster)
         self.adaptations: list[AdaptationRecord] = []
+        self.resizes: list[ResizeRecord] = []
         self._cooldown = 0
+        self._elastic_cooldown = 0
 
     @property
     def strategy(self) -> LookupTablePartitioning:
@@ -175,15 +322,58 @@ class OnlineSchism:
 
         ``trace`` may be a recorded :class:`AccessTrace` or any iterable of
         transaction accesses (a live feed); it is consumed in
-        ``batch_size`` chunks.
+        ``batch_size`` chunks.  Because the re-chunking makes the monitor's
+        transactions-per-epoch rate a constant (~``batch_size``), elastic
+        proposals are **suppressed** here — a constant is not a load signal,
+        and acting on it would resize the cluster to fit a config value.
+        Feed :meth:`observe_batches` real arrival batches to drive
+        elasticity.
         """
         accesses = trace.accesses if isinstance(trace, AccessTrace) else trace
+        return self.observe_batches(
+            iter_chunks(accesses, self.options.batch_size),
+            auto_adapt,
+            elastic=False,
+        )
+
+    def observe_batches(
+        self,
+        batches: Iterable[list[TransactionAccess]],
+        auto_adapt: bool = True,
+        elastic: bool = True,
+    ) -> ObservationResult:
+        """Stream pre-batched live traffic; each batch is one monitor epoch.
+
+        The batch boundaries are the loop's notion of *time*: a live feed
+        that hands over whatever arrived in a tick makes the monitor's
+        transactions-per-epoch rate track the offered load, which is the
+        signal the elastic policy scales ``num_partitions`` by.  ``elastic``
+        gates those proposals; :meth:`observe` passes False because its
+        fixed re-chunking produces a meaningless constant rate.
+        """
+        elastic_options = self.options.elastic if elastic else None
         result = ObservationResult()
-        for batch in iter_chunks(accesses, self.options.batch_size):
+        for batch in batches:
             self.monitor.ingest_batch(batch)
             self.maintainer.apply_batch(batch)
             result.batches += 1
             result.transactions += len(batch)
+            # Elastic scaling watches offered load, not placement quality, so
+            # it is checked regardless of the adaptation cooldown (with its
+            # own, separate cooldown).
+            if self._elastic_cooldown > 0:
+                self._elastic_cooldown -= 1
+            elif auto_adapt and elastic_options is not None:
+                proposal = elastic_options.propose(
+                    self.monitor.transaction_rate(), self.num_partitions
+                )
+                if proposal is not None:
+                    result.resizes.append(
+                        self.resize(proposal, trigger_rate=self.monitor.transaction_rate())
+                    )
+                    # The resize already re-partitioned and re-baselined at
+                    # the new k; a same-batch adaptation would be redundant.
+                    continue
             if self._cooldown > 0:
                 self._cooldown -= 1
                 continue
@@ -211,8 +401,71 @@ class OnlineSchism:
             costs.append(float(database.tuple_byte_size(tuple_id)) if use_bytes else 1.0)
         return warm, costs
 
+    def current_placements(
+        self, tuples: list[TupleId], num_partitions: int | None = None
+    ) -> tuple[list[frozenset[int]], list[float]]:
+        """Deployed replica set + move cost per tuple, clamped to ``num_partitions``.
+
+        The replica-aware counterpart of :meth:`current_node_assignment`.
+        Clamping matters during a shrink: a tuple homed only on partitions
+        being removed warm-starts at its post-shrink hash home (the physical
+        copy is still planned from where the tuple actually lives).
+        """
+        k = self.num_partitions if num_partitions is None else num_partitions
+        strategy = self.strategy
+        use_bytes = self.options.move_cost == "bytes"
+        database = self.cluster.partition_databases[0]
+        placements: list[frozenset[int]] = []
+        costs: list[float] = []
+        for tuple_id in tuples:
+            placement = frozenset(
+                part for part in strategy.partitions_for_tuple(tuple_id) if part < k
+            )
+            if not placement:
+                placement = hash_home(tuple_id, k)
+            placements.append(placement)
+            costs.append(float(database.tuple_byte_size(tuple_id)) if use_bytes else 1.0)
+        return placements, costs
+
+    def replication_candidates(self) -> list[int]:
+        """Maintained-graph nodes the next adaptation will star-expand.
+
+        Currently-replicated tuples qualify at a lower (retention) bar, so
+        a replica set the budget just paid for is not collapsed by decay
+        noise around the entry threshold — see
+        ``OnlineOptions.replication_retention_slack``.
+        """
+        options = self.options
+        if not options.replication_enabled or options.replication_max_candidates == 0:
+            return []
+        assignment = self.strategy.assignment
+        retained = [
+            node
+            for node, tuple_id in enumerate(self.maintainer.tuples())
+            if assignment.is_replicated(tuple_id)
+        ]
+        retention = max(
+            0.0,
+            options.replication_min_read_fraction - options.replication_retention_slack,
+        )
+        return self.maintainer.replication_candidates(
+            min_read_fraction=options.replication_min_read_fraction,
+            max_candidates=options.replication_max_candidates,
+            min_weight=options.replication_min_weight,
+            retained=retained,
+            retention_read_fraction=retention,
+        )
+
     def adapt(self, trigger: DriftReport | None = None) -> AdaptationRecord:
         """Re-partition with a migration budget and migrate the delta live.
+
+        When the maintained graph holds read-hot (read-mostly) tuples, it is
+        frozen with those tuples expanded into replication stars and the
+        re-partitioner emits **replica sets**: a widened placement costs one
+        migration copy per added replica, while writes to a replicated tuple
+        keep involving all its replicas — so replication only wins where
+        reads dominate.  Without candidates the legacy singleton path runs
+        unchanged.
 
         Sequencing is copies -> routing update -> drops: while the routing
         state changes, every affected tuple is resident at both its old and
@@ -223,20 +476,33 @@ class OnlineSchism:
         swap is the only sound publication).
         """
         before = self.monitor.window_stats().distributed_fraction
-        csr, tuples = self.maintainer.freeze()
-        warm, costs = self.current_node_assignment()
         repartitioner = BudgetedRepartitioner(self.options.repartition)
-        result = repartitioner.repartition(csr, warm, self.num_partitions, costs)
+        candidates = self.replication_candidates()
+        result: RepartitionResult | ReplicatedRepartitionResult
+        if candidates:
+            current, costs = self.current_placements(self.maintainer.tuples())
+            csr, tuples, star = self.maintainer.freeze_replicated(
+                candidates, [min(placement) for placement in current]
+            )
+            result = repartitioner.repartition_replicated(
+                csr, star, current, self.num_partitions, costs
+            )
+            placements = result.placements
+        else:
+            csr, tuples = self.maintainer.freeze()
+            warm, costs = self.current_node_assignment()
+            result = repartitioner.repartition(csr, warm, self.num_partitions, costs)
+            placements = [frozenset({part}) for part in result.assignment]
         target = PartitionAssignment(self.num_partitions)
         for node, tuple_id in enumerate(tuples):
-            target.assign(tuple_id, {result.assignment[node]})
+            target.assign(tuple_id, placements[node])
         plan = plan_migration(self.strategy.partitions_for_tuple, target)
         migration = self.migrator.execute_copies(plan)
         table = self.router.lookup_table
         if table is not None and table.supports_update():
             self.migrator.apply_routing_delta(self.router, plan, migration)
         else:
-            merged = self.merged_assignment(tuples, result.assignment)
+            merged = self.merged_placements(tuples, placements)
             self.migrator.swap_routing(
                 self.router, merged, migration, self.options.lookup_backend
             )
@@ -246,6 +512,105 @@ class OnlineSchism:
         record = AdaptationRecord(trigger, result, plan, migration, before, after)
         self.adaptations.append(record)
         self._cooldown = self.options.cooldown_batches
+        return record
+
+    # -- elastic scaling --------------------------------------------------------------
+    def resize(
+        self, new_partitions: int, trigger_rate: float | None = None
+    ) -> ResizeRecord:
+        """Grow or shrink the cluster to ``new_partitions`` partitions, live.
+
+        Re-seeds the k-way kernel at the new k (budgeted warm start from the
+        clamped current placement, replication candidates included) and
+        deploys through the same copy-before-drop path as :meth:`adapt`,
+        with two resize-specific obligations:
+
+        * **every stored tuple the lookup table routed implicitly is pinned
+          to an explicit entry**: the hash default policy's modulus changes
+          with k, so an implicit placement computed at the old k would point
+          at the wrong partition — the pin keeps every tuple reachable
+          without moving it;
+        * the routing state is republished by **atomic wholesale swap**
+          (new strategy + new lookup table at the new k) regardless of
+          backend: an in-place entry delta cannot express the modulus
+          change, which invalidates every implicit placement at once.
+
+        Growing adds the empty partitions *before* the copies (so data can
+        land on them); shrinking removes the evacuated partitions only
+        *after* the drops.  In between, reads routed under either the old
+        or the new table find a resident replica.
+        """
+        if new_partitions <= 0:
+            raise ValueError("new_partitions must be positive")
+        old_partitions = self.num_partitions
+        if new_partitions == old_partitions:
+            raise ValueError("resize to the current partition count is a no-op")
+        repartitioner = BudgetedRepartitioner(self.options.repartition)
+        candidates = self.replication_candidates()
+        current, costs = self.current_placements(self.maintainer.tuples(), new_partitions)
+        csr, tuples, star = self.maintainer.freeze_replicated(
+            candidates, [min(placement) for placement in current]
+        )
+        result = repartitioner.repartition_replicated(
+            csr, star, current, new_partitions, costs
+        )
+        target = PartitionAssignment(new_partitions)
+        for node, tuple_id in enumerate(tuples):
+            target.assign(tuple_id, result.placements[node])
+        # Pin everything else where it lives (clamped); evacuees with no
+        # surviving replica go to their new-k hash home.  One storage walk
+        # supplies the physical locations for both the pinning loop and the
+        # migration planning below.
+        locations_of = self.cluster.tuple_locations_map()
+        deployed = self.strategy.assignment
+        tuples_pinned = 0
+        for tuple_id in sorted(locations_of):
+            if tuple_id in target:
+                continue
+            locations = locations_of[tuple_id]
+            valid = frozenset(part for part in locations if part < new_partitions)
+            if not valid:
+                valid = hash_home(tuple_id, new_partitions)
+            target.assign(tuple_id, valid)
+            if tuple_id not in deployed:
+                tuples_pinned += 1
+        if new_partitions > old_partitions:
+            self.cluster.grow_to(new_partitions)
+
+        def physical_placement(tuple_id: TupleId) -> frozenset[int]:
+            locations = locations_of.get(tuple_id)
+            # A maintained tuple absent from the snapshot was deleted by live
+            # traffic; fall back to its routed placement (the copy step will
+            # no-op and report a skip).
+            return locations or self.strategy.partitions_for_tuple(tuple_id)
+
+        plan = plan_migration(physical_placement, target)
+        shrinking = new_partitions < old_partitions
+        migration = self.migrator.execute_copies(
+            plan, allow_fewer_partitions=shrinking
+        )
+        new_strategy = LookupTablePartitioning(
+            new_partitions, target, self.strategy.default_policy
+        )
+        new_table = build_lookup_table(target, backend=self.options.lookup_backend)
+        self.router.replace_strategy(new_strategy, new_table)
+        migration.lookup_swapped = True
+        self.migrator.execute_drops(plan, migration, allow_fewer_partitions=shrinking)
+        if new_partitions < old_partitions:
+            self.cluster.shrink_to(new_partitions)
+        self.monitor.rebaseline(new_strategy)
+        record = ResizeRecord(
+            old_partitions,
+            new_partitions,
+            trigger_rate,
+            result,
+            plan,
+            migration,
+            tuples_pinned,
+        )
+        self.resizes.append(record)
+        self._elastic_cooldown = self.options.elastic.cooldown_batches
+        self._cooldown = max(self._cooldown, self.options.cooldown_batches)
         return record
 
     def preview_full_repartition(self) -> RepartitionResult:
@@ -266,6 +631,18 @@ class OnlineSchism:
         Public so that experiments can evaluate a previewed (not applied)
         re-partition exactly as :meth:`adapt` would deploy it.
         """
+        return self.merged_placements(
+            tuples, [frozenset({part}) for part in node_assignment]
+        )
+
+    def merged_placements(
+        self, tuples: list[TupleId], placements: list[frozenset[int]]
+    ) -> PartitionAssignment:
+        """Full placement from per-tuple replica sets: deployed entries overridden.
+
+        The replica-set counterpart of :meth:`merged_assignment`, used when
+        the adaptation produced widened placements.
+        """
         merged = PartitionAssignment(self.num_partitions)
         deployed = self.strategy.assignment
         for tuple_id in deployed:
@@ -273,5 +650,5 @@ class OnlineSchism:
             assert placement is not None
             merged.assign(tuple_id, placement)
         for node, tuple_id in enumerate(tuples):
-            merged.assign(tuple_id, {node_assignment[node]})
+            merged.assign(tuple_id, placements[node])
         return merged

@@ -67,6 +67,10 @@ class MigrationPlan:
     tuples_replicated: int = 0
     #: tuples that moved (new placement disjoint additions + drops).
     tuples_moved: int = 0
+    #: per-replica accounting: partitions added / removed across all tuples
+    #: (each added replica is one copy to execute, each removed one a drop).
+    replicas_added: int = 0
+    replicas_dropped: int = 0
 
     @property
     def steps(self) -> list[MigrationStep]:
@@ -110,6 +114,8 @@ def plan_migration(
         plan.changes.append((tuple_id, new_parts))
         added = new_parts - old_parts
         removed = old_parts - new_parts
+        plan.replicas_added += len(added)
+        plan.replicas_dropped += len(removed)
         if added and not removed:
             plan.tuples_replicated += 1
         if removed:
@@ -161,21 +167,38 @@ class LiveMigrator:
         report = self.execute_copies(plan)
         return self.execute_drops(plan, report)
 
-    def execute_copies(self, plan: MigrationPlan, report: MigrationReport | None = None) -> MigrationReport:
+    def execute_copies(
+        self,
+        plan: MigrationPlan,
+        report: MigrationReport | None = None,
+        allow_fewer_partitions: bool = False,
+    ) -> MigrationReport:
         """Apply only the copy steps — every tuple becomes dually resident."""
-        return self._execute_steps(plan, plan.copies, report)
+        return self._execute_steps(plan, plan.copies, report, allow_fewer_partitions)
 
-    def execute_drops(self, plan: MigrationPlan, report: MigrationReport) -> MigrationReport:
+    def execute_drops(
+        self,
+        plan: MigrationPlan,
+        report: MigrationReport,
+        allow_fewer_partitions: bool = False,
+    ) -> MigrationReport:
         """Apply only the drop steps (call after the routing update)."""
-        return self._execute_steps(plan, plan.drops, report)
+        return self._execute_steps(plan, plan.drops, report, allow_fewer_partitions)
 
     def _execute_steps(
         self,
         plan: MigrationPlan,
         steps: list[MigrationStep],
         report: MigrationReport | None = None,
+        allow_fewer_partitions: bool = False,
     ) -> MigrationReport:
-        if plan.num_partitions != self.cluster.num_partitions:
+        # Only the elastic shrink path may execute a plan targeting fewer
+        # partitions than the cluster still has (it removes the evacuated
+        # partitions after the drops, and says so via the flag).  Everywhere
+        # else a count mismatch means a stale or misdirected plan.
+        if plan.num_partitions != self.cluster.num_partitions and not (
+            allow_fewer_partitions and plan.num_partitions < self.cluster.num_partitions
+        ):
             raise ValueError("plan and cluster disagree on the number of partitions")
         if report is None:
             report = MigrationReport()

@@ -10,7 +10,12 @@ stream through :meth:`AccessTrace.iter_batches`) and maintains:
 * **exponentially-decayed tuple access counts**, aged once per ingest epoch,
   from which the current hot set is derived.  The decay uses a global scale
   factor so per-access work stays O(touched tuples) — the stored counts are
-  renormalised only when the scale risks underflow;
+  renormalised only when the scale risks underflow.  Alongside the total,
+  separate decayed **read** and **write** counts are kept per tuple: their
+  ratio identifies read-mostly tuples, which is what the replication-aware
+  online placement widens into replica sets;
+* a decayed **transaction rate** (transactions per ingest epoch), the load
+  signal the elastic partition-scaling policy watches;
 * a **baseline snapshot** (hot set + distributed fraction) taken right after
   (re-)partitioning, against which drift is measured.
 
@@ -61,6 +66,9 @@ class MonitorOptions:
     drift_churn_threshold: float = 0.60
     #: suppress drift reports until the window holds at least this many transactions.
     min_window_fill: int = 50
+    #: smoothing factor of the decayed transactions-per-epoch rate estimate
+    #: (EWMA weight of the newest epoch; 1.0 tracks only the last epoch).
+    rate_smoothing: float = 0.3
 
     def __post_init__(self) -> None:
         if self.window_size <= 0:
@@ -72,6 +80,8 @@ class MonitorOptions:
         # The window can never fill past its capacity; an uncapped
         # min_window_fill would silently disable drift detection forever.
         self.min_window_fill = min(self.min_window_fill, self.window_size)
+        if not 0.0 < self.rate_smoothing <= 1.0:
+            raise ValueError("rate_smoothing must be in (0, 1]")
 
 
 @dataclass
@@ -133,8 +143,17 @@ class WorkloadMonitor:
         # _scale by decay, and the stored values are renormalised only when
         # the increment would lose precision.
         self._counts: dict[TupleId, float] = {}
+        # Decayed read/write splits of the same counts (shared scale): the
+        # read fraction of a tuple decides whether it is a replication
+        # candidate (read-mostly) or must stay single-homed (write-heavy).
+        self._read_counts: dict[TupleId, float] = {}
+        self._write_counts: dict[TupleId, float] = {}
         self._scale = 1.0
         self._increment = 1.0
+        # Decayed transactions-per-epoch estimate (the elastic load signal).
+        self._epoch_ingested = 0
+        self._rate = 0.0
+        self._rate_primed = False
         self.transactions_seen = 0
         self.epochs = 0
         self._baseline_hot: frozenset[TupleId] = frozenset()
@@ -157,10 +176,22 @@ class WorkloadMonitor:
         for partition in participants:
             self._partition_load[partition] += 1
         increment = self._increment
+        # read_set/write_set/touched are recomputing properties; evaluate
+        # the two base sets once and union locally (touched would rebuild
+        # all three).
+        read_set = access.read_set
+        write_set = access.write_set
         counts = self._counts
-        for tuple_id in access.touched:
+        for tuple_id in read_set | write_set:
             counts[tuple_id] = counts.get(tuple_id, 0.0) + increment
+        read_counts = self._read_counts
+        for tuple_id in read_set:
+            read_counts[tuple_id] = read_counts.get(tuple_id, 0.0) + increment
+        write_counts = self._write_counts
+        for tuple_id in write_set:
+            write_counts[tuple_id] = write_counts.get(tuple_id, 0.0) + increment
         self.transactions_seen += 1
+        self._epoch_ingested += 1
 
     def ingest_batch(self, batch: Iterable[TransactionAccess]) -> None:
         """Observe one chunk of transactions, then age the counts one epoch."""
@@ -171,6 +202,15 @@ class WorkloadMonitor:
     def advance_epoch(self) -> None:
         """Age the decayed counts by one epoch (cheap; amortised O(1) per call)."""
         self.epochs += 1
+        smoothing = self.options.rate_smoothing
+        if self._rate_primed:
+            self._rate += smoothing * (self._epoch_ingested - self._rate)
+        else:
+            # Seed the rate estimate from the first epoch instead of decaying
+            # up from zero (which would under-report load for many epochs).
+            self._rate = float(self._epoch_ingested)
+            self._rate_primed = True
+        self._epoch_ingested = 0
         decay = self.options.decay
         if decay >= 1.0:
             return
@@ -182,11 +222,17 @@ class WorkloadMonitor:
     def _renormalise(self) -> None:
         scale = self._scale
         prune_below = _PRUNE_FRACTION / scale
-        self._counts = {
-            tuple_id: stored * scale
-            for tuple_id, stored in self._counts.items()
-            if stored >= prune_below
-        }
+
+        def rescaled(counts: dict[TupleId, float]) -> dict[TupleId, float]:
+            return {
+                tuple_id: stored * scale
+                for tuple_id, stored in counts.items()
+                if stored >= prune_below
+            }
+
+        self._counts = rescaled(self._counts)
+        self._read_counts = rescaled(self._read_counts)
+        self._write_counts = rescaled(self._write_counts)
         self._scale = 1.0
         self._increment = 1.0
 
@@ -201,6 +247,31 @@ class WorkloadMonitor:
     def access_count(self, tuple_id: TupleId) -> float:
         """Decayed access count of ``tuple_id``."""
         return self._counts.get(tuple_id, 0.0) * self._scale
+
+    def read_count(self, tuple_id: TupleId) -> float:
+        """Decayed count of transactions that *read* ``tuple_id``."""
+        return self._read_counts.get(tuple_id, 0.0) * self._scale
+
+    def write_count(self, tuple_id: TupleId) -> float:
+        """Decayed count of transactions that *wrote* ``tuple_id``."""
+        return self._write_counts.get(tuple_id, 0.0) * self._scale
+
+    def read_fraction(self, tuple_id: TupleId) -> float:
+        """Decayed fraction of accesses to ``tuple_id`` that are reads.
+
+        1.0 for read-only tuples, 0.0 for write-only ones (and for tuples
+        never observed — an unknown tuple must not look replication-worthy).
+        """
+        reads = self._read_counts.get(tuple_id, 0.0)
+        writes = self._write_counts.get(tuple_id, 0.0)
+        total = reads + writes
+        if total <= 0.0:
+            return 0.0
+        return reads / total
+
+    def transaction_rate(self) -> float:
+        """Decayed transactions-per-epoch estimate (the elastic load signal)."""
+        return self._rate
 
     def hot_tuples(self) -> tuple[TupleId, ...]:
         """The ``hot_set_size`` most-accessed tuples (deterministic tie-break).

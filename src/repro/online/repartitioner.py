@@ -30,6 +30,7 @@ approaches are compared on genuine placement differences, not label noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.graph.model import CSRGraph
 from repro.graph.partitioner import GraphPartitioner, PartitionerOptions
@@ -39,6 +40,9 @@ from repro.graph.refine import (
     kway_fm_refine,
     side_weights,
 )
+
+if TYPE_CHECKING:  # import cycle: maintainer imports nothing from here
+    from repro.online.maintainer import StarExpansion
 
 
 @dataclass
@@ -83,8 +87,56 @@ class RepartitionResult:
         return len(self.moved_nodes)
 
 
+@dataclass
+class ReplicatedRepartitionResult:
+    """Outcome of a replication-aware budgeted re-partition.
+
+    ``placements`` holds one replica *set* per base node: singletons for
+    ordinary tuples, wider sets where the min-cut decided a read-hot tuple's
+    satellites should scatter.  Migration cost is charged **per replica
+    copy** (a partition newly added to a tuple's set costs one copy of the
+    tuple); dropped replicas are free — deleting a stale copy moves no data.
+    """
+
+    placements: list[frozenset[int]]
+    num_partitions: int
+    #: cut weights on the star-expanded graph (comparable before/after,
+    #: not directly comparable with the unexpanded graph's cut).
+    cut_before: float
+    cut_after: float
+    #: base nodes whose replica set differs from the deployed placement.
+    changed_nodes: list[int] = field(default_factory=list)
+    #: total partitions added across all replica sets (copies to perform).
+    replica_copies: int = 0
+    #: total partitions removed across all replica sets (drops to perform).
+    replica_drops: int = 0
+    #: migration cost of the copies (per-copy tuple cost summed).
+    migration_cost: float = 0.0
+
+    @property
+    def num_changed(self) -> int:
+        """Number of tuples whose replica set changed."""
+        return len(self.changed_nodes)
+
+    #: alias so adaptation records can report either result type uniformly.
+    num_moved = num_changed
+
+    @property
+    def replicated_count(self) -> int:
+        """Number of tuples placed on more than one partition."""
+        return sum(1 for placement in self.placements if len(placement) > 1)
+
+
 class BudgetedRepartitioner:
-    """Warm-started k-way refinement with migration-cost accounting."""
+    """Warm-started k-way refinement with migration-cost accounting.
+
+    Two entry points: :meth:`repartition` refines a plain node -> partition
+    assignment (singleton placements), :meth:`repartition_replicated`
+    refines a star-expanded graph into per-tuple **replica sets** (read-hot
+    tuples may widen onto several partitions; each added replica is charged
+    one copy against the budget).  Both share the same balance-repair and
+    bucket-FM phases, so they ride every speedup the offline kernel gets.
+    """
 
     def __init__(self, options: RepartitionOptions | None = None) -> None:
         self.options = options or RepartitionOptions()
@@ -133,6 +185,93 @@ class BudgetedRepartitioner:
             moved,
             sum(costs[node] for node in moved),
         )
+
+    def repartition_replicated(
+        self,
+        graph: CSRGraph,
+        star: "StarExpansion",
+        current_placements: list[frozenset[int]],
+        num_parts: int,
+        move_costs: list[float] | None = None,
+    ) -> ReplicatedRepartitionResult:
+        """Budgeted re-partition of a star-expanded graph into replica sets.
+
+        Parameters
+        ----------
+        graph:
+            The frozen *expanded* graph
+            (:meth:`~repro.online.maintainer.IncrementalGraphMaintainer.freeze_replicated`).
+        star:
+            The expansion bookkeeping: which expanded nodes are satellites of
+            which base node.
+        current_placements:
+            The deployed replica set of every *base* node (non-empty, already
+            restricted to ``[0, num_parts)``).  Satellites warm-start on the
+            current replicas — a bucket satellite whose partition already
+            holds a replica starts there (no charge for keeping it), the
+            rest sit on the primary home — so the :class:`MoveCostModel`
+            charges exactly the *new* copies a widened placement implies.  A
+            satellite moving between two partitions is charged one copy (the
+            drop it leaves behind is free), which slightly over-charges
+            satellites consolidating onto an already-replicated partition;
+            the returned ``migration_cost`` is recomputed exactly from the
+            replica-set diffs.
+        num_parts:
+            Number of partitions.
+        move_costs:
+            Per-*base*-node copy cost (e.g. tuple bytes); defaults to 1.0.
+        """
+        num_base = star.num_base_nodes
+        num_nodes = graph.num_nodes
+        if len(current_placements) != num_base:
+            raise ValueError("current placements length does not match the base graph")
+        base_costs = move_costs if move_costs is not None else [1.0] * num_base
+        # Expanded warm assignment + per-node copy costs.
+        warm = [0] * num_nodes
+        costs = [0.0] * num_nodes
+        for node in range(num_base):
+            placement = current_placements[node]
+            primary = min(placement)
+            warm[node] = primary
+            satellites = star.satellites.get(node)
+            if satellites is None:
+                costs[node] = base_costs[node]
+                continue
+            # Candidate centre: virtual (its partition never reaches the
+            # replica set), so its moves are free; the copies live on the
+            # satellites.
+            costs[node] = 0.0
+            for satellite in satellites:
+                bucket = star.satellite_bucket.get(satellite)
+                warm[satellite] = bucket if bucket in placement else primary
+                costs[satellite] = base_costs[node]
+        assignment = list(warm)
+        cut_before = cut_weight_two_way(graph, assignment)
+        if num_nodes and num_parts > 1:
+            max_weights = self._max_weights(graph, num_parts)
+            weights = side_weights(graph, assignment, num_parts)
+            spent = self._repair_balance(graph, assignment, warm, costs, weights, max_weights)
+            self._refine(graph, assignment, warm, costs, weights, max_weights, spent)
+        result = ReplicatedRepartitionResult(
+            placements=[],
+            num_partitions=num_parts,
+            cut_before=cut_before,
+            cut_after=cut_weight_two_way(graph, assignment),
+        )
+        for node in range(num_base):
+            placement = frozenset(
+                assignment[expanded] for expanded in star.placement_nodes(node)
+            )
+            result.placements.append(placement)
+            old = current_placements[node]
+            if placement == old:
+                continue
+            result.changed_nodes.append(node)
+            copies = len(placement - old)
+            result.replica_copies += copies
+            result.replica_drops += len(old - placement)
+            result.migration_cost += copies * base_costs[node]
+        return result
 
     # -- phases -----------------------------------------------------------------------
     def _max_weights(self, graph: CSRGraph, num_parts: int) -> list[float]:

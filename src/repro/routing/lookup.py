@@ -52,6 +52,19 @@ class LookupTable(ABC):
         """
         return True
 
+    def entries(self) -> Iterator[tuple[TupleId, frozenset[int]]]:
+        """Iterate all ``(tuple_id, replica set)`` entries (exact backends only).
+
+        Bloom filters cannot enumerate their members, so they raise
+        ``NotImplementedError`` — callers that need enumeration (consistency
+        checks, rebuilds at a new partition count) must keep the authoritative
+        :class:`PartitionAssignment` around, which is exactly what the
+        elastic controller's wholesale-swap path does.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot enumerate its entries"
+        )
+
     def load(self, assignment: PartitionAssignment) -> "LookupTable":
         """Bulk-load from a :class:`PartitionAssignment`."""
         for tuple_id in assignment:
@@ -80,7 +93,16 @@ class LookupTable(ABC):
 
 
 class DictLookupTable(LookupTable):
-    """Exact lookup table backed by a Python dict."""
+    """Exact lookup table backed by a Python dict.
+
+    >>> from repro.catalog.tuples import TupleId
+    >>> table = DictLookupTable(num_partitions=2)
+    >>> table.put(TupleId("users", (7,)), frozenset({1}))
+    >>> sorted(table.get(TupleId("users", (7,))))
+    [1]
+    >>> table.get(TupleId("users", (8,))) is None
+    True
+    """
 
     def __init__(self, num_partitions: int) -> None:
         super().__init__(num_partitions)
@@ -95,6 +117,9 @@ class DictLookupTable(LookupTable):
     def memory_bytes(self) -> int:
         # Rough: ~100 bytes of Python overhead per entry.
         return 100 * len(self._mapping)
+
+    def entries(self) -> Iterator[tuple[TupleId, frozenset[int]]]:
+        return iter(self._mapping.items())
 
     def __len__(self) -> int:
         return len(self._mapping)
@@ -171,6 +196,13 @@ class BitArrayLookupTable(LookupTable):
         if value == self._UNKNOWN:
             return None
         return frozenset({value - 1})
+
+    def entries(self) -> Iterator[tuple[TupleId, frozenset[int]]]:
+        for table, array in self._arrays.items():
+            for key, value in enumerate(array):
+                if value != self._UNKNOWN:
+                    yield TupleId(table, (key,)), frozenset({value - 1})
+        yield from self._replicated.items()
 
     def memory_bytes(self) -> int:
         return sum(len(array) for array in self._arrays.values()) + 100 * len(self._replicated)

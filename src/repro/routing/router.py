@@ -66,6 +66,21 @@ class Router:
         self.lookup_table = lookup_table
         self.num_partitions = strategy.num_partitions
 
+    def replace_strategy(
+        self, strategy: PartitioningStrategy, lookup_table: LookupTable | None = None
+    ) -> None:
+        """Swap in a new strategy (and lookup table), e.g. after an elastic resize.
+
+        All three fields change together so ``num_partitions`` can never
+        disagree with the strategy; in CPython each rebind is atomic, and the
+        elastic controller only calls this after the migration copies have
+        completed, so statements routed under either generation of the state
+        find resident replicas.
+        """
+        self.strategy = strategy
+        self.lookup_table = lookup_table
+        self.num_partitions = strategy.num_partitions
+
     # -- statements ----------------------------------------------------------------------
     def route_statement(
         self,

@@ -11,12 +11,14 @@ baseline used in Figure 4 where one exists:
 * :mod:`repro.workloads.epinions` — the Epinions.com social-network workload;
 * :mod:`repro.workloads.random_workload` — the "impossible to partition" workload;
 * :mod:`repro.workloads.drifting` — multi-phase drifting workloads
-  (rotating hotspot, warehouse shift) for the online adaptivity layer.
+  (rotating hotspot, read-hot skew, warehouse shift) for the online
+  adaptivity layer.
 """
 
 from repro.workloads.base import WorkloadBundle
 from repro.workloads.drifting import (
     DriftingWorkloadBundle,
+    generate_read_hot_skew,
     generate_rotating_hotspot,
     generate_warehouse_shift_tpcc,
 )
@@ -36,6 +38,7 @@ __all__ = [
     "epinions_manual_strategy",
     "generate_epinions",
     "generate_random_workload",
+    "generate_read_hot_skew",
     "generate_rotating_hotspot",
     "generate_simplecount",
     "generate_tpcc",

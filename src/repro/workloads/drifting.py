@@ -1,7 +1,7 @@
 """Drifting workloads for the online adaptivity layer.
 
-Two drift scenarios, each producing an ordered list of *phases* whose union
-is one continuous stream:
+Three drift scenarios, each producing an ordered list of *phases* whose
+union is one continuous stream:
 
 * :func:`generate_rotating_hotspot` — a YCSB-style single table where every
   transaction touches a small **group** of keys inside a hot window, and the
@@ -9,12 +9,18 @@ is one continuous stream:
   between phases.  A placement trained on one phase serves its groups
   locally and degrades sharply when the hotspot rotates onto keys it never
   saw together.
+* :func:`generate_read_hot_skew` — a YCSB-style table where phase 1 makes a
+  handful of tuples **read-hot**: almost every transaction reads one of them
+  alongside an otherwise-local group, so under singleton placement most
+  transactions become distributed.  The cure is tuple-level replication
+  (writes to the hot tuples stay rare), which is exactly what the
+  replication-aware online adaptation provides.
 * :func:`generate_warehouse_shift_tpcc` — TPC-C where the home-warehouse
   distribution concentrates on a rotating subset of warehouses per phase
   (``home_warehouse_weights``), modelling regional load shifting across a
   day.
 
-Both return a :class:`DriftingWorkloadBundle`: the loaded database, the
+All return a :class:`DriftingWorkloadBundle`: the loaded database, the
 per-phase workloads, and the concatenated stream.
 """
 
@@ -128,6 +134,108 @@ def generate_rotating_hotspot(
             "hot_window": hot_window,
             "rotation_stride": rotation_stride,
             "uniform_fraction": uniform_fraction,
+        },
+    )
+
+
+def generate_read_hot_skew(
+    num_rows: int = 1200,
+    transactions_per_phase: int = 800,
+    num_hot: int = 8,
+    group_size: int = 3,
+    hot_touch_fraction: float = 0.9,
+    hot_write_fraction: float = 0.05,
+    uniform_fraction: float = 0.05,
+    seed: int = 0,
+) -> DriftingWorkloadBundle:
+    """YCSB-style stream whose phase 1 turns a few tuples read-hot.
+
+    The last ``num_hot`` keys of the table are the hot set; the rest of the
+    table is organised into groups of ``group_size`` consecutive keys.
+
+    * **Phase 0 (training)**: classic group traffic — each transaction
+      updates one member of a random group and reads the others, plus a
+      sprinkle of uniform background reads.  The hot keys are never touched,
+      so the offline pipeline learns nothing about them and they stay on
+      their hash-placed homes.
+    * **Phase 1 (drift)**: the same group traffic, but ``hot_touch_fraction``
+      of the transactions additionally access one random hot key — a read,
+      except with probability ``hot_write_fraction`` an update.  A hot key
+      lives on one partition while the groups span all of them, so under
+      singleton placement most transactions turn distributed; replicating
+      the hot keys makes the reads local again while the rare writes keep
+      paying the all-replica consistency cost.
+    """
+    if num_hot <= 0:
+        raise ValueError("num_hot must be positive")
+    group_rows = num_rows - num_hot
+    if group_rows < group_size:
+        raise ValueError("not enough rows left for groups; add rows or shrink num_hot")
+    rng = SeededRng(seed)
+    database = Database(ycsb_schema())
+    _load_usertable(database, num_rows, rng.fork("load"))
+    num_groups = group_rows // group_size
+    hot_keys = list(range(group_rows, num_rows))
+    phases: list[Workload] = []
+    for phase in range(2):
+        phase_rng = rng.fork(("phase", phase))
+        workload = Workload(f"read-hot-skew-p{phase}")
+        for _ in range(transactions_per_phase):
+            if phase_rng.bernoulli(uniform_fraction):
+                key = phase_rng.randint(0, group_rows - 1)
+                workload.add_statements(
+                    [SelectStatement(("usertable",), where=eq("ycsb_key", key))],
+                    kind="background-read",
+                )
+                continue
+            group = phase_rng.randint(0, num_groups - 1)
+            base = group * group_size
+            keys = list(range(base, base + group_size))
+            written = keys[phase_rng.randint(0, group_size - 1)]
+            statements = [
+                UpdateStatement(
+                    "usertable",
+                    {"field0": phase_rng.randint(0, 1_000_000)},
+                    where=eq("ycsb_key", written),
+                )
+            ]
+            statements.extend(
+                SelectStatement(("usertable",), where=eq("ycsb_key", key))
+                for key in keys
+                if key != written
+            )
+            kind = "group"
+            if phase == 1 and phase_rng.bernoulli(hot_touch_fraction):
+                hot_key = hot_keys[phase_rng.randint(0, num_hot - 1)]
+                if phase_rng.bernoulli(hot_write_fraction):
+                    statements.append(
+                        UpdateStatement(
+                            "usertable",
+                            {"field1": phase_rng.randint(0, 1_000_000)},
+                            where=eq("ycsb_key", hot_key),
+                        )
+                    )
+                    kind = "group+hot-write"
+                else:
+                    statements.append(
+                        SelectStatement(("usertable",), where=eq("ycsb_key", hot_key))
+                    )
+                    kind = "group+hot-read"
+            workload.add_statements(statements, kind=kind)
+        phases.append(workload)
+    return DriftingWorkloadBundle(
+        name="read-hot-skew",
+        database=database,
+        phases=phases,
+        metadata={
+            "rows": num_rows,
+            "transactions_per_phase": transactions_per_phase,
+            "num_hot": num_hot,
+            "group_size": group_size,
+            "hot_touch_fraction": hot_touch_fraction,
+            "hot_write_fraction": hot_write_fraction,
+            "uniform_fraction": uniform_fraction,
+            "hot_keys": tuple(hot_keys),
         },
     )
 

@@ -151,9 +151,10 @@ def test_byte_deterministic_under_fixed_seed(scenario):
     assert first["before"] == second["before"]
     assert first["after"] == second["after"]
     assert first["full"].assignment == second["full"].assignment
-    assert (
-        first["record"].repartition.assignment == second["record"].repartition.assignment
-    )
+    # The repartition result may be the singleton or the replica-set variant
+    # depending on which replication candidates qualified; either way the
+    # dataclass repr captures the complete outcome.
+    assert repr(first["record"].repartition) == repr(second["record"].repartition)
     assert first["record"].plan.steps == second["record"].plan.steps
     placements_a = sorted(
         (tuple_id, tuple(sorted(placement)))
