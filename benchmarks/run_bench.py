@@ -21,7 +21,10 @@ compared across PRs.  Three sections:
   latency of a budgeted re-partition vs. a from-scratch one on the same
   maintained graph, plus a replication-aware re-partition over the
   star-expanded graph (read-hot candidate selection + expansion + budgeted
-  refinement) with the replica counts it produced.
+  refinement) with the replica counts it produced;
+* ``plan_io`` times ``PartitionPlan`` serialisation (dumps/loads and file
+  size of the deployment artifact written by ``python -m repro run``) and
+  asserts the byte-deterministic round-trip invariant.
 
 Every result row records ``peak_rss_kb`` — the process-wide peak resident
 set size observed *by the time that row finished* (Linux ``ru_maxrss``
@@ -243,6 +246,54 @@ def run_scale_sweep(repeats: int) -> list[dict]:
     return rows
 
 
+def run_plan_io(repeats: int) -> dict:
+    """Benchmark PartitionPlan serialisation: dumps/loads latency and size.
+
+    The plan file is the deployment artifact (``python -m repro run/deploy``),
+    so its round-trip cost is part of the operational surface.  The probe
+    also asserts the byte-determinism invariant (re-save == save).
+    """
+    from repro.pipeline import PartitionPlan, Pipeline, SchismOptions
+    from repro.workloads import generate_epinions, EpinionsConfig
+
+    repeats = max(1, repeats)
+    bundle = generate_epinions(
+        EpinionsConfig(num_users=300, num_items=300, num_communities=10, seed=0),
+        num_transactions=3000,
+    )
+    pipeline_run = Pipeline(SchismOptions(num_partitions=4)).run(
+        bundle.database, bundle.workload
+    )
+    plan = pipeline_run.plan(workload=bundle.name)
+    dump_seconds = float("inf")
+    load_seconds = float("inf")
+    text = plan.dumps()
+    for _ in range(repeats):
+        start = time.perf_counter()
+        text = plan.dumps()
+        dump_seconds = min(dump_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        reloaded = PartitionPlan.loads(text)
+        load_seconds = min(load_seconds, time.perf_counter() - start)
+    if reloaded.dumps() != text:  # explicit so `python -O` still enforces it
+        raise RuntimeError("plan round-trip is not byte-identical")
+    section = {
+        "placements": len(plan),
+        "bytes": len(text.encode("utf-8")),
+        "dump_seconds": round(dump_seconds, 6),
+        "load_seconds": round(load_seconds, 6),
+        "placements_per_sec_dump": round(len(plan) / dump_seconds, 1),
+        "placements_per_sec_load": round(len(plan) / load_seconds, 1),
+        "fingerprint": plan.content_fingerprint(),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    print(
+        f"plan io: {section['placements']} placements, {section['bytes']} bytes, "
+        f"dump {dump_seconds * 1e3:.1f}ms, load {load_seconds * 1e3:.1f}ms"
+    )
+    return section
+
+
 def run(repeats: int, smoke: bool = False) -> dict:
     """Execute the sweeps plus the probes and return the report dict."""
     repeats = max(1, repeats)
@@ -318,6 +369,7 @@ def run(repeats: int, smoke: bool = False) -> dict:
 
     report["single_call"] = single_call
     report["online_adaptation"] = run_online_adaptation(repeats)
+    report["plan_io"] = run_plan_io(repeats)
     report["peak_rss_kb"] = _peak_rss_kb()
     return report
 

@@ -1,17 +1,25 @@
-"""Quickstart: partition a small TPC-C database with Schism.
+"""Quickstart: partition a small TPC-C database with the staged pipeline.
 
 Run with::
 
     python examples/quickstart.py
 
-The script generates a 2-warehouse TPC-C instance, runs the full Schism
-pipeline (graph construction, min-cut partitioning, decision-tree
-explanation, final validation) and prints the recommended strategy together
-with the range predicates it found — which should be the classic
-"partition by warehouse, replicate the item table" design.
+The script generates a 2-warehouse TPC-C instance, runs the staged pipeline
+(extract -> build_graph -> partition -> explain -> validate), and produces a
+:class:`~repro.pipeline.plan.PartitionPlan` — the durable artifact holding
+the per-tuple replica sets, the discovered range predicates, the winning
+strategy (the classic "partition by warehouse, replicate the item table"
+design) and full provenance.  It then round-trips the plan through a file
+and diffs it, which is exactly what the CLI does::
+
+    python -m repro run --workload tpcc --partitions 2 --out plan.json
+    python -m repro diff plan.json plan.json
 """
 
-from repro import Schism, SchismOptions, evaluate_strategy, split_workload
+import tempfile
+from pathlib import Path
+
+from repro import PartitionPlan, Pipeline, SchismOptions, evaluate_strategy, split_workload
 from repro.workloads import TpccConfig, generate_tpcc
 
 
@@ -28,21 +36,31 @@ def main() -> None:
 
     training, test = split_workload(bundle.workload, train_fraction=0.7)
     options = SchismOptions(num_partitions=2, hash_columns=bundle.hash_columns)
-    result = Schism(options).run(bundle.database, training, test)
+    run = Pipeline(options).run(bundle.database, training, test)
+    plan = run.plan(workload=bundle.name)
 
     print()
-    print(result.describe())
+    print(plan.describe())
     print()
     print("range predicates discovered by the explanation phase:")
-    print(result.explanation.describe())
+    print(run.state.explanation.describe())
+
+    # The plan is the durable artifact: save, reload, verify nothing changed.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "plan.json"
+        plan.save(path)
+        reloaded = PartitionPlan.load(path)
+        print()
+        print(f"saved plan to {path.name} ({path.stat().st_size} bytes); "
+              f"diff vs reloaded: {plan.diff(reloaded).describe()}")
 
     manual = bundle.manual_strategy(2)
     if manual is not None:
-        report = evaluate_strategy(manual, result.test_trace, bundle.database)
+        report = evaluate_strategy(manual, run.state.test_trace, bundle.database)
         print()
         print(f"manual (by-warehouse) baseline: {report.distributed_fraction:.1%} distributed")
-        print(f"schism selected {result.recommendation}: "
-              f"{result.distributed_fraction():.1%} distributed")
+        print(f"schism selected {plan.recommendation}: "
+              f"{plan.provenance.metrics['distributed_fraction']:.1%} distributed")
 
 
 if __name__ == "__main__":

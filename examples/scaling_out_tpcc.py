@@ -1,16 +1,17 @@
 """Scaling out TPC-C on a simulated shared-nothing cluster.
 
-This example ties the whole system together: Schism produces a partitioning
-for TPC-C, the cluster materialises it physically, the router +
-two-phase-commit coordinator execute the workload against the partitions, and
-the throughput simulator projects the Figure 6 scaling curves.
+This example ties the whole system together: the pipeline produces a
+:class:`~repro.pipeline.plan.PartitionPlan` for TPC-C, the cluster
+materialises the plan physically, the router + two-phase-commit coordinator
+execute the workload against the partitions, and the throughput simulator
+projects the Figure 6 scaling curves.
 
 Run with::
 
     python examples/scaling_out_tpcc.py
 """
 
-from repro import Schism, SchismOptions, split_workload
+from repro import Pipeline, SchismOptions, split_workload
 from repro.distributed import Cluster, ThroughputSimulator, TwoPhaseCommitCoordinator
 from repro.experiments import format_figure6, run_figure6
 from repro.routing import Router
@@ -18,18 +19,20 @@ from repro.workloads import TpccConfig, generate_tpcc
 
 
 def main() -> None:
-    # 1. Derive the partitioning with Schism.
+    # 1. Derive the partitioning plan with the pipeline.
     config = TpccConfig(warehouses=4, districts_per_warehouse=3, customers_per_district=15, items=80)
     bundle = generate_tpcc(config, num_transactions=500)
     training, test = split_workload(bundle.workload, train_fraction=0.7)
-    result = Schism(SchismOptions(num_partitions=4)).run(bundle.database, training, test)
-    strategy = result.recommended_strategy
-    print(f"schism selected {result.recommendation} "
-          f"({result.distributed_fraction():.1%} distributed transactions)")
+    run = Pipeline(SchismOptions(num_partitions=4)).run(bundle.database, training, test)
+    plan = run.plan(workload=bundle.name)
+    print(f"schism selected {plan.recommendation} "
+          f"({plan.provenance.metrics['distributed_fraction']:.1%} distributed transactions)")
 
-    # 2. Materialise a 4-node cluster and run the test workload through the
-    #    router and the two-phase-commit coordinator.
+    # 2. Materialise a 4-node cluster from the plan's winning strategy and
+    #    run the test workload through the router and the two-phase-commit
+    #    coordinator (one strategy object, shared by cluster and router).
     fresh_bundle = generate_tpcc(config, num_transactions=200, name="tpcc-online")
+    strategy = plan.build_strategy()
     cluster = Cluster.from_database(fresh_bundle.database, strategy)
     router = Router(strategy, schema=fresh_bundle.database.schema)
     coordinator = TwoPhaseCommitCoordinator(cluster, router)

@@ -2,16 +2,18 @@
 
 Social-network schemas contain n-to-n relationships (user reviews of items,
 trust edges between users) that defeat schema-driven partitioning.  This
-example shows Schism discovering the latent community structure at the tuple
-level and beating the best manual design (hash items+reviews together,
-replicate users and trust), reproducing the paper's headline Epinions result.
+example shows the pipeline discovering the latent community structure at the
+tuple level and beating the best manual design (hash items+reviews together,
+replicate users and trust), reproducing the paper's headline Epinions result
+— then deploys the resulting plan as a live controller and exports the live
+placement back as a plan, closing the offline -> online -> artifact loop.
 
 Run with::
 
     python examples/social_network_partitioning.py
 """
 
-from repro import Schism, SchismOptions, evaluate_strategy, split_workload
+from repro import Pipeline, SchismOptions, evaluate_strategy, split_workload, start_online
 from repro.routing import build_lookup_table
 from repro.workloads import EpinionsConfig, generate_epinions
 
@@ -24,14 +26,15 @@ def main() -> None:
           f"{config.num_communities} hidden communities)")
 
     training, test = split_workload(bundle.workload, train_fraction=0.7)
-    result = Schism(SchismOptions(num_partitions=2)).run(bundle.database, training, test)
+    run = Pipeline(SchismOptions(num_partitions=2)).run(bundle.database, training, test)
+    plan = run.plan(workload=bundle.name)
 
     print()
-    print(result.describe())
+    print(plan.describe())
 
     manual = bundle.manual_strategy(2)
-    manual_report = evaluate_strategy(manual, result.test_trace, bundle.database)
-    schism_fraction = result.reports["lookup-table"].distributed_fraction
+    manual_report = evaluate_strategy(manual, run.state.test_trace, bundle.database)
+    schism_fraction = plan.provenance.metrics["candidate_fractions"]["lookup-table"]
     print()
     print(f"manual partitioning (items+reviews hashed, users+trust replicated): "
           f"{manual_report.distributed_fraction:.1%} distributed transactions")
@@ -44,15 +47,25 @@ def main() -> None:
     # backends; compare their memory footprints.  The bit-array backend only
     # supports single-integer keys, so it cannot hold the composite-key trust
     # table and is skipped here.
+    assignment = plan.to_assignment()
     print()
     print("lookup-table backends:")
     for backend in ("dict", "bitarray", "bloom"):
         try:
-            table = build_lookup_table(result.assignment, backend=backend)
+            table = build_lookup_table(assignment, backend=backend)
         except TypeError as error:
             print(f"  {backend:>9}: not applicable ({error})")
             continue
-        print(f"  {backend:>9}: {table.memory_bytes():>9} bytes for {len(result.assignment)} tuples")
+        print(f"  {backend:>9}: {table.memory_bytes():>9} bytes for {len(assignment)} tuples")
+
+    # Deploy the plan live on a fresh instance and export the (unchanged)
+    # placement back as a plan — what a production rollout would persist.
+    fresh = generate_epinions(config, num_transactions=500, name="epinions-live")
+    controller = start_online(plan, fresh.database)
+    live_plan = controller.export_plan()
+    print()
+    print(f"deployed {controller.num_partitions} partitions live; "
+          f"diff vs exported live plan: {plan.diff(live_plan).describe()}")
 
 
 if __name__ == "__main__":

@@ -7,15 +7,24 @@ distributed transactions while keeping partitions balanced.
 
 Typical use::
 
-    from repro import Schism, SchismOptions
+    from repro import Pipeline, SchismOptions
     from repro.workloads import generate_tpcc
 
     bundle = generate_tpcc()
-    result = Schism(SchismOptions(num_partitions=2)).run(bundle.database, bundle.workload)
-    print(result.describe())
+    run = Pipeline(SchismOptions(num_partitions=2)).run(bundle.database, bundle.workload)
+    plan = run.plan(workload=bundle.name)
+    plan.save("plan.json")           # the durable artifact
+    print(plan.describe())
+
+or, from a shell::
+
+    python -m repro run --workload tpcc --partitions 2 --out plan.json
+
+The legacy one-call facade (``Schism``/``run_schism``) still works and now
+shims onto the pipeline.
 """
 
-from repro.core.schism import Schism, SchismOptions, SchismResult, run_schism
+from repro.core.schism import Schism, SchismOptions, SchismResult, run_schism, start_online
 from repro.core.strategies import (
     CompositePartitioning,
     FullReplication,
@@ -27,11 +36,19 @@ from repro.core.strategies import (
 from repro.core.cost import CostReport, evaluate_strategy
 from repro.core.validation import validate_strategies
 from repro.engine.database import Database
+from repro.pipeline import (
+    PartitionPlan,
+    PhaseTimings,
+    Pipeline,
+    PipelineRun,
+    PipelineState,
+    PlanDiff,
+)
 from repro.workload.trace import Transaction, Workload
 from repro.workload.rwsets import extract_access_trace
 from repro.workload.splitter import split_workload
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "CompositePartitioning",
@@ -40,7 +57,13 @@ __all__ = [
     "FullReplication",
     "HashPartitioning",
     "LookupTablePartitioning",
+    "PartitionPlan",
     "PartitioningStrategy",
+    "PhaseTimings",
+    "Pipeline",
+    "PipelineRun",
+    "PipelineState",
+    "PlanDiff",
     "RangePredicatePartitioning",
     "Schism",
     "SchismOptions",
@@ -52,5 +75,6 @@ __all__ = [
     "extract_access_trace",
     "run_schism",
     "split_workload",
+    "start_online",
     "validate_strategies",
 ]

@@ -1,0 +1,296 @@
+"""``python -m repro`` — drive the pipeline end-to-end from workload names.
+
+Four subcommands around the :class:`~repro.pipeline.plan.PartitionPlan`
+artifact:
+
+* ``run``    — generate a named workload, run the staged pipeline, write the
+  plan file (``--out``) and print its summary;
+* ``deploy`` — load a plan file, materialise the cluster, start the online
+  controller, stream the workload through it, report routing statistics, and
+  optionally re-export the (possibly adapted) live placement as a new plan;
+* ``diff``   — compare two plan files (moved/replicated tuples, strategy and
+  partition-count changes);
+* ``bench``  — run one of the paper's experiments and print its table.
+
+Examples::
+
+    python -m repro run --workload simplecount --partitions 4 --out plan.json
+    python -m repro diff plan.json plan.json
+    python -m repro deploy plan.json --workload simplecount --export live.json
+    python -m repro bench --experiment figure1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.core.config import default_options
+from repro.core.schism import start_online
+from repro.experiments.figure4 import FIGURE4_EXPERIMENTS
+from repro.pipeline import PartitionPlan, Pipeline
+from repro.utils.rng import SeededRng
+from repro.workload.rwsets import extract_access_trace
+from repro.workload.splitter import split_workload
+from repro.workloads import WorkloadBundle, generate_simplecount
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def _simplecount(scale: float, seed: int) -> WorkloadBundle:
+    blocks = 5
+    return generate_simplecount(
+        num_rows=blocks * _scaled(300, scale),
+        num_transactions=_scaled(2000, scale),
+        num_blocks=blocks,
+        seed=seed,
+    )
+
+
+#: the Figure-4 bundle factories, keyed by experiment name — one source of
+#: truth for workload sizes shared by `repro run` and `repro bench`.
+_FIGURE4_FACTORIES = {
+    experiment.key: experiment.bundle_factory for experiment in FIGURE4_EXPERIMENTS
+}
+
+#: workload name -> factory(scale, seed).
+WORKLOADS: dict[str, Callable[[float, int], WorkloadBundle]] = {
+    "simplecount": _simplecount,
+    "ycsb-a": _FIGURE4_FACTORIES["ycsb-a"],
+    "ycsb-e": _FIGURE4_FACTORIES["ycsb-e"],
+    "tpcc": _FIGURE4_FACTORIES["tpcc-2w"],
+    "tpce": _FIGURE4_FACTORIES["tpce"],
+    "epinions": _FIGURE4_FACTORIES["epinions-2p"],
+    "random": _FIGURE4_FACTORIES["random"],
+}
+
+
+def _build_bundle(name: str, scale: float, seed: int) -> WorkloadBundle:
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from {', '.join(sorted(WORKLOADS))}"
+        )
+    return factory(scale, seed)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+def cmd_run(args: argparse.Namespace) -> int:
+    bundle = _build_bundle(args.workload, args.scale, args.seed)
+    print(
+        f"generated {bundle.name}: {bundle.database.row_count()} tuples, "
+        f"{len(bundle.workload)} transactions"
+    )
+    train, test = split_workload(
+        bundle.workload, args.train_fraction, rng=SeededRng(args.seed)
+    )
+    options = default_options(args.partitions, seed=args.seed)
+    if bundle.hash_columns:
+        options.hash_columns = bundle.hash_columns
+    run = Pipeline(options).run(bundle.database, train, test)
+    plan = run.plan(created_by="repro-cli", workload=bundle.name)
+    print()
+    print(plan.describe())
+    if args.out:
+        path = plan.save(args.out)
+        print(f"\nwrote {path} ({len(plan)} placements, "
+              f"fingerprint {plan.content_fingerprint()[:12]})")
+    return 0
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    plan = PartitionPlan.load(args.plan)
+    print(f"loaded {args.plan}:")
+    print(plan.describe())
+    bundle = _build_bundle(args.workload, args.scale, args.seed)
+    controller = start_online(plan, bundle.database)
+    cluster = controller.cluster
+    print(
+        f"\nmaterialised {cluster.num_partitions} partitions: "
+        f"row counts {cluster.row_counts()} (imbalance {cluster.imbalance():.2f})"
+    )
+    trace = extract_access_trace(bundle.database, bundle.workload)
+    observation = controller.observe(trace, auto_adapt=args.adapt)
+    stats = controller.monitor.window_stats()
+    print(
+        f"streamed {observation.transactions} transactions in "
+        f"{observation.batches} batches: {stats.distributed_fraction:.1%} distributed, "
+        f"load skew {stats.load_skew:.2f}"
+    )
+    drifted = sum(1 for report in observation.drift_reports if report.drifted)
+    print(
+        f"drift reports: {len(observation.drift_reports)} ({drifted} drifted), "
+        f"adaptations: {len(observation.adaptations)}"
+    )
+    for record in observation.adaptations:
+        print(f"  {record.describe()}")
+    if args.export:
+        exported = controller.export_plan(created_by="repro-cli deploy")
+        exported.save(args.export)
+        delta = plan.diff(exported)
+        print(f"exported live placement to {args.export}")
+        if delta.identical:
+            print("live placement matches the deployed plan")
+        else:
+            print("live placement differs from the deployed plan:")
+            for line in delta.describe().splitlines():
+                print(f"  {line}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    old = PartitionPlan.load(args.old)
+    new = PartitionPlan.load(args.new)
+    diff = old.diff(new)
+    print(diff.describe())
+    if args.fail_on_change and not diff.identical:
+        return 1
+    return 0
+
+
+def _bench_figure1(args: argparse.Namespace) -> str:
+    from repro.experiments import format_figure1, run_figure1
+
+    return format_figure1(run_figure1())
+
+
+def _bench_figure4(args: argparse.Namespace) -> str:
+    from repro.experiments import format_figure4, run_figure4
+
+    return format_figure4(run_figure4(scale=args.scale, seed=args.seed))
+
+
+def _bench_figure5(args: argparse.Namespace) -> str:
+    from repro.experiments import format_figure5, run_figure5
+
+    return format_figure5(run_figure5(seed=args.seed))
+
+
+def _bench_figure6(args: argparse.Namespace) -> str:
+    from repro.experiments import format_figure6, run_figure6
+
+    fixed = run_figure6(seed=args.seed)
+    per_machine = run_figure6(warehouses_per_machine=16, seed=args.seed)
+    return format_figure6(fixed, per_machine)
+
+
+def _bench_table1(args: argparse.Namespace) -> str:
+    from repro.experiments import format_table1, run_table1
+
+    return format_table1(run_table1(scale=args.scale, seed=args.seed))
+
+
+def _bench_online_drift(args: argparse.Namespace) -> str:
+    from repro.experiments import format_online_drift, run_online_drift
+
+    return format_online_drift(run_online_drift(seed=args.seed))
+
+
+def _bench_read_hot(args: argparse.Namespace) -> str:
+    from repro.experiments.online_drift import format_read_hot_drift, run_read_hot_drift
+
+    return format_read_hot_drift(run_read_hot_drift(seed=args.seed))
+
+
+def _bench_elastic(args: argparse.Namespace) -> str:
+    from repro.experiments.online_drift import format_elastic_scaling, run_elastic_scaling
+
+    return format_elastic_scaling(run_elastic_scaling(seed=args.seed))
+
+
+BENCH_EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
+    "figure1": _bench_figure1,
+    "figure4": _bench_figure4,
+    "figure5": _bench_figure5,
+    "figure6": _bench_figure6,
+    "table1": _bench_table1,
+    "online-drift": _bench_online_drift,
+    "read-hot-drift": _bench_read_hot,
+    "elastic": _bench_elastic,
+}
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    print(BENCH_EXPERIMENTS[args.experiment](args))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Schism partitioning pipeline: run, deploy, diff, bench.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run the pipeline on a named workload and write a plan file"
+    )
+    run_parser.add_argument(
+        "--workload", required=True, choices=sorted(WORKLOADS), help="workload name"
+    )
+    run_parser.add_argument("--partitions", type=int, required=True)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--scale", type=float, default=1.0, help="workload size multiplier"
+    )
+    run_parser.add_argument("--train-fraction", type=float, default=0.7)
+    run_parser.add_argument("--out", default=None, help="where to write the plan JSON")
+    run_parser.set_defaults(handler=cmd_run)
+
+    deploy_parser = subparsers.add_parser(
+        "deploy", help="deploy a plan file and stream a workload through it"
+    )
+    deploy_parser.add_argument("plan", help="plan JSON written by `repro run`")
+    deploy_parser.add_argument(
+        "--workload", required=True, choices=sorted(WORKLOADS), help="workload name"
+    )
+    deploy_parser.add_argument("--seed", type=int, default=0)
+    deploy_parser.add_argument("--scale", type=float, default=1.0)
+    deploy_parser.add_argument(
+        "--adapt", action="store_true", help="let the controller adapt on drift"
+    )
+    deploy_parser.add_argument(
+        "--export", default=None, help="re-export the live placement as a plan file"
+    )
+    deploy_parser.set_defaults(handler=cmd_deploy)
+
+    diff_parser = subparsers.add_parser("diff", help="compare two plan files")
+    diff_parser.add_argument("old")
+    diff_parser.add_argument("new")
+    diff_parser.add_argument(
+        "--fail-on-change",
+        action="store_true",
+        help="exit 1 when the plans differ (for CI gates)",
+    )
+    diff_parser.set_defaults(handler=cmd_diff)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run one of the paper's experiments and print its table"
+    )
+    bench_parser.add_argument(
+        "--experiment", required=True, choices=sorted(BENCH_EXPERIMENTS)
+    )
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument("--scale", type=float, default=1.0)
+    bench_parser.set_defaults(handler=cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

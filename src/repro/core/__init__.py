@@ -15,7 +15,7 @@ from repro.core.strategies import (
 )
 from repro.core.cost import CostReport, evaluate_strategy
 from repro.core.validation import ValidationResult, validate_strategies
-from repro.core.schism import Schism, SchismOptions, SchismResult
+from repro.core.schism import Schism, SchismOptions, SchismResult, run_schism, start_online
 
 __all__ = [
     "CompositePartitioning",
@@ -35,5 +35,7 @@ __all__ = [
     "hash_on",
     "range_on",
     "replicate",
+    "run_schism",
+    "start_online",
     "validate_strategies",
 ]

@@ -1,95 +1,58 @@
-"""The Schism pipeline (Section 2's five steps).
+"""Legacy one-call facade over the staged pipeline (Section 2's five steps).
 
-1. **Data pre-processing** — execute the training workload against the loaded
-   database and record per-statement read/write sets.
-2. **Creating the graph** — build the tuple-access graph, with the sampling /
-   filtering / coalescing heuristics and optional replication stars.
-3. **Partitioning the graph** — run the multilevel balanced min-cut
-   partitioner and map node labels back to per-tuple replica sets.
-4. **Explaining the partition** — train the decision-tree classifier over the
-   frequently-used WHERE attributes and extract range-predicate rule sets.
-5. **Final validation** — compare lookup-table, range-predicate, hash, and
-   full-replication strategies on a held-out test trace and pick the winner
-   (simplest on a tie).
+The pipeline itself lives in :mod:`repro.pipeline`: five named stages
+(``extract -> build_graph -> partition -> explain -> validate``) producing a
+serializable :class:`~repro.pipeline.plan.PartitionPlan`.  This module keeps
+the original entry points working:
+
+* :class:`Schism` / :func:`run_schism` — deprecated shims that run the full
+  pipeline and repackage the artifacts as a :class:`SchismResult`;
+* :class:`SchismResult` — the in-memory result blob of the old API, now
+  with :meth:`SchismResult.to_plan` as the bridge to the plan artifact;
+* :func:`start_online` — deploys a :class:`PartitionPlan` (preferred) or a
+  :class:`SchismResult` (deprecated) as a live, self-adapting system.
+
+``SchismOptions`` and ``PhaseTimings`` moved to :mod:`repro.pipeline.config`
+and are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 
-from repro.core.cost import CostReport, evaluate_strategy
-from repro.core.strategies import (
-    FullReplication,
-    HashPartitioning,
-    LookupTablePartitioning,
-    PartitioningStrategy,
-    RangePredicatePartitioning,
-)
-from repro.core.validation import ValidationResult, validate_strategies
+from repro.core.cost import CostReport
+from repro.core.strategies import PartitioningStrategy
+from repro.core.validation import ValidationResult
 from repro.engine.database import Database
-from repro.explain.explainer import Explainer, ExplainerOptions, Explanation
+from repro.explain.explainer import Explanation
 from repro.graph.assignment import PartitionAssignment
-from repro.graph.builder import GraphBuildOptions, TupleGraph, build_tuple_graph
-from repro.graph.partitioner import GraphPartitioner, PartitionerOptions, cut_weight
-from repro.utils.timer import Timer
-from repro.workload.rwsets import AccessTrace, extract_access_trace
+from repro.graph.builder import TupleGraph
+from repro.pipeline.config import PhaseTimings, SchismOptions
+from repro.pipeline.plan import PartitionPlan, build_plan
+from repro.pipeline.runner import Pipeline, PipelineRun
+from repro.pipeline.stages import PipelineState
+from repro.workload.rwsets import AccessTrace
 from repro.workload.trace import Workload
 
-
-@dataclass
-class SchismOptions:
-    """Configuration of a Schism run."""
-
-    num_partitions: int
-    graph: GraphBuildOptions = field(default_factory=GraphBuildOptions)
-    partitioner: PartitionerOptions = field(default_factory=PartitionerOptions)
-    explainer: ExplainerOptions = field(default_factory=ExplainerOptions)
-    #: policy for tuples missing from the lookup table: "hash", "replicate",
-    #: or "auto" (replicate when the workload is read-mostly, hash otherwise).
-    lookup_default_policy: str = "auto"
-    #: fallback for tables without range rules: "replicate" or "hash".
-    range_fallback: str = "replicate"
-    #: absolute tolerance on the distributed fraction for the simplicity tie-break.
-    tie_tolerance: float = 0.01
-    #: relative tolerance serving the same purpose (see validate_strategies).
-    relative_tie_tolerance: float = 0.10
-    #: reject candidates whose per-partition load imbalance (max/mean) exceeds this.
-    max_load_imbalance: float = 1.6
-    #: also evaluate a hash strategy on the given columns per table (optional).
-    hash_columns: dict[str, tuple[str, ...]] | None = None
-
-    def __post_init__(self) -> None:
-        if self.num_partitions <= 0:
-            raise ValueError("num_partitions must be positive")
-        if self.lookup_default_policy not in ("hash", "replicate", "auto"):
-            raise ValueError("lookup_default_policy must be 'hash', 'replicate' or 'auto'")
-
-
-@dataclass
-class PhaseTimings:
-    """Wall-clock seconds spent in each pipeline phase."""
-
-    extraction: float = 0.0
-    graph_build: float = 0.0
-    partitioning: float = 0.0
-    explanation: float = 0.0
-    validation: float = 0.0
-
-    @property
-    def total(self) -> float:
-        """Total pipeline time."""
-        return (
-            self.extraction
-            + self.graph_build
-            + self.partitioning
-            + self.explanation
-            + self.validation
-        )
+__all__ = [
+    "PhaseTimings",
+    "Schism",
+    "SchismOptions",
+    "SchismResult",
+    "run_schism",
+    "start_online",
+]
 
 
 @dataclass
 class SchismResult:
-    """Everything produced by one Schism run."""
+    """Everything produced by one Schism run (legacy in-memory form).
+
+    New code should prefer the pipeline's :class:`PartitionPlan` — it is the
+    serializable subset of this object plus provenance — and reach the rest
+    through :class:`~repro.pipeline.runner.PipelineRun`.
+    """
 
     options: SchismOptions
     tuple_graph: TupleGraph
@@ -122,15 +85,31 @@ class SchismResult:
             return self.validation.winner_report.distributed_fraction
         return self.validation.reports[strategy_name].distributed_fraction
 
+    def to_plan(self, created_by: str = "repro.core.schism") -> PartitionPlan:
+        """The run repackaged as the durable :class:`PartitionPlan` artifact."""
+        state = PipelineState(
+            database=None,  # type: ignore[arg-type] - not needed to build a plan
+            training_trace=self.training_trace,
+            test_trace=self.test_trace,
+            tuple_graph=self.tuple_graph,
+            assignment=self.assignment,
+            graph_cut=self.graph_cut,
+            explanation=self.explanation,
+            validation=self.validation,
+            timings=self.timings,
+        )
+        return build_plan(self.options, state, created_by=created_by)
+
     def describe(self) -> str:
-        """Multi-line report of the run."""
+        """Multi-line report of the run (all five phase timings included)."""
         lines = [
             f"Schism run: {self.options.num_partitions} partitions",
             f"graph: {self.tuple_graph.num_nodes} nodes, {self.tuple_graph.num_edges} edges, "
             f"{self.tuple_graph.num_tuples} tuples, {self.tuple_graph.num_transactions} transactions",
             f"cut weight: {self.graph_cut:.1f}; replicated tuples: {self.assignment.replicated_count}",
             f"timings: {self.timings.total:.2f}s "
-            f"(graph {self.timings.graph_build:.2f}s, partition {self.timings.partitioning:.2f}s, "
+            f"(extract {self.timings.extraction:.2f}s, graph {self.timings.graph_build:.2f}s, "
+            f"partition {self.timings.partitioning:.2f}s, "
             f"explain {self.timings.explanation:.2f}s, validate {self.timings.validation:.2f}s)",
             "candidates:",
             self.validation.describe(),
@@ -138,8 +117,33 @@ class SchismResult:
         return "\n".join(lines)
 
 
+def result_from_run(run: PipelineRun) -> SchismResult:
+    """Package a completed pipeline run as the legacy result object."""
+    state = run.state
+    assert (
+        state.tuple_graph is not None
+        and state.assignment is not None
+        and state.explanation is not None
+        and state.validation is not None
+        and state.graph_cut is not None
+        and state.training_trace is not None
+        and state.test_trace is not None
+    ), "pipeline run is incomplete"
+    return SchismResult(
+        options=run.options,
+        tuple_graph=state.tuple_graph,
+        assignment=state.assignment,
+        explanation=state.explanation,
+        validation=state.validation,
+        graph_cut=state.graph_cut,
+        timings=state.timings,
+        training_trace=state.training_trace,
+        test_trace=state.test_trace,
+    )
+
+
 class Schism:
-    """The end-to-end workload-driven partitioner."""
+    """Deprecated one-call facade; use :class:`repro.pipeline.Pipeline`."""
 
     def __init__(self, options: SchismOptions) -> None:
         self.options = options
@@ -152,123 +156,25 @@ class Schism:
         training_trace: AccessTrace | None = None,
         test_trace: AccessTrace | None = None,
     ) -> SchismResult:
-        """Run the full pipeline.
+        """Run the full pipeline (deprecated shim, behaviour unchanged).
 
-        Parameters
-        ----------
-        database:
-            The loaded database.  The workloads are executed against it to
-            extract read/write sets (write statements mutate it).
-        training_workload:
-            Workload used to build the graph and train the explanation.
-        test_workload:
-            Held-out workload for the final validation; defaults to the
-            training workload when omitted (as the paper does for the
-            smallest experiments).
-        training_trace, test_trace:
-            Pre-extracted access traces; when provided the corresponding
-            workload is not re-executed.
+        Equivalent to ``Pipeline(options).run(...)`` followed by packaging
+        the artifacts into a :class:`SchismResult`.
         """
-        options = self.options
-        timings = PhaseTimings()
-
-        with Timer() as timer:
-            if training_trace is None:
-                training_trace = extract_access_trace(database, training_workload)
-            if test_trace is None:
-                if test_workload is None:
-                    test_trace = training_trace
-                else:
-                    test_trace = extract_access_trace(database, test_workload)
-        timings.extraction = timer.elapsed
-
-        with Timer() as timer:
-            tuple_graph = build_tuple_graph(training_trace, database, options.graph)
-        timings.graph_build = timer.elapsed
-
-        with Timer() as timer:
-            partitioner = GraphPartitioner(options.partitioner)
-            # Freeze once and reuse the CSR form for both the partition and
-            # the cut computation.
-            frozen_graph = tuple_graph.graph.freeze()
-            node_assignment = partitioner.partition(frozen_graph, options.num_partitions)
-            assignment = tuple_graph.to_partition_assignment(
-                node_assignment, options.num_partitions
-            )
-            graph_cut = cut_weight(frozen_graph, node_assignment)
-        timings.partitioning = timer.elapsed
-
-        with Timer() as timer:
-            explainer = Explainer(options.explainer)
-            explanation = explainer.explain(assignment, database, training_workload)
-        timings.explanation = timer.elapsed
-
-        with Timer() as timer:
-            candidates = self._candidate_strategies(assignment, explanation, training_trace)
-            validation = validate_strategies(
-                candidates,
-                test_trace,
-                database,
-                tie_tolerance=options.tie_tolerance,
-                relative_tie_tolerance=options.relative_tie_tolerance,
-                max_load_imbalance=options.max_load_imbalance,
-            )
-        timings.validation = timer.elapsed
-
-        return SchismResult(
-            options=options,
-            tuple_graph=tuple_graph,
-            assignment=assignment,
-            explanation=explanation,
-            validation=validation,
-            graph_cut=graph_cut,
-            timings=timings,
+        warnings.warn(
+            "Schism.run is deprecated; use repro.pipeline.Pipeline.run and "
+            "consume the PartitionPlan it produces",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        run = Pipeline(self.options).run(
+            database,
+            training_workload,
+            test_workload,
             training_trace=training_trace,
             test_trace=test_trace,
         )
-
-    # -- candidates ----------------------------------------------------------------------
-    def _candidate_strategies(
-        self,
-        assignment: PartitionAssignment,
-        explanation: Explanation,
-        training_trace: AccessTrace,
-    ) -> list[PartitioningStrategy]:
-        options = self.options
-        lookup_policy = options.lookup_default_policy
-        if lookup_policy == "auto":
-            lookup_policy = "replicate" if self._is_read_mostly(training_trace) else "hash"
-        candidates: list[PartitioningStrategy] = [
-            LookupTablePartitioning(options.num_partitions, assignment, lookup_policy),
-            HashPartitioning(options.num_partitions),
-            FullReplication(options.num_partitions),
-        ]
-        rule_sets = explanation.rule_sets()
-        if rule_sets:
-            candidates.insert(
-                1,
-                RangePredicatePartitioning(
-                    options.num_partitions, rule_sets, fallback=options.range_fallback
-                ),
-            )
-        if options.hash_columns:
-            candidates.append(
-                HashPartitioning(options.num_partitions, options.hash_columns)
-            )
-        return candidates
-
-    @staticmethod
-    def _is_read_mostly(trace: AccessTrace, threshold: float = 0.1) -> bool:
-        """True when fewer than ``threshold`` of tuple accesses are writes."""
-        reads = 0
-        writes = 0
-        for access in trace:
-            reads += len(access.read_set)
-            writes += len(access.write_set)
-        total = reads + writes
-        if total == 0:
-            return False
-        return writes / total < threshold
+        return result_from_run(run)
 
 
 def run_schism(
@@ -278,39 +184,51 @@ def run_schism(
     test_workload: Workload | None = None,
     options: SchismOptions | None = None,
 ) -> SchismResult:
-    """Convenience one-call entry point used by the examples and experiments."""
+    """Deprecated convenience one-call entry point (see :class:`Schism`)."""
     if options is None:
         options = SchismOptions(num_partitions=num_partitions)
     elif options.num_partitions != num_partitions:
         raise ValueError("num_partitions argument and options.num_partitions disagree")
-    return Schism(options).run(database, training_workload, test_workload)
+    warnings.warn(
+        "run_schism is deprecated; use repro.pipeline.Pipeline",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Run the pipeline directly (not via the Schism shim) so this emits
+    # exactly one deprecation warning without filtering anything else out.
+    run = Pipeline(options).run(database, training_workload, test_workload)
+    return result_from_run(run)
 
 
 def start_online(
-    result: SchismResult,
+    plan: "PartitionPlan | SchismResult",
     database: Database,
     online_options: "OnlineOptions | None" = None,
     lookup_default_policy: str = "hash",
+    warm_up_trace: AccessTrace | None = None,
 ):
-    """Deploy a finished offline run as a live, self-adapting system.
+    """Deploy a partitioning decision as a live, self-adapting system.
 
     Materialises the cluster from ``database`` under the fine-grained
-    lookup-table placement of ``result``, builds the router, and returns an
-    :class:`~repro.online.controller.OnlineSchism` controller already warmed
-    up on the training trace (so its maintained graph and drift baseline
-    start from what the offline pipeline learned).
-
-    The controller then closes the loop on live traffic (``observe`` /
+    lookup-table placement of ``plan``, builds the router, and returns an
+    :class:`~repro.online.controller.OnlineSchism` controller.  The
+    controller closes the loop on live traffic (``observe`` /
     ``observe_batches``): it detects drift, re-partitions under a migration
     budget — widening read-hot tuples into **replica sets** when their
     decayed read/write ratio clears the ``OnlineOptions.replication_*``
     thresholds — and, when ``OnlineOptions.elastic`` is enabled, grows or
-    shrinks ``num_partitions`` to follow the offered load.
+    shrinks ``num_partitions`` to follow the offered load.  Its live
+    placement can be exported back as a plan at any time
+    (:meth:`~repro.online.controller.OnlineSchism.export_plan`), closing
+    the offline -> online -> artifact loop.
 
     Parameters
     ----------
-    result:
-        The finished :class:`SchismResult` whose placement to deploy.
+    plan:
+        The :class:`PartitionPlan` to deploy — fresh from a pipeline run or
+        loaded from disk.  Passing a legacy :class:`SchismResult` still
+        works (deprecated): it is converted via :meth:`SchismResult.to_plan`
+        and its training trace is used for the warm-up.
     database:
         The loaded database the cluster is materialised from.
     online_options:
@@ -323,25 +241,44 @@ def start_online(
         to ``"auto"``; online deployments default to ``"hash"`` because
         implicit full replication would make every later write to an
         untracked tuple a cluster-wide transaction.
+    warm_up_trace:
+        Optional trace to seed the monitor/maintainer with (the offline
+        training trace, typically).  Without it the controller starts from
+        an empty drift baseline — the common case for a plan loaded from a
+        file, which deliberately does not embed the trace.
 
     The lookup strategy is always used for the online deployment — live
     migration updates per-tuple placements, which only the lookup table can
     express — regardless of which candidate won the offline validation.
     """
     # Imported here so the offline pipeline stays importable on its own.
-    from repro.core.strategies import LookupTablePartitioning
     from repro.distributed.cluster import Cluster
     from repro.online.controller import OnlineOptions, OnlineSchism
     from repro.routing.lookup import build_lookup_table
     from repro.routing.router import Router
 
+    if isinstance(plan, SchismResult):
+        warnings.warn(
+            "passing a SchismResult to start_online is deprecated; pass "
+            "result.to_plan() (and, if desired, warm_up_trace=result.training_trace)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if warm_up_trace is None:
+            warm_up_trace = plan.training_trace
+        plan = plan.to_plan()
+
     online_options = online_options or OnlineOptions()
-    strategy = LookupTablePartitioning(
-        result.options.num_partitions, result.assignment, lookup_default_policy
-    )
+    strategy = plan.deployment_strategy(lookup_default_policy)
     cluster = Cluster.from_database(database, strategy)
-    lookup_table = build_lookup_table(result.assignment, backend=online_options.lookup_backend)
+    lookup_table = build_lookup_table(
+        strategy.assignment, backend=online_options.lookup_backend
+    )
     router = Router(strategy, database.schema, lookup_table)
     controller = OnlineSchism(cluster, router, online_options)
-    controller.warm_up(result.training_trace)
+    controller.source_plan = plan
+    if warm_up_trace is not None:
+        controller.warm_up(warm_up_trace)
+    else:
+        controller.monitor.set_baseline()
     return controller

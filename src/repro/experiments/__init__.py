@@ -17,31 +17,43 @@ from repro.experiments.figure4 import (
 from repro.experiments.figure5 import Figure5Row, format_figure5, run_figure5
 from repro.experiments.figure6 import Figure6Row, format_figure6, run_figure6
 from repro.experiments.online_drift import (
+    ElasticScalingReport,
     OnlineDriftReport,
+    ReadHotDriftReport,
+    format_elastic_scaling,
     format_online_drift,
+    format_read_hot_drift,
+    run_elastic_scaling,
     run_online_drift,
+    run_read_hot_drift,
 )
 from repro.experiments.table1 import Table1Row, format_table1, run_table1
 
 __all__ = [
     "FIGURE4_EXPERIMENTS",
+    "ElasticScalingReport",
     "Figure1Row",
     "Figure4Row",
     "Figure5Row",
     "Figure6Row",
     "OnlineDriftReport",
+    "ReadHotDriftReport",
     "Table1Row",
+    "format_elastic_scaling",
     "format_figure1",
     "format_figure4",
     "format_figure5",
     "format_figure6",
     "format_online_drift",
+    "format_read_hot_drift",
     "format_table1",
+    "run_elastic_scaling",
     "run_figure1",
     "run_figure4",
     "run_figure4_experiment",
     "run_figure5",
     "run_figure6",
     "run_online_drift",
+    "run_read_hot_drift",
     "run_table1",
 ]

@@ -21,11 +21,10 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.cost import evaluate_strategy
-from repro.core.schism import Schism, SchismOptions, SchismResult
-from repro.core.strategies import FullReplication, HashPartitioning
 from repro.explain.explainer import ExplainerOptions
 from repro.graph.builder import GraphBuildOptions
 from repro.graph.partitioner import PartitionerOptions
+from repro.pipeline import PartitionPlan, Pipeline, SchismOptions
 from repro.utils.rng import SeededRng
 from repro.workload.splitter import split_workload
 from repro.workloads import (
@@ -255,51 +254,41 @@ def run_figure4_experiment(
     scale: float = 1.0,
     seed: int = 0,
     train_fraction: float = 0.7,
-) -> tuple[Figure4Row, SchismResult]:
-    """Run one Figure 4 experiment and return its row plus the full result."""
+) -> tuple[Figure4Row, PartitionPlan]:
+    """Run one Figure 4 experiment; returns its row plus the plan artifact.
+
+    Every per-candidate number in the row is read from the plan's
+    provenance metrics — the artifact carries the whole comparison, so a
+    saved plan file reproduces the figure row without re-running anything.
+    """
     bundle = experiment.bundle_factory(scale, seed)
     options_factory = experiment.options_factory or _default_options
     options = options_factory(experiment.partitions, seed)
     if bundle.hash_columns and options.hash_columns is None:
         options.hash_columns = bundle.hash_columns
     train, test = split_workload(bundle.workload, train_fraction, rng=SeededRng(seed))
-    result = Schism(options).run(bundle.database, train, test)
-    reports = result.reports
+    run = Pipeline(options).run(bundle.database, train, test)
+    plan = run.plan(created_by="experiments.figure4", workload=bundle.name)
+    fractions: dict[str, float] = plan.provenance.metrics["candidate_fractions"]
     manual_fraction: float | None = None
     manual_strategy = bundle.manual_strategy(experiment.partitions)
     if manual_strategy is not None:
         manual_fraction = evaluate_strategy(
-            manual_strategy, result.test_trace, bundle.database
+            manual_strategy, run.state.test_trace, bundle.database
         ).distributed_fraction
-    replication_fraction = reports.get(
-        "replication",
-        evaluate_strategy(
-            FullReplication(experiment.partitions), result.test_trace, bundle.database
-        ),
-    ).distributed_fraction
-    hashing_fraction = reports.get(
-        "hashing",
-        evaluate_strategy(
-            HashPartitioning(experiment.partitions), result.test_trace, bundle.database
-        ),
-    ).distributed_fraction
     row = Figure4Row(
         key=experiment.key,
         partitions=experiment.partitions,
-        recommendation=result.recommendation,
-        schism_lookup=reports["lookup-table"].distributed_fraction,
-        schism_range=(
-            reports["range-predicates"].distributed_fraction
-            if "range-predicates" in reports
-            else None
-        ),
-        schism_selected=result.distributed_fraction(),
+        recommendation=plan.recommendation,
+        schism_lookup=fractions["lookup-table"],
+        schism_range=fractions.get("range-predicates"),
+        schism_selected=plan.provenance.metrics["distributed_fraction"],
         manual=manual_fraction,
-        replication=replication_fraction,
-        hashing=hashing_fraction,
+        replication=fractions["replication"],
+        hashing=fractions["hashing"],
         metadata=dict(bundle.metadata),
     )
-    return row, result
+    return row, plan
 
 
 def run_figure4(

@@ -25,14 +25,35 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.cost import evaluate_strategy
-from repro.core.schism import Schism, SchismOptions, start_online
+from repro.core.schism import start_online
 from repro.core.strategies import LookupTablePartitioning
-from repro.online.controller import ElasticOptions, OnlineOptions
+from repro.online.controller import ElasticOptions, OnlineOptions, OnlineSchism
 from repro.online.monitor import MonitorOptions
 from repro.online.repartitioner import RepartitionOptions
+from repro.pipeline import Pipeline, SchismOptions
 from repro.workload.rwsets import extract_access_trace
 from repro.workload.trace import iter_chunks
 from repro.workloads.drifting import generate_read_hot_skew, generate_rotating_hotspot
+
+
+def _deploy_offline(
+    database, training_workload, num_partitions: int, options: OnlineOptions,
+    workload_name: str | None = None,
+) -> OnlineSchism:
+    """Run the offline pipeline and deploy its plan as a live controller.
+
+    The offline->online handoff every experiment here shares: the pipeline
+    produces a :class:`~repro.pipeline.plan.PartitionPlan`, ``start_online``
+    consumes it, and the training trace warms the monitor/maintainer so the
+    loop starts from what the offline phase learned.
+    """
+    run = Pipeline(SchismOptions(num_partitions=num_partitions)).run(
+        database, training_workload
+    )
+    plan = run.plan(created_by="experiments.online_drift", workload=workload_name)
+    return start_online(
+        plan, database, options, warm_up_trace=run.state.training_trace
+    )
 
 
 @dataclass
@@ -77,9 +98,6 @@ def run_online_drift(
         seed=seed,
     )
     database = bundle.database
-    offline = Schism(SchismOptions(num_partitions=num_partitions)).run(
-        database, bundle.training
-    )
     options = OnlineOptions(
         monitor=MonitorOptions(window_size=400, min_window_fill=100),
         repartition=RepartitionOptions(
@@ -87,7 +105,9 @@ def run_online_drift(
         ),
         batch_size=100,
     )
-    controller = start_online(offline, database, options)
+    controller = _deploy_offline(
+        database, bundle.training, num_partitions, options, bundle.name
+    )
     drifted_trace = extract_access_trace(database, bundle.phases[1])
     observation = controller.observe(drifted_trace, auto_adapt=False)
     distributed_before = evaluate_strategy(
@@ -174,9 +194,6 @@ def run_read_hot_drift(
         seed=seed,
     )
     database = bundle.database
-    offline = Schism(SchismOptions(num_partitions=num_partitions)).run(
-        database, bundle.training
-    )
     options = OnlineOptions(
         monitor=MonitorOptions(window_size=400, min_window_fill=100),
         repartition=RepartitionOptions(
@@ -191,7 +208,9 @@ def run_read_hot_drift(
         # the 0.9 default, so give the candidate filter a little slack.
         replication_min_read_fraction=0.85,
     )
-    controller = start_online(offline, database, options)
+    controller = _deploy_offline(
+        database, bundle.training, num_partitions, options, bundle.name
+    )
     drifted = extract_access_trace(database, bundle.phases[1])
     observation = controller.observe(drifted, auto_adapt=False)
     distributed_before = evaluate_strategy(
@@ -295,9 +314,6 @@ def run_elastic_scaling(
         seed=seed,
     )
     database = bundle.database
-    offline = Schism(SchismOptions(num_partitions=num_partitions)).run(
-        database, bundle.training
-    )
     options = OnlineOptions(
         monitor=MonitorOptions(window_size=400, min_window_fill=100),
         repartition=RepartitionOptions(migration_cost_weight=0.25, imbalance=0.10),
@@ -310,7 +326,9 @@ def run_elastic_scaling(
         ),
         batch_size=100,
     )
-    controller = start_online(offline, database, options)
+    controller = _deploy_offline(
+        database, bundle.training, num_partitions, options, bundle.name
+    )
     drifted = extract_access_trace(database, bundle.phases[1])
     report = ElasticScalingReport(initial_partitions=controller.num_partitions)
 

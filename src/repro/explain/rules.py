@@ -131,6 +131,54 @@ class RuleSet:
         return "\n".join(lines)
 
 
+def rule_set_to_payload(rule_set: RuleSet) -> dict:
+    """JSON-serialisable form of a rule set (used by ``PartitionPlan.save``).
+
+    Rule order is preserved — rules are exclusive decision-tree paths, but
+    :meth:`RuleSet.classify` returns the *first* match, so order is part of
+    the semantics.
+    """
+    return {
+        "table": rule_set.table,
+        "default_label": rule_set.default_label,
+        "attributes": list(rule_set.attributes),
+        "rules": [
+            {
+                "label": rule.label,
+                "support": rule.support,
+                "error_rate": rule.error_rate,
+                "conditions": [
+                    [condition.attribute, condition.operator, condition.value]
+                    for condition in rule.conditions
+                ],
+            }
+            for rule in rule_set.rules
+        ],
+    }
+
+
+def rule_set_from_payload(payload: dict) -> RuleSet:
+    """Inverse of :func:`rule_set_to_payload`."""
+    rules = tuple(
+        PredicateRule(
+            conditions=tuple(
+                RuleCondition(attribute, operator, value)
+                for attribute, operator, value in rule["conditions"]
+            ),
+            label=rule["label"],
+            support=int(rule.get("support", 0)),
+            error_rate=float(rule.get("error_rate", 0.0)),
+        )
+        for rule in payload["rules"]
+    )
+    return RuleSet(
+        table=payload["table"],
+        rules=rules,
+        default_label=payload["default_label"],
+        attributes=tuple(payload.get("attributes", ())),
+    )
+
+
 def simplify_rules(rules: Sequence[PredicateRule]) -> list[PredicateRule]:
     """Merge redundant conditions within each rule.
 

@@ -104,9 +104,21 @@ class TupleGraph:
         self.groups = groups
         self.trace = trace
         self._group_of_tuple: dict[TupleId, _TupleGroup] = {}
+        self._frozen = None
         for group in groups:
             for member in group.members:
                 self._group_of_tuple[member] = group
+
+    def frozen(self):
+        """The CSR form of the graph, memoised.
+
+        The partition stage (and any k sweep over the same graph) freezes
+        once; the coarsening hierarchy is itself memoised on the frozen
+        graph, so repeated partition calls share all the expensive setup.
+        """
+        if self._frozen is None:
+            self._frozen = self.graph.freeze()
+        return self._frozen
 
     # -- statistics -----------------------------------------------------------------
     @property

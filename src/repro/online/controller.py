@@ -277,6 +277,11 @@ class OnlineSchism:
             raise ValueError("cluster and router disagree on the number of partitions")
         self.cluster = cluster
         self.router = router
+        #: the PartitionPlan this deployment came from (set by
+        #: ``start_online``); :meth:`export_plan` carries its routing
+        #: config forward so a deploy/export cycle with no adaptations
+        #: round-trips the artifact.
+        self.source_plan: "PartitionPlan | None" = None
         self.options = options or OnlineOptions()
         self.monitor = WorkloadMonitor(self.options.monitor, router.strategy)
         self.maintainer = IncrementalGraphMaintainer(self.options.maintainer)
@@ -612,6 +617,64 @@ class OnlineSchism:
         self._elastic_cooldown = self.options.elastic.cooldown_batches
         self._cooldown = max(self._cooldown, self.options.cooldown_batches)
         return record
+
+    def export_plan(self, created_by: str = "online-export") -> "PartitionPlan":
+        """The current live placement as a serializable :class:`PartitionPlan`.
+
+        Closes the loop between offline and online: a deployment that has
+        adapted (migrations, replica sets, resizes) can persist its state as
+        the same artifact the offline pipeline produces — diffable against
+        the originally deployed plan, re-deployable via ``start_online``.
+
+        When the controller was deployed from a plan (``start_online`` sets
+        :attr:`source_plan`) and **nothing has changed the placement** (no
+        adaptations, no resizes), the plan's routing config — strategy
+        name, default policies, hash columns, rule sets — is carried
+        forward, so a deploy/export cycle round-trips the artifact
+        identically.  Once the loop has adapted, the export instead
+        describes the live deployment truthfully: a ``lookup-table`` plan
+        with the router's actual default policy, because the offline rule
+        sets no longer describe the adapted placements and rebuilding the
+        offline winner from them would discard every migrated tuple.
+        """
+        from repro.pipeline.plan import PartitionPlan, PlanProvenance
+
+        assignment = self.strategy.assignment
+        stats = self.monitor.window_stats()
+        provenance = PlanProvenance(
+            created_by=created_by,
+            metrics={
+                "distributed_fraction": stats.distributed_fraction,
+                "window_transactions": stats.transactions,
+                "adaptations": len(self.adaptations),
+                "resizes": len(self.resizes),
+                "replicated_count": assignment.replicated_count,
+            },
+        )
+        template = self.source_plan
+        if (
+            template is not None
+            and template.num_partitions == self.num_partitions
+            and not self.adaptations
+            and not self.resizes
+        ):
+            return PartitionPlan(
+                num_partitions=self.num_partitions,
+                placements=dict(assignment.placements),
+                strategy=template.strategy,
+                lookup_default_policy=template.lookup_default_policy,
+                range_fallback=template.range_fallback,
+                rule_sets=dict(template.rule_sets),
+                hash_columns=template.hash_columns,
+                provenance=provenance,
+            )
+        return PartitionPlan(
+            num_partitions=self.num_partitions,
+            placements=dict(assignment.placements),
+            strategy="lookup-table",
+            lookup_default_policy=self.strategy.default_policy,
+            provenance=provenance,
+        )
 
     def preview_full_repartition(self) -> RepartitionResult:
         """What a from-scratch re-partition would do right now (not applied).

@@ -64,6 +64,13 @@ class MonitorOptions:
     drift_skew_increase: float = 0.25
     #: drift when 1 - |hot_now & hot_baseline| / hot_set_size exceeds this.
     drift_churn_threshold: float = 0.60
+    #: the churn signal only counts when the hot set carries at least this
+    #: share of the total decayed access weight: on near-uniform traffic the
+    #: "hot set" is sampling noise (observed share ~6% on the simplecount
+    #: deploy) and its churn is perpetual, so without the gate steady
+    #: uniform workloads read as drifted forever; genuinely skewed streams
+    #: (rotating hotspot ~11%, read-hot ~20%) clear the bar.
+    drift_churn_min_weight_share: float = 0.10
     #: suppress drift reports until the window holds at least this many transactions.
     min_window_fill: int = 50
     #: smoothing factor of the decayed transactions-per-epoch rate estimate
@@ -159,6 +166,8 @@ class WorkloadMonitor:
         self._baseline_hot: frozenset[TupleId] = frozenset()
         self._baseline_distributed = 0.0
         self._baseline_skew = 1.0
+        #: window fill when the baseline was last snapshot (-1 = never).
+        self._baseline_window = -1
 
     # -- ingest -----------------------------------------------------------------------
     def ingest(self, access: TransactionAccess) -> None:
@@ -328,6 +337,7 @@ class WorkloadMonitor:
         window = len(self._window)
         self._baseline_distributed = self._window_distributed / window if window else 0.0
         self._baseline_skew = self.window_stats().load_skew
+        self._baseline_window = window
 
     def rebaseline(self, strategy: PartitioningStrategy) -> None:
         """Adopt a newly deployed ``strategy`` and reset the drift baseline.
@@ -357,6 +367,22 @@ class WorkloadMonitor:
         stats = self.window_stats()
         if stats.transactions < self.options.min_window_fill:
             return DriftReport(False, ["window not yet filled"], stats)
+        if self._baseline_window <= 0:
+            # The baseline was never taken from real traffic (a cold deploy
+            # with no warm-up trace snapshots an empty window): adopt the
+            # first *full* window as "normal" instead of reading steady
+            # traffic as drift against an all-zero snapshot.  Waiting for a
+            # full window (not just min_window_fill) matters because an
+            # early window over-represents the few tuples seen so far — its
+            # hot set and distributed fraction are not yet "normal".  A
+            # baseline from a small-but-real warm-up window is kept — it
+            # carries genuine signal to drift against.
+            if len(self._window) == self._window.maxlen:
+                self.set_baseline()
+                return DriftReport(
+                    False, ["baseline adopted from first full window"], stats
+                )
+            return DriftReport(False, ["baseline pending a full window"], stats)
         reasons: list[str] = []
         increase = stats.distributed_fraction - self._baseline_distributed
         if increase > self.options.drift_distributed_increase:
@@ -371,6 +397,23 @@ class WorkloadMonitor:
             reasons.append(
                 f"load skew {stats.load_skew:.2f} (baseline {self._baseline_skew:.2f})"
             )
-        if self._baseline_hot and stats.hot_churn > self.options.drift_churn_threshold:
+        if (
+            self._baseline_hot
+            and stats.hot_churn > self.options.drift_churn_threshold
+            and self.hot_weight_share() >= self.options.drift_churn_min_weight_share
+        ):
             reasons.append(f"hot-tuple churn {stats.hot_churn:.1%}")
         return DriftReport(bool(reasons), reasons, stats)
+
+    def hot_weight_share(self) -> float:
+        """Fraction of the total decayed access weight the hot set carries.
+
+        Near 1.0 for genuinely skewed traffic, ~``hot_set_size / tuples``
+        for uniform traffic (where the "hot set" is just sampling noise).
+        The stored counts share one global scale, so the ratio is exact.
+        """
+        total = sum(self._counts.values())
+        if total <= 0.0:
+            return 0.0
+        hot = sum(self._counts.get(tuple_id, 0.0) for tuple_id in self.hot_tuples())
+        return hot / total

@@ -146,6 +146,18 @@ class Router:
             participants.update(decision.partitions)
         return frozenset(participants)
 
+    def participants_for_workload(self, workload) -> list[frozenset[int]]:
+        """Participant sets of every transaction of a workload, in order.
+
+        The routing signature of a deployment: two routers that agree on
+        this list for a workload are indistinguishable to it.  Used by the
+        plan round-trip tests (save -> load -> deploy must not change a
+        single routing decision) and the CLI's ``deploy`` report.
+        """
+        return [
+            self.transaction_participants(transaction) for transaction in workload
+        ]
+
     # -- helpers ------------------------------------------------------------------------
     def _statement_conditions(self, statement: Statement) -> list[AttributeCondition]:
         if isinstance(statement, InsertStatement):

@@ -202,3 +202,47 @@ def test_skew_drift_fires_on_increase_over_baseline():
     report = monitor.check_drift()
     assert report.drifted
     assert any("load skew" in reason for reason in report.reasons)
+
+
+def test_empty_baseline_is_adopted_from_first_filled_window():
+    """A baseline snapshot of an empty window (cold deploy, no warm-up) is
+    replaced by the first filled window instead of reading steady traffic as
+    drift against zeros."""
+    strategy = _strategy(2, {0: 0, 1: 0, 2: 1})
+    monitor = WorkloadMonitor(
+        MonitorOptions(window_size=10, min_window_fill=4), strategy
+    )
+    monitor.set_baseline()  # empty window: nothing learned yet
+    for _ in range(4):
+        monitor.ingest(_access([0, 2]))  # 100% distributed
+    # Enough for a drift check, but the baseline waits for a *full* window.
+    report = monitor.check_drift()
+    assert not report.drifted
+    assert report.reasons == ["baseline pending a full window"]
+    for _ in range(6):
+        monitor.ingest(_access([0, 2]))
+    report = monitor.check_drift()
+    assert not report.drifted
+    assert report.reasons == ["baseline adopted from first full window"]
+    # The adopted baseline now carries the observed fraction: steady traffic
+    # at the same rate is not drift.
+    for _ in range(10):
+        monitor.ingest(_access([0, 2]))
+    assert not monitor.check_drift().drifted
+
+
+def test_small_real_warmup_baseline_is_kept():
+    """A baseline from a small-but-nonempty warm-up window is genuine signal:
+    the cold-deploy guard must not overwrite it, so drift against it is
+    still detected once the window fills."""
+    strategy = _strategy(2, {0: 0, 1: 0, 2: 1})
+    monitor = WorkloadMonitor(
+        MonitorOptions(window_size=10, min_window_fill=4), strategy
+    )
+    monitor.ingest(_access([0, 1]))  # local traffic only
+    monitor.set_baseline()  # 1 transaction < min_window_fill, but real
+    for _ in range(6):
+        monitor.ingest(_access([0, 2]))  # drift: all distributed
+    report = monitor.check_drift()
+    assert report.drifted
+    assert any("distributed fraction" in reason for reason in report.reasons)

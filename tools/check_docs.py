@@ -36,6 +36,7 @@ DOCTEST_MODULES = (
     "repro.graph.assignment",
     "repro.routing.lookup",
     "repro.online.controller",
+    "repro.pipeline.plan",
 )
 
 #: [text](target) — excluding images; target split from an optional title.
