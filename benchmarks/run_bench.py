@@ -22,9 +22,15 @@ compared across PRs.  Three sections:
   maintained graph, plus a replication-aware re-partition over the
   star-expanded graph (read-hot candidate selection + expansion + budgeted
   refinement) with the replica counts it produced;
-* ``plan_io`` times ``PartitionPlan`` serialisation (dumps/loads and file
-  size of the deployment artifact written by ``python -m repro run``) and
-  asserts the byte-deterministic round-trip invariant.
+* ``plan_io`` times ``PartitionPlan`` serialisation (dumps/loads/save and
+  file size of the deployment artifact written by ``python -m repro run``)
+  and asserts both byte-determinism invariants: load-then-dump round-trips
+  exactly, and the streaming ``save()`` writer emits the exact ``dumps()``
+  bytes;
+* ``resilience`` runs the crash-safe-migration chaos scenario (elastic
+  2 -> 4 resize under TPC-C load with a node crash, message faults, and two
+  coordinator kills resumed from the journal) and raises on any lost
+  update, unreachable tuple, or determinism violation.
 
 Every result row records ``peak_rss_kb`` — the process-wide peak resident
 set size observed *by the time that row finished* (Linux ``ru_maxrss``
@@ -256,6 +262,8 @@ def run_plan_io(repeats: int) -> dict:
     from repro.pipeline import PartitionPlan, Pipeline, SchismOptions
     from repro.workloads import generate_epinions, EpinionsConfig
 
+    import tempfile
+
     repeats = max(1, repeats)
     bundle = generate_epinions(
         EpinionsConfig(num_users=300, num_items=300, num_communities=10, seed=0),
@@ -267,21 +275,33 @@ def run_plan_io(repeats: int) -> dict:
     plan = pipeline_run.plan(workload=bundle.name)
     dump_seconds = float("inf")
     load_seconds = float("inf")
+    save_seconds = float("inf")
     text = plan.dumps()
-    for _ in range(repeats):
-        start = time.perf_counter()
-        text = plan.dumps()
-        dump_seconds = min(dump_seconds, time.perf_counter() - start)
-        start = time.perf_counter()
-        reloaded = PartitionPlan.loads(text)
-        load_seconds = min(load_seconds, time.perf_counter() - start)
+    with tempfile.TemporaryDirectory() as tmp:
+        target = Path(tmp) / "plan.json"
+        for _ in range(repeats):
+            start = time.perf_counter()
+            text = plan.dumps()
+            dump_seconds = min(dump_seconds, time.perf_counter() - start)
+            start = time.perf_counter()
+            reloaded = PartitionPlan.loads(text)
+            load_seconds = min(load_seconds, time.perf_counter() - start)
+            start = time.perf_counter()
+            plan.save(target)
+            save_seconds = min(save_seconds, time.perf_counter() - start)
+        saved_bytes = target.read_text(encoding="utf-8")
     if reloaded.dumps() != text:  # explicit so `python -O` still enforces it
         raise RuntimeError("plan round-trip is not byte-identical")
+    if saved_bytes != text:
+        # The streaming file writer must emit the exact dumps() bytes —
+        # plans on disk and plans over the wire fingerprint identically.
+        raise RuntimeError("streaming save() is not byte-identical to dumps()")
     section = {
         "placements": len(plan),
         "bytes": len(text.encode("utf-8")),
         "dump_seconds": round(dump_seconds, 6),
         "load_seconds": round(load_seconds, 6),
+        "save_seconds": round(save_seconds, 6),
         "placements_per_sec_dump": round(len(plan) / dump_seconds, 1),
         "placements_per_sec_load": round(len(plan) / load_seconds, 1),
         "fingerprint": plan.content_fingerprint(),
@@ -289,9 +309,49 @@ def run_plan_io(repeats: int) -> dict:
     }
     print(
         f"plan io: {section['placements']} placements, {section['bytes']} bytes, "
-        f"dump {dump_seconds * 1e3:.1f}ms, load {load_seconds * 1e3:.1f}ms"
+        f"dump {dump_seconds * 1e3:.1f}ms, load {load_seconds * 1e3:.1f}ms, "
+        f"save {save_seconds * 1e3:.1f}ms"
     )
     return section
+
+
+def run_resilience_probe(seed: int = 0) -> dict:
+    """Run the crash-safe-migration scenario and fail hard on any violation.
+
+    The chaos canary: an elastic 2 -> 4 resize under TPC-C load with a node
+    crash, message faults, and two coordinator kills (resumed from the
+    journal).  Zero lost updates / unreachable tuples and byte-determinism
+    are hard invariants — a regression here means the migration journal or
+    the dual-write window lost data, so the probe raises instead of merely
+    reporting.
+    """
+    from repro.experiments.resilience import format_resilience, run_resilience
+
+    start = time.perf_counter()
+    report = run_resilience(seed=seed)
+    seconds = time.perf_counter() - start
+    print(format_resilience(report))
+    if report.violations:
+        raise RuntimeError(
+            "resilience violations: " + "; ".join(report.violations)
+        )
+    return {
+        "seed": report.seed,
+        "seconds": round(seconds, 3),
+        "transactions_committed": report.transactions_committed,
+        "transactions_aborted": report.transactions_aborted,
+        "coordinator_deaths": report.coordinator_deaths,
+        "resumes": report.resumes,
+        "journal_records": report.journal_records,
+        "migration_copies": report.migration_copies,
+        "migration_drops": report.migration_drops,
+        "pacer_pauses": report.pacer_pauses,
+        "pacer_throttles": report.pacer_throttles,
+        "lost_updates": report.lost_updates,
+        "unreachable_tuples": report.unreachable_tuples,
+        "fingerprint": report.fingerprint,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
 
 
 def run(repeats: int, smoke: bool = False) -> dict:
@@ -370,6 +430,7 @@ def run(repeats: int, smoke: bool = False) -> dict:
     report["single_call"] = single_call
     report["online_adaptation"] = run_online_adaptation(repeats)
     report["plan_io"] = run_plan_io(repeats)
+    report["resilience"] = run_resilience_probe()
     report["peak_rss_kb"] = _peak_rss_kb()
     return report
 

@@ -204,6 +204,18 @@ def _bench_elastic(args: argparse.Namespace) -> str:
     return format_elastic_scaling(run_elastic_scaling(seed=args.seed))
 
 
+def _bench_resilience(args: argparse.Namespace) -> str:
+    from repro.experiments.resilience import format_resilience, run_resilience
+
+    report = run_resilience(seed=args.seed)
+    text = format_resilience(report)
+    if report.violations:
+        # Chaos smoke is a hard gate: any lost update, unreachable tuple, or
+        # unresumed crash fails the invocation, not just the printout.
+        raise SystemExit(text)
+    return text
+
+
 BENCH_EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
     "figure1": _bench_figure1,
     "figure4": _bench_figure4,
@@ -213,6 +225,7 @@ BENCH_EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
     "online-drift": _bench_online_drift,
     "read-hot-drift": _bench_read_hot,
     "elastic": _bench_elastic,
+    "resilience": _bench_resilience,
 }
 
 

@@ -27,6 +27,11 @@ from repro.experiments.online_drift import (
     run_online_drift,
     run_read_hot_drift,
 )
+from repro.experiments.resilience import (
+    ResilienceReport,
+    format_resilience,
+    run_resilience,
+)
 from repro.experiments.table1 import Table1Row, format_table1, run_table1
 
 __all__ = [
@@ -38,6 +43,7 @@ __all__ = [
     "Figure6Row",
     "OnlineDriftReport",
     "ReadHotDriftReport",
+    "ResilienceReport",
     "Table1Row",
     "format_elastic_scaling",
     "format_figure1",
@@ -46,6 +52,7 @@ __all__ = [
     "format_figure6",
     "format_online_drift",
     "format_read_hot_drift",
+    "format_resilience",
     "format_table1",
     "run_elastic_scaling",
     "run_figure1",
@@ -55,5 +62,6 @@ __all__ = [
     "run_figure6",
     "run_online_drift",
     "run_read_hot_drift",
+    "run_resilience",
     "run_table1",
 ]

@@ -34,16 +34,22 @@ implicitly-routed tuple for the reachability reason above).
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.catalog.tuples import TupleId
 from repro.core.strategies import LookupTablePartitioning, hash_home
 from repro.distributed.cluster import Cluster
+from repro.distributed.faults import FaultInjector
 from repro.graph.assignment import PartitionAssignment
 from repro.online.maintainer import IncrementalGraphMaintainer, MaintainerOptions
 from repro.online.migration import (
+    FileJournalSink,
+    JournaledMigrator,
     LiveMigrator,
+    MemoryJournalSink,
+    MigrationJournal,
     MigrationPlan,
     MigrationReport,
     plan_migration,
@@ -56,7 +62,6 @@ from repro.online.repartitioner import (
     ReplicatedRepartitionResult,
     repartition_from_scratch,
 )
-from repro.routing.lookup import build_lookup_table
 from repro.routing.router import Router
 from repro.workload.rwsets import AccessTrace
 from repro.workload.trace import TransactionAccess, iter_chunks
@@ -123,6 +128,167 @@ class ElasticOptions:
 
 
 @dataclass
+class PacingOptions:
+    """SLO-aware pacing of an in-flight migration.
+
+    The pacer watches the live traffic's latency and abort-rate over sliding
+    windows and converts them into a per-tick step budget for the journaled
+    migrator: full speed while both stay inside budget, a throttled trickle
+    when latency nears its budget, and a full pause — with exponential
+    backoff — once either budget is exceeded.  Budgets default to ``None``
+    (that signal unconstrained); a pacer with no budgets always grants
+    ``max_steps``.
+    """
+
+    #: sliding window of committed-transaction latencies (p99 source).
+    latency_window: int = 128
+    #: sliding window of attempt outcomes (abort-rate source).
+    abort_window: int = 256
+    #: pause when the windowed p99 latency proxy exceeds this.
+    p99_latency_budget: float | None = None
+    #: pause when the windowed abort rate exceeds this.
+    abort_rate_budget: float | None = None
+    #: no pacing decisions until this many latency samples arrived.
+    min_samples: int = 16
+    #: throttle once p99 latency crosses this fraction of its budget.
+    pressure_ratio: float = 0.75
+    #: step budget granted per tick while traffic is healthy.
+    max_steps: int = 64
+    #: step budget granted per tick under pressure (but inside budget).
+    throttled_steps: int = 8
+    #: ticks the first pause lasts; doubles per consecutive over-budget
+    #: decision up to ``backoff_max`` (exponential backoff), resets once
+    #: the windows recover.
+    backoff_initial: int = 1
+    backoff_max: int = 16
+
+    def __post_init__(self) -> None:
+        if self.latency_window <= 0 or self.abort_window <= 0:
+            raise ValueError("pacing windows must be positive")
+        if self.min_samples <= 0:
+            raise ValueError("min_samples must be positive")
+        if not 0.0 < self.pressure_ratio <= 1.0:
+            raise ValueError("pressure_ratio must be in (0, 1]")
+        if self.abort_rate_budget is not None and not 0.0 < self.abort_rate_budget <= 1.0:
+            raise ValueError("abort_rate_budget must be in (0, 1]")
+        if self.p99_latency_budget is not None and self.p99_latency_budget <= 0.0:
+            raise ValueError("p99_latency_budget must be positive")
+        if self.max_steps <= 0 or self.throttled_steps <= 0:
+            raise ValueError("step budgets must be positive")
+        if self.throttled_steps > self.max_steps:
+            raise ValueError("throttled_steps must not exceed max_steps")
+        if not 1 <= self.backoff_initial <= self.backoff_max:
+            raise ValueError("need 1 <= backoff_initial <= backoff_max")
+
+
+class MigrationPacer:
+    """Turns live traffic health into a per-tick migration step budget.
+
+    Feed it every :class:`~repro.distributed.coordinator.TransactionOutcome`
+    via :meth:`observe`; each :meth:`plan_steps` call then answers "how many
+    migration steps may run this tick" — 0 while paused.  Decision counters
+    (``proceeds`` / ``throttles`` / ``pauses`` / ``resumes``) feed the
+    resilience experiment's "pacing demonstrably reacted" assertion.
+    """
+
+    def __init__(self, options: PacingOptions | None = None) -> None:
+        self.options = options or PacingOptions()
+        self._latencies: deque[float] = deque(maxlen=self.options.latency_window)
+        self._aborts: deque[int] = deque(maxlen=self.options.abort_window)
+        self._backoff = self.options.backoff_initial
+        self._pause_remaining = 0
+        self._paused = False
+        self.proceeds = 0
+        self.throttles = 0
+        self.pauses = 0
+        self.resumes = 0
+
+    def observe(self, outcome) -> None:
+        """Record one transaction attempt (committed or aborted)."""
+        self._aborts.append(1 if outcome.aborted else 0)
+        if not outcome.aborted:
+            self._latencies.append(outcome.latency)
+
+    def record(self, latency: float, aborted: bool = False) -> None:
+        """Record a raw (latency, aborted) sample without an outcome object."""
+        self._aborts.append(1 if aborted else 0)
+        if not aborted:
+            self._latencies.append(latency)
+
+    def p99_latency(self) -> float:
+        """Windowed p99 of the committed-transaction latency proxy."""
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        index = max(0, math.ceil(0.99 * len(ordered)) - 1)
+        return ordered[index]
+
+    def abort_rate(self) -> float:
+        """Windowed fraction of attempts that aborted."""
+        if not self._aborts:
+            return 0.0
+        return sum(self._aborts) / len(self._aborts)
+
+    def _pressure(self) -> tuple[bool, bool]:
+        """(over budget, near budget) for the current windows."""
+        options = self.options
+        if len(self._latencies) + sum(self._aborts) < options.min_samples:
+            return False, False
+        over = False
+        near = False
+        if options.p99_latency_budget is not None:
+            p99 = self.p99_latency()
+            if p99 > options.p99_latency_budget:
+                over = True
+            elif p99 > options.pressure_ratio * options.p99_latency_budget:
+                near = True
+        if options.abort_rate_budget is not None:
+            if self.abort_rate() > options.abort_rate_budget:
+                over = True
+        return over, near
+
+    def plan_steps(self, idle: bool = False) -> int:
+        """Migration step budget for this tick (0 = paused).
+
+        ``idle=True`` declares that no live traffic is flowing (a drain
+        phase after the workload ended): with nothing to protect, the
+        budget opens fully regardless of the frozen windows — otherwise a
+        window that ended over budget would pause a drain forever, since
+        no new observations can ever slide it back under.
+        """
+        if idle:
+            if self._paused:
+                self._paused = False
+                self.resumes += 1
+            self._pause_remaining = 0
+            self._backoff = self.options.backoff_initial
+            self.proceeds += 1
+            return self.options.max_steps
+        if self._pause_remaining > 0:
+            self._pause_remaining -= 1
+            self.pauses += 1
+            return 0
+        over, near = self._pressure()
+        if over:
+            # Budget exceeded: pause, and double the next pause while the
+            # pressure keeps coming back (exponential backoff).
+            self.pauses += 1
+            self._paused = True
+            self._pause_remaining = self._backoff
+            self._backoff = min(self.options.backoff_max, self._backoff * 2)
+            return 0
+        if near:
+            self.throttles += 1
+            return self.options.throttled_steps
+        if self._paused:
+            self._paused = False
+            self.resumes += 1
+        self._backoff = self.options.backoff_initial
+        self.proceeds += 1
+        return self.options.max_steps
+
+
+@dataclass
 class OnlineOptions:
     """Configuration of the online adaptivity loop."""
 
@@ -130,6 +296,10 @@ class OnlineOptions:
     maintainer: MaintainerOptions = field(default_factory=MaintainerOptions)
     repartition: RepartitionOptions = field(default_factory=RepartitionOptions)
     elastic: ElasticOptions = field(default_factory=ElasticOptions)
+    #: SLO-aware migration pacing; None runs migrations unpaced.  When set,
+    #: :meth:`OnlineSchism.begin_resize` builds a :class:`MigrationPacer`
+    #: from it for every session that is not handed one explicitly.
+    pacing: PacingOptions | None = None
     #: transactions per ingest batch (= one monitor/maintainer epoch).
     batch_size: int = 100
     #: migration cost per tuple: "tuples" (1 each) or "bytes" (schema row size).
@@ -207,7 +377,9 @@ class ResizeRecord:
     #: the decayed transaction rate that triggered the proposal (None when
     #: :meth:`OnlineSchism.resize` was called directly).
     trigger_rate: float | None
-    repartition: ReplicatedRepartitionResult
+    #: None when the record comes from a migration resumed off a journal,
+    #: where the planning-time repartition context no longer exists.
+    repartition: ReplicatedRepartitionResult | None
     plan: MigrationPlan
     migration: MigrationReport
     #: previously implicitly-routed tuples pinned to explicit entries.
@@ -226,6 +398,120 @@ class ResizeRecord:
             f"partitions, {self.migration.copies} copies, {self.migration.drops} drops, "
             f"{self.tuples_pinned} pinned"
         )
+
+
+class MigrationSession:
+    """One in-flight journaled resize the controller interleaves with traffic.
+
+    Created by :meth:`OnlineSchism.begin_resize`, the session owns a
+    :class:`~repro.online.migration.JournaledMigrator` and advances it one
+    paced batch per :meth:`tick` — the call a traffic loop makes between
+    transactions, so migration work and live load share one thread
+    deterministically.  When a :class:`MigrationPacer` is attached, its
+    step budget gates every tick (0 = the migration holds still while the
+    SLO recovers).
+
+    The session also owns *finalisation*: the first tick that observes a
+    terminal journal state performs the controller bookkeeping the old
+    synchronous ``resize`` did (monitor rebaseline, :class:`ResizeRecord`,
+    cooldowns) — including when the terminal state was reached by a
+    different process and this session merely resumed the journal.
+    """
+
+    def __init__(
+        self,
+        controller: "OnlineSchism",
+        journal: MigrationJournal,
+        *,
+        trigger_rate: float | None = None,
+        repartition: ReplicatedRepartitionResult | None = None,
+        sink: MemoryJournalSink | FileJournalSink | None = None,
+        pacer: MigrationPacer | None = None,
+        injector: FaultInjector | None = None,
+        batch_size: int | None = None,
+    ) -> None:
+        if journal.kind != "resize":
+            raise ValueError("MigrationSession drives resize journals")
+        self.controller = controller
+        self.journal = journal
+        self.trigger_rate = trigger_rate
+        self.repartition = repartition
+        self.pacer = pacer
+        self.migrator = JournaledMigrator(
+            controller.cluster,
+            controller.router,
+            journal,
+            sink=sink,
+            batch_size=batch_size or controller.migrator.batch_size,
+            injector=injector,
+        )
+        self.record: ResizeRecord | None = None
+        self.ticks = 0
+        self.steps_executed = 0
+        self._finalized = False
+        if journal.is_terminal:
+            self._finalize()
+
+    @property
+    def report(self) -> MigrationReport:
+        """Execution report of (this attempt at) the migration."""
+        return self.migrator.report
+
+    @property
+    def done(self) -> bool:
+        """Whether the journal reached a terminal state."""
+        return self.journal.is_terminal
+
+    def tick(self, idle: bool = False) -> int:
+        """Advance the migration by one paced batch; returns steps executed.
+
+        ``idle=True`` tells the pacer no live traffic is flowing (drain
+        phase), which releases any pause — see
+        :meth:`MigrationPacer.plan_steps`.
+        """
+        if self.journal.is_terminal:
+            self._finalize()
+            return 0
+        self.ticks += 1
+        budget: int | None = None
+        if self.pacer is not None:
+            budget = self.pacer.plan_steps(idle=idle)
+            if budget == 0:
+                return 0
+        executed = self.migrator.step(budget)
+        self.steps_executed += executed
+        if self.journal.is_terminal:
+            self._finalize()
+        return executed
+
+    def cancel(self) -> None:
+        """Switch the migration onto the rollback branch (see the journal)."""
+        self.migrator.cancel()
+
+    def run_to_completion(self, max_ticks: int = 1_000_000) -> ResizeRecord | None:
+        """Tick to a terminal state; the record (None when cancelled).
+
+        There is no interleaved traffic here, so every tick is an *idle*
+        tick: the pacer has nothing to protect and opens the full budget —
+        the loop always terminates unless a fault injector keeps a
+        required node down past ``max_ticks``.
+        """
+        for _ in range(max_ticks):
+            if self.journal.is_terminal:
+                break
+            self.tick(idle=True)
+        else:
+            raise RuntimeError(
+                f"migration did not terminate: {self.journal.progress_summary()}"
+            )
+        self._finalize()
+        return self.record
+
+    def _finalize(self) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
+        self.record = self.controller._finish_resize(self)
 
 
 @dataclass
@@ -502,16 +788,22 @@ class OnlineSchism:
         for node, tuple_id in enumerate(tuples):
             target.assign(tuple_id, placements[node])
         plan = plan_migration(self.strategy.partitions_for_tuple, target)
-        migration = self.migrator.execute_copies(plan)
         table = self.router.lookup_table
-        if table is not None and table.supports_update():
-            self.migrator.apply_routing_delta(self.router, plan, migration)
-        else:
-            merged = self.merged_placements(tuples, placements)
-            self.migrator.swap_routing(
-                self.router, merged, migration, self.options.lookup_backend
-            )
-        self.migrator.execute_drops(plan, migration)
+        flip_mode = "delta" if table is not None and table.supports_update() else "swap"
+        journal = MigrationJournal.for_plan(
+            plan,
+            kind="adapt",
+            flip_mode=flip_mode,
+            old_num_partitions=self.num_partitions,
+            lookup_backend=self.options.lookup_backend,
+            default_policy=self.strategy.default_policy,
+        )
+        migration = JournaledMigrator(
+            self.cluster,
+            self.router,
+            journal,
+            batch_size=self.migrator.batch_size,
+        ).run()
         self.monitor.rebaseline(self.router.strategy)
         after = self.monitor.window_stats().distributed_fraction
         record = AdaptationRecord(trigger, result, plan, migration, before, after)
@@ -525,16 +817,40 @@ class OnlineSchism:
     ) -> ResizeRecord:
         """Grow or shrink the cluster to ``new_partitions`` partitions, live.
 
+        Convenience wrapper: opens a journaled session via
+        :meth:`begin_resize` and drives it to completion in one call.  Use
+        :meth:`begin_resize` directly to interleave the migration with live
+        traffic (paced ticks), attach a journal sink for crash recovery, or
+        inject faults.
+        """
+        session = self.begin_resize(new_partitions, trigger_rate=trigger_rate)
+        record = session.run_to_completion()
+        assert record is not None  # the session was never cancelled
+        return record
+
+    def begin_resize(
+        self,
+        new_partitions: int,
+        *,
+        trigger_rate: float | None = None,
+        sink: MemoryJournalSink | FileJournalSink | None = None,
+        pacer: MigrationPacer | None = None,
+        injector: FaultInjector | None = None,
+        batch_size: int | None = None,
+    ) -> MigrationSession:
+        """Plan a resize and return the journaled session that executes it.
+
         Re-seeds the k-way kernel at the new k (budgeted warm start from the
         clamped current placement, replication candidates included) and
-        deploys through the same copy-before-drop path as :meth:`adapt`,
-        with two resize-specific obligations:
+        plans through the same copy-before-drop path as :meth:`adapt`, with
+        two resize-specific obligations:
 
         * **every stored tuple the lookup table routed implicitly is pinned
           to an explicit entry**: the hash default policy's modulus changes
           with k, so an implicit placement computed at the old k would point
           at the wrong partition — the pin keeps every tuple reachable
-          without moving it;
+          without moving it.  (The routing flip re-walks storage, so tuples
+          inserted while the migration is in flight are pinned too.)
         * the routing state is republished by **atomic wholesale swap**
           (new strategy + new lookup table at the new k) regardless of
           backend: an in-place entry delta cannot express the modulus
@@ -542,8 +858,15 @@ class OnlineSchism:
 
         Growing adds the empty partitions *before* the copies (so data can
         land on them); shrinking removes the evacuated partitions only
-        *after* the drops.  In between, reads routed under either the old
-        or the new table find a resident replica.
+        *after* the drops.  In between, reads routed under the old table
+        find a resident replica, and the router's dual-write window carries
+        writes to both placements of every in-flight tuple.
+
+        ``sink`` makes every journal record durable (crash recovery picks
+        up from the last persisted record via :meth:`attach_session`);
+        ``pacer`` gates each tick's step budget by the live SLO (defaults
+        to one built from ``options.pacing`` when that is set); ``injector``
+        subjects migration steps and journal persists to the fault plan.
         """
         if new_partitions <= 0:
             raise ValueError("new_partitions must be positive")
@@ -579,8 +902,6 @@ class OnlineSchism:
             target.assign(tuple_id, valid)
             if tuple_id not in deployed:
                 tuples_pinned += 1
-        if new_partitions > old_partitions:
-            self.cluster.grow_to(new_partitions)
 
         def physical_placement(tuple_id: TupleId) -> frozenset[int]:
             locations = locations_of.get(tuple_id)
@@ -590,32 +911,81 @@ class OnlineSchism:
             return locations or self.strategy.partitions_for_tuple(tuple_id)
 
         plan = plan_migration(physical_placement, target)
-        shrinking = new_partitions < old_partitions
-        migration = self.migrator.execute_copies(
-            plan, allow_fewer_partitions=shrinking
-        )
-        new_strategy = LookupTablePartitioning(
-            new_partitions, target, self.strategy.default_policy
-        )
-        new_table = build_lookup_table(target, backend=self.options.lookup_backend)
-        self.router.replace_strategy(new_strategy, new_table)
-        migration.lookup_swapped = True
-        self.migrator.execute_drops(plan, migration, allow_fewer_partitions=shrinking)
-        if new_partitions < old_partitions:
-            self.cluster.shrink_to(new_partitions)
-        self.monitor.rebaseline(new_strategy)
-        record = ResizeRecord(
-            old_partitions,
-            new_partitions,
-            trigger_rate,
-            result,
+        journal = MigrationJournal.for_plan(
             plan,
-            migration,
-            tuples_pinned,
+            kind="resize",
+            flip_mode="swap",
+            old_num_partitions=old_partitions,
+            new_num_partitions=new_partitions,
+            lookup_backend=self.options.lookup_backend,
+            default_policy=self.strategy.default_policy,
         )
-        self.resizes.append(record)
+        journal.tuples_pinned = tuples_pinned
+        if pacer is None and self.options.pacing is not None:
+            pacer = MigrationPacer(self.options.pacing)
+        return MigrationSession(
+            self,
+            journal,
+            trigger_rate=trigger_rate,
+            repartition=result,
+            sink=sink,
+            pacer=pacer,
+            injector=injector,
+            batch_size=batch_size,
+        )
+
+    def attach_session(
+        self,
+        journal: MigrationJournal,
+        *,
+        trigger_rate: float | None = None,
+        sink: MemoryJournalSink | FileJournalSink | None = None,
+        pacer: MigrationPacer | None = None,
+        injector: FaultInjector | None = None,
+        batch_size: int | None = None,
+    ) -> MigrationSession:
+        """Resume (or take over) a journaled resize from its last record.
+
+        The crash-recovery entry point: after a coordinator death, load the
+        journal from its sink and hand it here — the new session re-opens
+        the dual-write window appropriate to the journalled state and
+        continues (or, after :meth:`MigrationSession.cancel`, rolls back).
+        The planning-time repartition context died with the old coordinator,
+        so a finished resumed session records ``repartition=None``.
+        """
+        if pacer is None and self.options.pacing is not None:
+            pacer = MigrationPacer(self.options.pacing)
+        return MigrationSession(
+            self,
+            journal,
+            trigger_rate=trigger_rate,
+            sink=sink,
+            pacer=pacer,
+            injector=injector,
+            batch_size=batch_size,
+        )
+
+    def _finish_resize(self, session: MigrationSession) -> ResizeRecord | None:
+        """Controller bookkeeping once a session's journal turns terminal."""
+        journal = session.journal
+        # Whether completed or rolled back, the routing strategy object may
+        # have been republished: re-anchor the monitor and restart drift
+        # tracking from the post-migration placement.
+        self.monitor.rebaseline(self.router.strategy)
         self._elastic_cooldown = self.options.elastic.cooldown_batches
         self._cooldown = max(self._cooldown, self.options.cooldown_batches)
+        if journal.state != "completed":
+            return None
+        record = ResizeRecord(
+            journal.old_num_partitions,
+            journal.new_num_partitions,
+            session.trigger_rate,
+            session.repartition,
+            journal.plan,
+            session.report,
+            journal.tuples_pinned,
+        )
+        self.resizes.append(record)
         return record
 
     def export_plan(self, created_by: str = "online-export") -> "PartitionPlan":

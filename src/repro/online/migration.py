@@ -25,15 +25,19 @@ its new location.  Two routing-update paths exist:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Callable
+from pathlib import Path
+from typing import Callable, Mapping
 
 from repro.catalog.tuples import TupleId
-from repro.core.strategies import LookupTablePartitioning
+from repro.core.strategies import LookupTablePartitioning, hash_home
 from repro.distributed.cluster import Cluster
+from repro.distributed.faults import FaultInjector, MessageDropped
 from repro.graph.assignment import PartitionAssignment
 from repro.routing.lookup import build_lookup_table
 from repro.routing.router import Router
+from repro.utils.canonical_json import dumps_canonical
 
 
 @dataclass(frozen=True)
@@ -61,6 +65,9 @@ class MigrationPlan:
     drops: list[MigrationStep] = field(default_factory=list)
     #: the routing delta: new placement per changed tuple, for apply_delta.
     changes: list[tuple[TupleId, frozenset[int]]] = field(default_factory=list)
+    #: the *old* placement per changed tuple (parallel to ``changes``) — what
+    #: a cancelled migration rolls the routing state back to.
+    previous: list[tuple[TupleId, frozenset[int]]] = field(default_factory=list)
     #: tuples whose placement changed at all.
     tuples_changed: int = 0
     #: tuples that gained at least one replica (replication widened).
@@ -112,6 +119,7 @@ def plan_migration(
             continue
         plan.tuples_changed += 1
         plan.changes.append((tuple_id, new_parts))
+        plan.previous.append((tuple_id, old_parts))
         added = new_parts - old_parts
         removed = old_parts - new_parts
         plan.replicas_added += len(added)
@@ -138,6 +146,9 @@ class MigrationReport:
     skipped: int = 0
     messages: int = 0
     bytes_copied: int = 0
+    #: steps deferred because an injected fault (node down, message lost)
+    #: made them fail transiently; each was retried on a later batch.
+    faults_deferred: int = 0
     #: cumulative (copies done, drops done) after each executed batch — the
     #: "downtime-free progress" trail: copies always complete before drops
     #: begin, so every prefix leaves all tuples reachable.
@@ -286,3 +297,688 @@ class LiveMigrator:
             strategy.assignment = new_assignment
         router.lookup_table = new_table
         report.lookup_swapped = True
+
+
+# ---------------------------------------------------------------------------
+# Journaled (crash-safe) migration
+# ---------------------------------------------------------------------------
+
+#: on-disk format marker and version of the journal; bump on breaking changes.
+JOURNAL_FORMAT = "repro-migration-journal"
+JOURNAL_FORMAT_VERSION = 1
+
+#: forward states, in order.  ``cancelling``/``cancelled`` form the rollback
+#: branch reachable from any non-terminal forward state.
+JOURNAL_FORWARD_STATES = (
+    "planned",
+    "copying",
+    "dual-window",
+    "flipped",
+    "dropping",
+    "completed",
+)
+JOURNAL_CANCEL_STATES = ("cancelling", "cancelled")
+JOURNAL_TERMINAL_STATES = ("completed", "cancelled")
+
+
+class JournalFormatError(ValueError):
+    """A journal payload is not something this version can read."""
+
+
+def _placement_rows(entries: list[tuple[TupleId, frozenset[int]]]) -> list[list]:
+    return [
+        [tuple_id.table, list(tuple_id.key), sorted(partitions)]
+        for tuple_id, partitions in entries
+    ]
+
+
+def _placement_entries(rows: list) -> list[tuple[TupleId, frozenset[int]]]:
+    return [
+        (TupleId(table, tuple(key)), frozenset(int(part) for part in partitions))
+        for table, key, partitions in rows
+    ]
+
+
+@dataclass
+class MigrationJournal:
+    """The durable state machine of one in-flight migration.
+
+    Serialised alongside the :class:`~repro.pipeline.plan.PartitionPlan`
+    artifact, the journal captures everything needed to *resume* a
+    half-applied migration (or *cancel* it back to the pre-migration
+    placement) after a coordinator crash: the full step list, the routing
+    delta and its inverse, and cursors over every phase.  Serialisation is
+    canonical JSON, so the byte sequence of journal snapshots is a pure
+    function of (plan, progress) — the resume path is byte-deterministic.
+
+    Forward lifecycle::
+
+        planned -> copying -> dual-window -> flipped -> dropping -> completed
+
+    The dual-write window opens at ``planned -> copying`` and closes at the
+    routing flip (``dual-window -> flipped``).  :meth:`JournaledMigrator.cancel`
+    branches any non-terminal state to ``cancelling``, whose rollback runs
+    restore-copies (undoing executed drops), a routing flip-back (when the
+    flip had happened), and removal of the added replicas, ending in
+    ``cancelled``.
+    """
+
+    plan: MigrationPlan
+    #: "adapt" (placement delta at fixed k) or "resize" (k changes).
+    kind: str = "adapt"
+    #: "delta" (in-place lookup entry updates) or "swap" (wholesale rebuild).
+    flip_mode: str = "delta"
+    old_num_partitions: int = 0
+    new_num_partitions: int = 0
+    lookup_backend: str = "dict"
+    default_policy: str = "hash"
+    state: str = "planned"
+    copies_done: int = 0
+    drops_done: int = 0
+    flip_done: bool = False
+    #: rollback cursors (meaningful from ``cancelling`` on).
+    rollback_restored: int = 0
+    rollback_flip_done: bool = False
+    rollback_removed: int = 0
+    #: implicitly-routed tuples pinned explicit at the flip (resize only).
+    tuples_pinned: int = 0
+    #: journal records persisted so far (the crash-point index fault plans
+    #: target); incremented by every :meth:`JournaledMigrator` persist.
+    records: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("adapt", "resize"):
+            raise ValueError("kind must be 'adapt' or 'resize'")
+        if self.flip_mode not in ("delta", "swap"):
+            raise ValueError("flip_mode must be 'delta' or 'swap'")
+        if self.state not in JOURNAL_FORWARD_STATES + JOURNAL_CANCEL_STATES:
+            raise ValueError(f"unknown journal state {self.state!r}")
+
+    @classmethod
+    def for_plan(
+        cls,
+        plan: MigrationPlan,
+        *,
+        kind: str,
+        flip_mode: str,
+        old_num_partitions: int,
+        new_num_partitions: int | None = None,
+        lookup_backend: str = "dict",
+        default_policy: str = "hash",
+    ) -> "MigrationJournal":
+        """Open a fresh journal for ``plan``."""
+        return cls(
+            plan=plan,
+            kind=kind,
+            flip_mode=flip_mode,
+            old_num_partitions=old_num_partitions,
+            new_num_partitions=(
+                plan.num_partitions if new_num_partitions is None else new_num_partitions
+            ),
+            lookup_backend=lookup_backend,
+            default_policy=default_policy,
+        )
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the migration has fully completed or fully rolled back."""
+        return self.state in JOURNAL_TERMINAL_STATES
+
+    @property
+    def is_cancelling(self) -> bool:
+        """Whether the journal is on the rollback branch (not yet cancelled)."""
+        return self.state == "cancelling"
+
+    def progress_summary(self) -> str:
+        """One-line progress description for logs."""
+        total_copies = len(self.plan.copies)
+        total_drops = len(self.plan.drops)
+        return (
+            f"journal[{self.kind}/{self.flip_mode}] {self.state}: "
+            f"copies {self.copies_done}/{total_copies}, "
+            f"drops {self.drops_done}/{total_drops}, "
+            f"flip {'done' if self.flip_done else 'pending'}, "
+            f"{self.records} records"
+        )
+
+    # -- serialisation ----------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """Canonical JSON-serialisable payload."""
+        return {
+            "format": JOURNAL_FORMAT,
+            "version": JOURNAL_FORMAT_VERSION,
+            "kind": self.kind,
+            "flip_mode": self.flip_mode,
+            "old_num_partitions": self.old_num_partitions,
+            "new_num_partitions": self.new_num_partitions,
+            "lookup_backend": self.lookup_backend,
+            "default_policy": self.default_policy,
+            "copies": [
+                [step.tuple_id.table, list(step.tuple_id.key), step.source, step.target]
+                for step in self.plan.copies
+            ],
+            "drops": [
+                [step.tuple_id.table, list(step.tuple_id.key), step.source]
+                for step in self.plan.drops
+            ],
+            "changes": _placement_rows(self.plan.changes),
+            "previous": _placement_rows(self.plan.previous),
+            "cursor": {
+                "state": self.state,
+                "copies_done": self.copies_done,
+                "drops_done": self.drops_done,
+                "flip_done": self.flip_done,
+                "rollback_restored": self.rollback_restored,
+                "rollback_flip_done": self.rollback_flip_done,
+                "rollback_removed": self.rollback_removed,
+                "tuples_pinned": self.tuples_pinned,
+                "records": self.records,
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "MigrationJournal":
+        """Rebuild a journal from a parsed payload (inverse of :meth:`to_payload`)."""
+        if payload.get("format") != JOURNAL_FORMAT:
+            raise JournalFormatError(
+                f"not a migration journal (format={payload.get('format')!r})"
+            )
+        version = payload.get("version")
+        if not isinstance(version, int) or version > JOURNAL_FORMAT_VERSION:
+            raise JournalFormatError(
+                f"journal version {version!r} is newer than supported "
+                f"({JOURNAL_FORMAT_VERSION}); upgrade repro to read it"
+            )
+        plan = MigrationPlan(int(payload["new_num_partitions"]))
+        plan.copies = [
+            MigrationStep("copy", TupleId(table, tuple(key)), int(source), int(target))
+            for table, key, source, target in payload["copies"]
+        ]
+        plan.drops = [
+            MigrationStep("drop", TupleId(table, tuple(key)), int(source))
+            for table, key, source in payload["drops"]
+        ]
+        plan.changes = _placement_entries(payload["changes"])
+        plan.previous = _placement_entries(payload["previous"])
+        # Recompute the summary statistics from the step lists.
+        plan.tuples_changed = len(plan.changes)
+        plan.replicas_added = len(plan.copies)
+        plan.replicas_dropped = len(plan.drops)
+        old_of = dict(plan.previous)
+        for tuple_id, new_parts in plan.changes:
+            old_parts = old_of[tuple_id]
+            if new_parts - old_parts and not (old_parts - new_parts):
+                plan.tuples_replicated += 1
+            if old_parts - new_parts:
+                plan.tuples_moved += 1
+        cursor = payload.get("cursor", {})
+        return cls(
+            plan=plan,
+            kind=payload["kind"],
+            flip_mode=payload["flip_mode"],
+            old_num_partitions=int(payload["old_num_partitions"]),
+            new_num_partitions=int(payload["new_num_partitions"]),
+            lookup_backend=payload.get("lookup_backend", "dict"),
+            default_policy=payload.get("default_policy", "hash"),
+            state=cursor.get("state", "planned"),
+            copies_done=int(cursor.get("copies_done", 0)),
+            drops_done=int(cursor.get("drops_done", 0)),
+            flip_done=bool(cursor.get("flip_done", False)),
+            rollback_restored=int(cursor.get("rollback_restored", 0)),
+            rollback_flip_done=bool(cursor.get("rollback_flip_done", False)),
+            rollback_removed=int(cursor.get("rollback_removed", 0)),
+            tuples_pinned=int(cursor.get("tuples_pinned", 0)),
+            records=int(cursor.get("records", 0)),
+        )
+
+    def dumps(self) -> str:
+        """Canonical JSON text (sorted keys, trailing newline) of the journal."""
+        return dumps_canonical(self.to_payload()) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "MigrationJournal":
+        """Parse a journal from JSON text."""
+        return cls.from_payload(json.loads(text))
+
+
+def default_journal_path(plan_path: str | Path) -> Path:
+    """Where the journal of a migration of ``plan_path`` lives by convention."""
+    plan_path = Path(plan_path)
+    return plan_path.with_name(plan_path.name + ".journal")
+
+
+class MemoryJournalSink:
+    """Keeps the latest journal snapshot in memory (tests, experiments)."""
+
+    def __init__(self) -> None:
+        self.text: str | None = None
+        self.writes = 0
+
+    def write(self, text: str) -> None:
+        """Replace the durable snapshot with ``text``."""
+        self.text = text
+        self.writes += 1
+
+    def load(self) -> MigrationJournal:
+        """The journal parsed back from the last snapshot."""
+        if self.text is None:
+            raise ValueError("no journal snapshot has been written yet")
+        return MigrationJournal.loads(self.text)
+
+
+class FileJournalSink:
+    """Persists each journal snapshot to a file (alongside the plan artifact)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.writes = 0
+
+    def write(self, text: str) -> None:
+        """Atomically replace the journal file with ``text``."""
+        temp = self.path.with_name(self.path.name + ".tmp")
+        temp.write_text(text, encoding="utf-8")
+        temp.replace(self.path)
+        self.writes += 1
+
+    def load(self) -> MigrationJournal:
+        """The journal parsed back from the file."""
+        return MigrationJournal.loads(self.path.read_text(encoding="utf-8"))
+
+
+class JournaledMigrator:
+    """Crash-safe executor of a :class:`MigrationJournal`.
+
+    Wraps :class:`LiveMigrator`'s per-step operations in a journal-first
+    protocol: progress is applied in bounded batches, the journal snapshot
+    is persisted to ``sink`` after every batch, and every operation is
+    idempotent — so a migrator resumed from the last persisted snapshot
+    replays at most one batch (copies find their replica already present,
+    drops find it already gone) and continues to the same final state.
+
+    The router's dual-write window is opened before the first copy and
+    closed at the routing flip, so live writes interleaved with batches
+    reach both the old and the new replicas of every in-flight tuple.  With
+    a :class:`~repro.distributed.faults.FaultInjector` attached, steps whose
+    participants are crashed (or whose messages drop) are *deferred* — the
+    batch ends early and the step retries on a later tick — and persisting a
+    record can raise
+    :class:`~repro.distributed.faults.CoordinatorDeath`, after which a new
+    migrator attached to the same journal carries on.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        router: Router,
+        journal: MigrationJournal,
+        sink: MemoryJournalSink | FileJournalSink | None = None,
+        batch_size: int = 64,
+        injector: FaultInjector | None = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.cluster = cluster
+        self.router = router
+        self.journal = journal
+        self.sink = sink
+        self.injector = injector
+        self.batch_size = batch_size
+        self.migrator = LiveMigrator(cluster, batch_size)
+        self.report = MigrationReport()
+        #: placement each changed tuple migrates to (for restore sources).
+        self._new_placement = dict(journal.plan.changes)
+        self._attach()
+
+    # -- attachment (fresh or resumed) -------------------------------------------------
+    def _attach(self) -> None:
+        journal = self.journal
+        if journal.new_num_partitions > self.cluster.num_partitions and not journal.is_terminal:
+            # A growing resize adds the empty partitions before any copy so
+            # data can land on them; re-attaching after a crash finds them
+            # already present (grow_to is guarded below).
+            self.cluster.grow_to(journal.new_num_partitions)
+        if journal.plan.num_partitions > self.cluster.num_partitions:
+            raise ValueError("plan and cluster disagree on the number of partitions")
+        window = self.router.migration_window
+        window.close()
+        if journal.state in ("copying", "dual-window"):
+            window.open(self._forward_window_entries())
+        elif journal.is_cancelling and journal.flip_done and not journal.rollback_flip_done:
+            window.open(self._rollback_window_entries())
+
+    def _forward_window_entries(self):
+        for (tuple_id, new_parts), (_, old_parts) in zip(
+            self.journal.plan.changes, self.journal.plan.previous
+        ):
+            yield tuple_id, new_parts - old_parts
+
+    def _rollback_window_entries(self):
+        for (tuple_id, new_parts), (_, old_parts) in zip(
+            self.journal.plan.changes, self.journal.plan.previous
+        ):
+            yield tuple_id, old_parts - new_parts
+
+    # -- public surface ----------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether the journal reached a terminal state."""
+        return self.journal.is_terminal
+
+    def cancel(self) -> None:
+        """Switch to the rollback branch (idempotent on ``cancelling``).
+
+        Subsequent :meth:`step` calls undo the migration: executed drops are
+        restored by copying back from a live replica, the routing flip (if
+        it happened) is reverted to the journalled previous placements, and
+        the added replicas are removed.
+        """
+        journal = self.journal
+        if journal.is_terminal:
+            raise ValueError(f"cannot cancel a {journal.state} migration")
+        if journal.is_cancelling:
+            return
+        window = self.router.migration_window
+        window.close()
+        if journal.flip_done:
+            # Routing currently points at the *new* placement while rollback
+            # re-creates the old replicas: writes must reach both, or an
+            # update landing after a restore-copy would be lost at the
+            # restored location once the flip-back happens.
+            window.open(self._rollback_window_entries())
+        journal.state = "cancelling"
+        self._persist()
+
+    def step(self, max_steps: int | None = None) -> int:
+        """Advance the state machine by up to ``max_steps`` unit steps.
+
+        One call works on exactly one phase (a batch of copies/drops, or a
+        single transition like the routing flip), persists the journal when
+        progress was made, and returns the number of executed steps (0 when
+        terminal, paused by faults, or stalled on unavailable nodes).
+        """
+        budget = self.batch_size if max_steps is None else max_steps
+        if budget <= 0 or self.journal.is_terminal:
+            return 0
+        if self.injector is not None:
+            # Each migration tick advances the fault clock too, so node-crash
+            # windows expire even when no transactions are flowing (e.g. the
+            # drain phase after live traffic ends).
+            self.injector.advance()
+        if self.journal.is_cancelling:
+            return self._step_rollback(budget)
+        return self._step_forward(budget)
+
+    def run(self, max_ticks: int = 1_000_000) -> MigrationReport:
+        """Drive :meth:`step` to a terminal state (no pacing, no faults gate).
+
+        Raises ``RuntimeError`` when the state machine stops making progress
+        for many consecutive ticks (e.g. a permanently crashed node).
+        """
+        stalled = 0
+        for _ in range(max_ticks):
+            if self.journal.is_terminal:
+                return self.report
+            executed = self.step()
+            if executed == 0 and not self.journal.is_terminal:
+                stalled += 1
+                if stalled > 10_000:
+                    raise RuntimeError(
+                        f"migration stalled at {self.journal.progress_summary()}"
+                    )
+            else:
+                stalled = 0
+        raise RuntimeError("migration did not terminate within max_ticks")
+
+    # -- forward path ------------------------------------------------------------------
+    def _step_forward(self, budget: int) -> int:
+        journal = self.journal
+        if journal.state == "planned":
+            self.router.migration_window.open(self._forward_window_entries())
+            journal.state = "copying"
+            self._persist()
+            return 1
+        if journal.state == "copying":
+            executed = self._run_batch(journal.plan.copies, "copies_done", budget)
+            if journal.copies_done == len(journal.plan.copies):
+                journal.state = "dual-window"
+                self._persist()
+                return max(executed, 1)
+            if executed:
+                self._persist()
+            return executed
+        if journal.state == "dual-window":
+            # Every tuple is resident at both placements: flip the routing
+            # and close the dual-write window in the same step.
+            self._flip_forward()
+            journal.flip_done = True
+            journal.state = "flipped"
+            self._persist()
+            return 1
+        if journal.state == "flipped":
+            journal.state = "dropping"
+            self._persist()
+            return 1
+        if journal.state == "dropping":
+            executed = self._run_batch(journal.plan.drops, "drops_done", budget)
+            if journal.drops_done == len(journal.plan.drops):
+                self._complete_forward()
+                return max(executed, 1)
+            if executed:
+                self._persist()
+            return executed
+        raise AssertionError(f"unexpected forward state {journal.state!r}")
+
+    def _complete_forward(self) -> None:
+        journal = self.journal
+        if journal.new_num_partitions < self.cluster.num_partitions:
+            # Shrink: the evacuated partitions are empty now that the drops
+            # ran; removing them is the last act before "completed".
+            self.cluster.shrink_to(journal.new_num_partitions)
+        journal.state = "completed"
+        self._persist()
+
+    def _flip_forward(self) -> None:
+        journal = self.journal
+        if journal.flip_mode == "delta":
+            self.migrator.apply_routing_delta(self.router, journal.plan, self.report)
+        else:
+            merged, pinned = self._merged_target(
+                journal.new_num_partitions, dict(journal.plan.changes)
+            )
+            if not journal.tuples_pinned:
+                # The controller counts pins at planning time (and stores
+                # the count in the journal); keep that figure when present.
+                journal.tuples_pinned = pinned
+            new_strategy = LookupTablePartitioning(
+                journal.new_num_partitions, merged, journal.default_policy
+            )
+            new_table = build_lookup_table(merged, backend=journal.lookup_backend)
+            self.router.replace_strategy(new_strategy, new_table)
+            self.report.lookup_swapped = True
+        self.router.migration_window.close()
+
+    def _merged_target(
+        self, num_partitions: int, overrides: dict[TupleId, frozenset[int]]
+    ) -> tuple[PartitionAssignment, int]:
+        """Full explicit placement for a wholesale swap at ``num_partitions``.
+
+        ``overrides`` (the routing delta, or its inverse during rollback)
+        wins; every other *stored* tuple is pinned to its physical location
+        — which also captures tuples inserted by live traffic while the
+        migration was in flight, whose implicit hash placement would change
+        meaning with the partition count.  Returns the assignment and the
+        number of tuples pinned that had no explicit entry before.
+        """
+        merged = PartitionAssignment(num_partitions)
+        for tuple_id, partitions in overrides.items():
+            merged.assign(tuple_id, partitions)
+        strategy = self.router.strategy
+        deployed = (
+            strategy.assignment if isinstance(strategy, LookupTablePartitioning) else None
+        )
+        pinned = 0
+        for tuple_id, locations in sorted(self.cluster.tuple_locations_map().items()):
+            if tuple_id in merged:
+                continue
+            valid = frozenset(part for part in locations if part < num_partitions)
+            if not valid:
+                valid = hash_home(tuple_id, num_partitions)
+            merged.assign(tuple_id, valid)
+            if deployed is None or tuple_id not in deployed:
+                pinned += 1
+        return merged, pinned
+
+    # -- rollback path -----------------------------------------------------------------
+    def _step_rollback(self, budget: int) -> int:
+        journal = self.journal
+        plan = journal.plan
+        # Phase 1: restore the old replicas the forward drops removed.
+        if journal.rollback_restored < journal.drops_done:
+            executed = self._run_restore_batch(budget)
+            if executed or journal.rollback_restored == journal.drops_done:
+                self._persist()
+            if journal.rollback_restored < journal.drops_done or executed:
+                return executed
+        # Phase 2: revert the routing flip (once, if it had happened).
+        if journal.flip_done and not journal.rollback_flip_done:
+            self._flip_back()
+            journal.rollback_flip_done = True
+            self._persist()
+            return 1
+        # Phase 3: remove the replicas the forward copies added.
+        if journal.rollback_removed < journal.copies_done:
+            executed = self._run_remove_batch(budget)
+            if journal.rollback_removed == journal.copies_done:
+                self._complete_rollback()
+                return max(executed, 1)
+            if executed:
+                self._persist()
+            return executed
+        self._complete_rollback()
+        return 1
+
+    def _complete_rollback(self) -> None:
+        journal = self.journal
+        self.router.migration_window.close()
+        if (
+            journal.new_num_partitions > journal.old_num_partitions
+            and self.cluster.num_partitions > journal.old_num_partitions
+        ):
+            # A cancelled grow removes the partitions it added; rollback just
+            # emptied them (every added replica was dropped).
+            self.cluster.shrink_to(journal.old_num_partitions)
+        journal.state = "cancelled"
+        self._persist()
+
+    def _flip_back(self) -> None:
+        journal = self.journal
+        previous = dict(journal.plan.previous)
+        if journal.flip_mode == "delta":
+            table = self.router.lookup_table
+            if table is not None:
+                table.apply_delta(journal.plan.previous)
+            strategy = self.router.strategy
+            if isinstance(strategy, LookupTablePartitioning):
+                for tuple_id, partitions in journal.plan.previous:
+                    strategy.assignment.assign(tuple_id, partitions)
+        else:
+            merged, _ = self._merged_target(journal.old_num_partitions, previous)
+            old_strategy = LookupTablePartitioning(
+                journal.old_num_partitions, merged, journal.default_policy
+            )
+            old_table = build_lookup_table(merged, backend=journal.lookup_backend)
+            self.router.replace_strategy(old_strategy, old_table)
+        self.router.migration_window.close()
+
+    def _run_restore_batch(self, budget: int) -> int:
+        journal = self.journal
+        drops = journal.plan.drops
+        executed = 0
+        while journal.rollback_restored < journal.drops_done and executed < budget:
+            step = drops[journal.rollback_restored]
+            source = min(self._new_placement[step.tuple_id])
+            restore = MigrationStep("copy", step.tuple_id, source, step.source)
+            if not self._fault_gate(restore):
+                break
+            self.migrator._copy(restore, self.report)
+            journal.rollback_restored += 1
+            executed += 1
+        return executed
+
+    def _run_remove_batch(self, budget: int) -> int:
+        journal = self.journal
+        copies = journal.plan.copies
+        executed = 0
+        while journal.rollback_removed < journal.copies_done and executed < budget:
+            step = copies[journal.rollback_removed]
+            remove = MigrationStep("drop", step.tuple_id, step.target)
+            if not self._fault_gate(remove):
+                break
+            self.migrator._drop(remove, self.report)
+            journal.rollback_removed += 1
+            executed += 1
+        return executed
+
+    # -- shared machinery --------------------------------------------------------------
+    def _run_batch(self, steps: list[MigrationStep], cursor: str, budget: int) -> int:
+        journal = self.journal
+        done = getattr(journal, cursor)
+        executed = 0
+        while done < len(steps) and executed < budget:
+            step = steps[done]
+            if not self._fault_gate(step):
+                break
+            if step.action == "copy":
+                self.migrator._copy(step, self.report)
+            else:
+                self.migrator._drop(step, self.report)
+            done += 1
+            executed += 1
+        setattr(journal, cursor, done)
+        if executed:
+            self.report.progress.append((self.report.copies, self.report.drops))
+        return executed
+
+    def _fault_gate(self, step: MigrationStep) -> bool:
+        """Draw this step's fault outcomes; False defers it to a later tick.
+
+        All draws happen before the operation touches storage, so a deferred
+        step has no side effects and its retry is a clean replay.
+        """
+        injector = self.injector
+        if injector is None:
+            return True
+        nodes = (
+            (step.source,)
+            if step.action == "drop"
+            else (step.source, step.target)
+        )
+        for node in nodes:
+            if not injector.node_available(node):
+                injector.statistics.unavailability_hits += 1
+                self.report.faults_deferred += 1
+                return False
+        try:
+            # Worst-case message complement of the step: read + write pairs
+            # for a copy, one delete pair for a drop.
+            for _ in range(4 if step.action == "copy" else 2):
+                injector.deliver()
+        except MessageDropped:
+            self.report.faults_deferred += 1
+            return False
+        return True
+
+    def _persist(self) -> None:
+        """Write one journal record; may raise an injected coordinator death.
+
+        The record is durable in the sink *before* the injector gets to kill
+        the coordinator, which is the crash model the resume tests exercise:
+        everything journalled has been applied, everything applied since the
+        last record replays idempotently.
+        """
+        journal = self.journal
+        journal.records += 1
+        if self.sink is not None:
+            self.sink.write(journal.dumps())
+        if self.injector is not None:
+            self.injector.on_journal_record(journal.state, journal.records)

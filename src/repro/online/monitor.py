@@ -69,8 +69,21 @@ class MonitorOptions:
     #: "hot set" is sampling noise (observed share ~6% on the simplecount
     #: deploy) and its churn is perpetual, so without the gate steady
     #: uniform workloads read as drifted forever; genuinely skewed streams
-    #: (rotating hotspot ~11%, read-hot ~20%) clear the bar.
-    drift_churn_min_weight_share: float = 0.10
+    #: (rotating hotspot ~11%, read-hot ~20%) clear the bar.  ``None``
+    #: (the default) derives the bar from the observed weight distribution:
+    #: ``lift x hot_set_size / tracked_tuples`` — the uniform expectation
+    #: of the share, lifted — clamped to ``[drift_churn_share_floor, 0.95]``.
+    #: A fixed value here applies verbatim (the pre-auto behaviour), which a
+    #: workload sitting between the uniform and skewed regimes may need.
+    drift_churn_min_weight_share: float | None = None
+    #: floor of the auto-derived churn weight-share bar (the old fixed
+    #: default): tracking few tuples makes the uniform expectation large,
+    #: but the bar never drops below this on wide uniform traffic.
+    drift_churn_share_floor: float = 0.10
+    #: the auto-derived bar is this multiple of the uniform expectation
+    #: ``hot_set_size / tracked_tuples``: a hot set must carry meaningfully
+    #: more weight than chance before its churn means anything.
+    drift_churn_share_lift: float = 1.25
     #: suppress drift reports until the window holds at least this many transactions.
     min_window_fill: int = 50
     #: smoothing factor of the decayed transactions-per-epoch rate estimate
@@ -89,6 +102,14 @@ class MonitorOptions:
         self.min_window_fill = min(self.min_window_fill, self.window_size)
         if not 0.0 < self.rate_smoothing <= 1.0:
             raise ValueError("rate_smoothing must be in (0, 1]")
+        if self.drift_churn_min_weight_share is not None and not (
+            0.0 <= self.drift_churn_min_weight_share <= 1.0
+        ):
+            raise ValueError("drift_churn_min_weight_share must be in [0, 1] or None")
+        if not 0.0 <= self.drift_churn_share_floor <= 1.0:
+            raise ValueError("drift_churn_share_floor must be in [0, 1]")
+        if self.drift_churn_share_lift < 1.0:
+            raise ValueError("drift_churn_share_lift must be at least 1.0")
 
 
 @dataclass
@@ -400,10 +421,35 @@ class WorkloadMonitor:
         if (
             self._baseline_hot
             and stats.hot_churn > self.options.drift_churn_threshold
-            and self.hot_weight_share() >= self.options.drift_churn_min_weight_share
+            and self.hot_weight_share() >= self.churn_weight_share_threshold()
         ):
             reasons.append(f"hot-tuple churn {stats.hot_churn:.1%}")
         return DriftReport(bool(reasons), reasons, stats)
+
+    def churn_weight_share_threshold(self) -> float:
+        """The weight share the hot set must carry for churn to count.
+
+        An explicitly configured ``drift_churn_min_weight_share`` applies
+        verbatim.  Otherwise the bar adapts to the observed distribution:
+        under uniform traffic over N tracked tuples the hot set's expected
+        share is ``hot_set_size / N``, so requiring ``lift`` times that
+        separates "the top-k of noise" from genuine skew at any N — a fixed
+        bar cannot, because the uniform expectation itself moves with the
+        tracked population (~6% on the simplecount deploy, ~50% when only a
+        handful of tuples are tracked).  Clamped to
+        ``[drift_churn_share_floor, 0.95]`` so wide uniform workloads keep
+        the old 10% bar and a tiny tracked population cannot push the bar
+        above what even total skew could reach.
+        """
+        options = self.options
+        if options.drift_churn_min_weight_share is not None:
+            return options.drift_churn_min_weight_share
+        tracked = len(self._counts)
+        if tracked <= 0:
+            return options.drift_churn_share_floor
+        uniform_expectation = min(1.0, options.hot_set_size / tracked)
+        derived = options.drift_churn_share_lift * uniform_expectation
+        return max(options.drift_churn_share_floor, min(0.95, derived))
 
     def hot_weight_share(self) -> float:
         """Fraction of the total decayed access weight the hot set carries.

@@ -45,6 +45,7 @@ from repro.core.strategies import (
 )
 from repro.explain.rules import RuleSet, rule_set_from_payload, rule_set_to_payload
 from repro.graph.assignment import PartitionAssignment
+from repro.utils.canonical_json import dumps_canonical, write_canonical
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pipeline.config import SchismOptions
@@ -346,9 +347,11 @@ class PartitionPlan:
 
         Canonicalisation makes serialisation a pure function of the plan's
         content, so ``loads(dumps(plan)).dumps() == plan.dumps()`` holds
-        byte-for-byte.
+        byte-for-byte.  The text is emitted by the streaming canonical
+        writer, byte-identical to ``json.dumps(payload, sort_keys=True,
+        indent=1)`` (which forces the slow pure-Python encoder).
         """
-        return json.dumps(self.to_payload(), sort_keys=True, indent=1) + "\n"
+        return dumps_canonical(self.to_payload()) + "\n"
 
     @classmethod
     def loads(cls, text: str) -> "PartitionPlan":
@@ -356,9 +359,16 @@ class PartitionPlan:
         return cls.from_payload(json.loads(text))
 
     def save(self, path: str | Path) -> Path:
-        """Write the plan to ``path`` (canonical JSON); returns the path."""
+        """Write the plan to ``path`` (canonical JSON); returns the path.
+
+        Streams the canonical writer's chunks straight to the file instead
+        of materialising the whole document as one string first — same
+        bytes as ``path.write_text(self.dumps())``, bounded memory.
+        """
         path = Path(path)
-        path.write_text(self.dumps(), encoding="utf-8")
+        with path.open("w", encoding="utf-8", newline="") as fp:
+            write_canonical(self.to_payload(), fp)
+            fp.write("\n")
         return path
 
     @classmethod

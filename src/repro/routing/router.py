@@ -52,6 +52,48 @@ class TransactionRoutingContext:
         self.touched_partitions.update(decision.partitions)
 
 
+_NO_EXTRA: frozenset[int] = frozenset()
+
+
+class MigrationWindow:
+    """Dual-write window a journaled migration opens on the router.
+
+    While a migration is in flight, a write to a tuple whose placement is
+    changing must reach the replicas being *added* as well as the current
+    ones — otherwise an update landing after the copy step would be lost at
+    the new location.  Reads keep preferring the source placement (the
+    lookup table is untouched until the routing flip), so the window only
+    widens the destination set of pk-resolved **writes**.
+
+    The window maps each in-flight tuple to its extra write partitions; it
+    opens before the first copy and closes at the routing flip (forward
+    path) or once rollback restores the old placement (cancel path).
+    """
+
+    def __init__(self) -> None:
+        self._extra: dict[TupleId, frozenset[int]] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self._extra)
+
+    def __len__(self) -> int:
+        return len(self._extra)
+
+    def open(self, entries) -> None:
+        """Start dual-writing: ``entries`` yields ``(tuple_id, extra)`` pairs."""
+        for tuple_id, extra in entries:
+            if extra:
+                self._extra[tuple_id] = frozenset(extra)
+
+    def close(self) -> None:
+        """Stop dual-writing (after the flip, or once rollback completes)."""
+        self._extra.clear()
+
+    def extra_write_partitions(self, tuple_id: TupleId) -> frozenset[int]:
+        """Extra partitions a write to ``tuple_id`` must also reach."""
+        return self._extra.get(tuple_id, _NO_EXTRA)
+
+
 class Router:
     """Routes statements according to a partitioning strategy."""
 
@@ -65,6 +107,8 @@ class Router:
         self.schema = schema
         self.lookup_table = lookup_table
         self.num_partitions = strategy.num_partitions
+        #: dual-write window of an in-flight migration (empty when idle).
+        self.migration_window = MigrationWindow()
 
     def replace_strategy(
         self, strategy: PartitioningStrategy, lookup_table: LookupTable | None = None
@@ -195,18 +239,27 @@ class Router:
         for column in primary_key:
             keys = [key + (value,) for key in keys for value in values[column]]
         partitions: set[int] = set()
+        writing = is_write(statement)
+        window = self.migration_window
         for key in keys:
-            placement = self.lookup_table.get(TupleId(table, key))
+            tuple_id = TupleId(table, key)
+            placement = self.lookup_table.get(tuple_id)
             if placement is None:
                 # Unknown tuple: defer to the strategy (its default policy).
-                placement = self.strategy.partitions_for_tuple(TupleId(table, key))
-            if not is_write(statement) and len(placement) > 1:
+                placement = self.strategy.partitions_for_tuple(tuple_id)
+            if not writing and len(placement) > 1:
                 already = placement & partitions
                 if context is not None and not already:
                     already = placement & frozenset(context.touched_partitions)
                 partitions.add(min(already) if already else min(placement))
             else:
                 partitions.update(placement)
+                if writing and window:
+                    # Dual-write window: a migration in flight needs writes
+                    # to also land on the replicas being added, or updates
+                    # applied after the copy step would be lost at the new
+                    # location.  Reads stay on the source placement.
+                    partitions.update(window.extra_write_partitions(tuple_id))
         return frozenset(partitions) if partitions else None
 
     def _pick_replica(

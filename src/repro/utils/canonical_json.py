@@ -1,0 +1,178 @@
+"""Streaming canonical JSON: byte-identical to sort-key ``json.dumps``.
+
+The plan artifact (and the migration journal) serialise as canonical JSON —
+sorted object keys, ``indent=1`` — so that ``save -> load -> save`` is
+byte-identical.  Passing ``indent`` to :func:`json.dumps` forces the pure
+Python encoder (the C accelerator only handles compact output), which is
+roughly an order of magnitude slower than ``loads``; this module re-emits
+exactly the same bytes with the C-accelerated string escaper and one
+``str.join`` per scalar-only container, and can stream the output in bounded
+chunks instead of materialising one giant string.
+
+>>> import json
+>>> payload = {"b": [1, 2.5, None], "a": {"nested": True, "s": "café"}}
+>>> dumps_canonical(payload) == json.dumps(payload, sort_keys=True, indent=1)
+True
+"""
+
+from __future__ import annotations
+
+from json.encoder import encode_basestring_ascii
+from typing import Callable, Iterator
+
+_INFINITY = float("inf")
+
+#: cached '\n' + one space per indent level (indent=1).
+_PADS: list[str] = ["\n"]
+
+
+def _pad(level: int) -> str:
+    while len(_PADS) <= level:
+        _PADS.append("\n" + " " * len(_PADS))
+    return _PADS[level]
+
+
+def _float_token(value: float) -> str:
+    # Mirrors json.encoder.floatstr with allow_nan=True.
+    if value != value:
+        return "NaN"
+    if value == _INFINITY:
+        return "Infinity"
+    if value == -_INFINITY:
+        return "-Infinity"
+    return float.__repr__(value)
+
+
+def _token(value: object, level: int) -> str | None:
+    """The complete JSON text of ``value``, or None when it must stream.
+
+    Covers scalars and "simple" containers (lists/tuples whose leaves are
+    scalars) in one joined string — the shape of every placement row and
+    journal step, which is where the volume is.  Non-empty dicts return None
+    immediately, so the bail-out cost on mixed trees stays O(1) per item.
+    Scalar dispatch is on the exact class (with an isinstance fallback for
+    subclasses) because this runs once per leaf of a plan-sized tree.
+    """
+    cls = value.__class__
+    if cls is str:
+        return encode_basestring_ascii(value)
+    if cls is int:
+        return int.__repr__(value)
+    if cls is float:
+        return _float_token(value)
+    if cls is bool:
+        return "true" if value else "false"
+    if value is None:
+        return "null"
+    if isinstance(value, (list, tuple)):
+        if not value:
+            return "[]"
+        pad = _pad(level + 1)
+        parts: list[str] = []
+        append = parts.append
+        for item in value:
+            item_cls = item.__class__
+            if item_cls is str:
+                append(encode_basestring_ascii(item))
+            elif item_cls is int:
+                append(int.__repr__(item))
+            else:
+                part = _token(item, level + 1)
+                if part is None:
+                    return None
+                append(part)
+        return "[" + pad + ("," + pad).join(parts) + _pad(level) + "]"
+    if isinstance(value, dict):
+        if not value:
+            return "{}"
+        return None
+    # Scalar subclasses (IntEnum, str subclasses) mirror json.dumps exactly.
+    if isinstance(value, str):
+        return encode_basestring_ascii(value)
+    if isinstance(value, int):
+        return int.__repr__(value)
+    if isinstance(value, float):
+        return _float_token(value)
+    raise TypeError(f"Object of type {type(value).__name__} is not JSON serializable")
+
+
+def _encode(value: object, emit: Callable[[str], None], level: int) -> None:
+    token = _token(value, level)
+    if token is not None:
+        emit(token)
+        return
+    if isinstance(value, (list, tuple)):
+        pad = _pad(level + 1)
+        emit("[")
+        first = True
+        for item in value:
+            prefix = pad if first else "," + pad
+            first = False
+            item_token = _token(item, level + 1)
+            if item_token is not None:
+                emit(prefix + item_token)
+            else:
+                emit(prefix)
+                _encode(item, emit, level + 1)
+        emit(_pad(level) + "]")
+        return
+    # Only a non-empty dict reaches here (everything else tokenised above).
+    for key in value:
+        if not isinstance(key, str):
+            raise TypeError(
+                f"canonical JSON object keys must be str, got {type(key).__name__}"
+            )
+    pad = _pad(level + 1)
+    emit("{")
+    first = True
+    for key, item in sorted(value.items()):
+        prefix = (pad if first else "," + pad) + encode_basestring_ascii(key) + ": "
+        first = False
+        item_token = _token(item, level + 1)
+        if item_token is not None:
+            emit(prefix + item_token)
+        else:
+            emit(prefix)
+            _encode(item, emit, level + 1)
+    emit(_pad(level) + "}")
+
+
+def iter_canonical(value: object, chunk_size: int = 1 << 16) -> Iterator[str]:
+    """Yield the canonical JSON text of ``value`` in bounded chunks."""
+    parts: list[str] = []
+    size = 0
+
+    chunks: list[str] = []
+
+    def emit(fragment: str) -> None:
+        nonlocal size
+        parts.append(fragment)
+        size += len(fragment)
+        if size >= chunk_size:
+            chunks.append("".join(parts))
+            parts.clear()
+            size = 0
+
+    _encode(value, emit, 0)
+    if parts:
+        chunks.append("".join(parts))
+    # The encoder is fully recursive (no laziness to preserve), so buffering
+    # first and yielding after keeps emit() free of generator overhead.
+    yield from chunks
+
+
+def dumps_canonical(value: object) -> str:
+    """Canonical JSON text of ``value``.
+
+    Byte-identical to ``json.dumps(value, sort_keys=True, indent=1)`` for
+    JSON-native trees (dict/list/tuple/str/int/float/bool/None).
+    """
+    parts: list[str] = []
+    _encode(value, parts.append, 0)
+    return "".join(parts)
+
+
+def write_canonical(value: object, fp, chunk_size: int = 1 << 16) -> None:
+    """Stream the canonical JSON text of ``value`` to a file-like object."""
+    for chunk in iter_canonical(value, chunk_size):
+        fp.write(chunk)

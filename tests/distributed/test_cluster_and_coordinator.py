@@ -187,3 +187,88 @@ def test_cluster_copy_and_drop_tuple(bank_database):
     assert not cluster.drop_tuple(tuple_id, 0)  # already gone
     # Copying a vanished row reports None.
     assert cluster.copy_tuple(TupleId("account", (99,)), 0, 1) is None
+
+
+# -- fault-injected execution (resilience substrate) ---------------------------------
+def _faulty_coordinator(bank_database, plan):
+    strategy = range_strategy()
+    cluster = Cluster.from_database(bank_database, strategy)
+    router = Router(strategy, bank_database.schema)
+    return cluster, TwoPhaseCommitCoordinator(cluster, router, plan.build())
+
+
+def _transfer():
+    return Transaction(
+        (
+            UpdateStatement("account", {"bal": ("delta", -1)}, where=eq("id", 1)),
+            UpdateStatement("account", {"bal": ("delta", 1)}, where=eq("id", 5)),
+        )
+    )
+
+
+def test_aborted_attempt_has_zero_side_effects(bank_database):
+    from repro.distributed.faults import FaultPlan, NodeCrash
+
+    cluster, coordinator = _faulty_coordinator(
+        bank_database,
+        FaultPlan(node_crashes=(NodeCrash(partition=1, at_tick=0, duration=100),)),
+    )
+    before = {0: cluster.database(0).row_count(), 1: cluster.database(1).row_count()}
+    balance = cluster.database(0).get_row(
+        next(iter(cluster.database(0).all_tuple_ids("account")))
+    )["bal"]
+    outcome = coordinator.execute_transaction(_transfer())
+    assert outcome.aborted
+    assert "unavailable" in outcome.abort_reason
+    # Zero side effects: neither partition was touched, not even the live one.
+    assert cluster.database(0).row_count() == before[0]
+    assert cluster.database(1).row_count() == before[1]
+    assert cluster.database(0).get_row(
+        next(iter(cluster.database(0).all_tuple_ids("account")))
+    )["bal"] == balance
+    assert coordinator.statistics.aborts == 1
+    assert coordinator.statistics.transactions == 0
+
+
+def test_abort_message_accounting_is_exact(bank_database):
+    from repro.distributed.faults import FaultPlan, NodeCrash
+
+    _, coordinator = _faulty_coordinator(
+        bank_database,
+        FaultPlan(node_crashes=(NodeCrash(partition=1, at_tick=0, duration=100),)),
+    )
+    outcome = coordinator.execute_transaction(_transfer())
+    assert outcome.aborted
+    # Prepare failed: one request/response pair per participant, no commit.
+    assert outcome.messages == 2 * len(outcome.participants)
+    assert outcome.latency == float(outcome.messages)
+
+
+def test_retries_commit_after_crash_window_expires(bank_database):
+    from repro.distributed.faults import FaultPlan, NodeCrash
+
+    cluster, coordinator = _faulty_coordinator(
+        bank_database,
+        # Down for ticks 0..3; the clock advances *before* each attempt's
+        # fault draw, so attempts run at ticks 1, 2, 3 (abort) and 4 (commit).
+        FaultPlan(node_crashes=(NodeCrash(partition=1, at_tick=0, duration=4),)),
+    )
+    observed = []
+    outcome = coordinator.execute_with_retries(_transfer(), observer=observed.append)
+    assert not outcome.aborted
+    # The observer saw every attempt, aborted retries included.
+    assert [o.aborted for o in observed] == [True, True, True, False]
+    assert coordinator.statistics.aborts == 3
+    assert coordinator.statistics.transactions == 1
+
+
+def test_retries_exhaust_against_permanent_outage(bank_database):
+    from repro.distributed.faults import FaultPlan, NodeCrash
+
+    _, coordinator = _faulty_coordinator(
+        bank_database,
+        FaultPlan(node_crashes=(NodeCrash(partition=1, at_tick=0, duration=10_000),)),
+    )
+    outcome = coordinator.execute_with_retries(_transfer(), max_attempts=3)
+    assert outcome.aborted
+    assert coordinator.statistics.aborts == 3

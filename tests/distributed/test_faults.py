@@ -1,0 +1,96 @@
+"""Unit tests for the seeded fault injector and its coordinator integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.faults import (
+    CoordinatorDeath,
+    CoordinatorKill,
+    FaultPlan,
+    MessageDropped,
+    NodeCrash,
+    NodeUnavailable,
+)
+
+
+def test_plan_validates_rates():
+    with pytest.raises(ValueError):
+        FaultPlan(message_drop_rate=1.0)
+    with pytest.raises(ValueError):
+        FaultPlan(message_delay_rate=-0.1)
+
+
+def test_node_crash_window_covers_exact_ticks():
+    injector = FaultPlan(
+        node_crashes=(NodeCrash(partition=1, at_tick=5, duration=3),)
+    ).build()
+    for _ in range(5):
+        assert injector.node_available(1)
+        injector.advance()
+    # ticks 5, 6, 7: down.
+    for _ in range(3):
+        assert not injector.node_available(1)
+        assert injector.crashed_partitions() == frozenset({1})
+        with pytest.raises(NodeUnavailable):
+            injector.check_available(1)
+        # the other partition stays up throughout.
+        injector.check_available(0)
+        injector.advance()
+    assert injector.node_available(1)
+    assert injector.statistics.unavailability_hits == 3
+
+
+def test_message_draws_are_seed_deterministic():
+    plan = FaultPlan(seed=42, message_drop_rate=0.3, message_delay_rate=0.2)
+
+    def draw_sequence():
+        injector = plan.build()
+        outcomes = []
+        for _ in range(200):
+            try:
+                outcomes.append(injector.deliver())
+            except MessageDropped:
+                outcomes.append("dropped")
+        return outcomes, injector.statistics.messages_dropped
+
+    first, first_drops = draw_sequence()
+    second, second_drops = draw_sequence()
+    assert first == second
+    assert first_drops == second_drops > 0
+
+
+def test_different_seeds_draw_differently():
+    def drops(seed):
+        injector = FaultPlan(seed=seed, message_drop_rate=0.3).build()
+        lost = 0
+        for _ in range(200):
+            try:
+                injector.deliver()
+            except MessageDropped:
+                lost += 1
+        return lost
+
+    # Not a statistical test — just that the stream actually depends on the
+    # seed (identical sequences would mean the fork is ignoring it).
+    assert any(drops(seed) != drops(0) for seed in (1, 2, 3))
+
+
+def test_coordinator_kill_fires_exactly_once():
+    injector = FaultPlan(coordinator_kills=(CoordinatorKill(at_record=2),)).build()
+    injector.on_journal_record("planned", 1)
+    with pytest.raises(CoordinatorDeath) as excinfo:
+        injector.on_journal_record("copying", 2)
+    assert excinfo.value.record == 2
+    assert excinfo.value.state == "copying"
+    # The same record re-persisted after resume must NOT kill again.
+    injector.on_journal_record("copying", 2)
+    injector.on_journal_record("copying", 3)
+    assert injector.statistics.coordinator_deaths == 1
+
+
+def test_deliver_without_faults_is_free():
+    injector = FaultPlan().build()
+    assert injector.deliver() == 0.0
+    assert injector.statistics.messages_dropped == 0
+    assert injector.statistics.messages_delayed == 0

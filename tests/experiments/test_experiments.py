@@ -114,3 +114,27 @@ def test_online_drift_adaptation_beats_full_repartition_on_cost():
     assert report.distributed_budgeted <= report.distributed_full + 0.10
     assert report.tuples_moved_budgeted < report.tuples_moved_full
     assert "budgeted" in format_online_drift(report)
+
+
+def test_resilience_survives_faults_with_zero_loss():
+    from repro.experiments import format_resilience, run_resilience
+
+    report = run_resilience(
+        seed=0,
+        warehouses=1,
+        training_transactions=120,
+        live_transactions=200,
+        migration_start=30,
+    )
+    # The acceptance criteria of the chaos scenario, all at once.
+    assert report.violations == []
+    assert report.final_partitions == 4
+    assert report.coordinator_deaths == 2
+    assert report.resumes == 2
+    assert report.lost_updates == 0
+    assert report.unreachable_tuples == 0
+    assert report.tuple_conservation
+    assert report.pacer_pauses + report.pacer_throttles > 0
+    assert report.deterministic
+    text = format_resilience(report)
+    assert "PASS" in text and "lost updates" in text

@@ -186,3 +186,66 @@ def test_load_drift_grows_then_shrinks():
     assert report.shrank
     assert report.unreachable_tuples == 0
     assert report.partition_trajectory[0] > report.initial_partitions
+
+
+# -- journaled sessions: crash/resume and cancel at the controller level -------------
+def _fresh_controller(k=2):
+    bundle = generate_rotating_hotspot(
+        num_rows=300,
+        transactions_per_phase=200,
+        num_phases=1,
+        hot_window=150,
+        seed=3,
+    )
+    offline = Schism(SchismOptions(num_partitions=k)).run(bundle.database, bundle.training)
+    options = OnlineOptions(
+        monitor=MonitorOptions(window_size=200, min_window_fill=50),
+        repartition=RepartitionOptions(migration_cost_weight=0.25, imbalance=0.10),
+        batch_size=50,
+    )
+    return start_online(offline, bundle.database, options)
+
+
+def test_begin_resize_session_survives_coordinator_death():
+    from repro.distributed.faults import CoordinatorDeath, CoordinatorKill, FaultPlan
+    from repro.online.migration import MemoryJournalSink
+
+    controller = _fresh_controller()
+    before_tuples = set(controller.cluster.all_tuple_ids())
+    sink = MemoryJournalSink()
+    injector = FaultPlan(
+        seed=1, coordinator_kills=(CoordinatorKill(at_record=2),)
+    ).build()
+    session = controller.begin_resize(4, sink=sink, injector=injector, batch_size=16)
+    with pytest.raises(CoordinatorDeath):
+        session.run_to_completion()
+    assert controller.resizes == []  # nothing recorded for the dead attempt
+
+    resumed = controller.attach_session(sink.load(), sink=sink)
+    record = resumed.run_to_completion()
+    assert record is not None
+    assert record.repartition is None  # planning context died with the crash
+    assert controller.num_partitions == 4
+    assert controller.monitor.strategy is controller.router.strategy
+    assert _audit_reachability(controller) == 0
+    assert set(controller.cluster.all_tuple_ids()) == before_tuples
+    assert controller.resizes == [record]
+
+
+def test_begin_resize_session_cancel_rolls_back():
+    controller = _fresh_controller()
+    before_tuples = set(controller.cluster.all_tuple_ids())
+    session = controller.begin_resize(4, batch_size=16)
+    # A few batches in (cluster already grown), change of plans: cancel.
+    for _ in range(3):
+        session.tick()
+    assert controller.cluster.num_partitions == 4
+    session.cancel()
+    record = session.run_to_completion()
+    assert record is None  # cancelled resizes record nothing
+    assert session.journal.state == "cancelled"
+    assert controller.num_partitions == 2
+    assert controller.cluster.num_partitions == 2
+    assert _audit_reachability(controller) == 0
+    assert set(controller.cluster.all_tuple_ids()) == before_tuples
+    assert controller.resizes == []

@@ -246,3 +246,107 @@ def test_small_real_warmup_baseline_is_kept():
     report = monitor.check_drift()
     assert report.drifted
     assert any("distributed fraction" in reason for reason in report.reasons)
+
+
+# -- auto-derived churn weight-share threshold ---------------------------------------
+def test_churn_threshold_explicit_option_wins():
+    monitor = WorkloadMonitor(
+        MonitorOptions(drift_churn_min_weight_share=0.42), _strategy()
+    )
+    assert monitor.churn_weight_share_threshold() == 0.42
+
+
+def test_churn_threshold_floor_before_any_traffic():
+    monitor = WorkloadMonitor(MonitorOptions(), _strategy())
+    assert monitor.churn_weight_share_threshold() == MonitorOptions().drift_churn_share_floor
+
+
+def test_churn_threshold_tracks_uniform_expectation():
+    options = MonitorOptions(window_size=400, hot_set_size=4)
+    monitor = WorkloadMonitor(options, _strategy(2, {k: 0 for k in range(20)}))
+    for key in range(20):
+        monitor.ingest(_access([key]))
+    # 20 tracked tuples, hot set 4: uniform expectation 0.2, lifted 1.25x.
+    assert monitor.churn_weight_share_threshold() == pytest.approx(0.25)
+    # Under perfectly uniform traffic the hot set carries exactly the
+    # uniform expectation — strictly below the lifted bar, so the churn
+    # gate stays closed no matter how the hot-set *membership* drifts.
+    assert monitor.hot_weight_share() == pytest.approx(0.2)
+    assert monitor.hot_weight_share() < monitor.churn_weight_share_threshold()
+
+
+def test_churn_threshold_floor_on_wide_populations():
+    options = MonitorOptions(window_size=2000, hot_set_size=4)
+    monitor = WorkloadMonitor(options, _strategy(2, {k: 0 for k in range(100)}))
+    for key in range(100):
+        monitor.ingest(_access([key]))
+    # 4/100 lifted is 0.05 — below the floor, so the old 10% bar holds.
+    assert monitor.churn_weight_share_threshold() == pytest.approx(
+        options.drift_churn_share_floor
+    )
+
+
+def test_churn_threshold_capped_for_tiny_populations():
+    options = MonitorOptions(window_size=100, hot_set_size=4)
+    monitor = WorkloadMonitor(options, _strategy(2, {k: 0 for k in range(4)}))
+    for key in range(4):
+        monitor.ingest(_access([key]))
+    # hot_set_size >= tracked: the uncapped bar would be 1.25 — unreachable.
+    assert monitor.churn_weight_share_threshold() == pytest.approx(0.95)
+
+
+def test_skewed_traffic_clears_the_derived_bar():
+    options = MonitorOptions(
+        window_size=400,
+        min_window_fill=10,
+        hot_set_size=4,
+        drift_distributed_increase=2.0,
+        drift_skew_threshold=100.0,
+        drift_churn_threshold=0.5,
+    )
+    monitor = WorkloadMonitor(options, _strategy(2, {k: 0 for k in range(40)}))
+    # Baseline: tuples 0..3 hot, with the rest seen once (tracked = 20).
+    for key in range(16, 32):
+        monitor.ingest(_access([key]))
+    for key in (0, 1, 2, 3) * 20:
+        monitor.ingest(_access([key]))
+    monitor.set_baseline()
+    # New hot set 10..13 dominates the window: the share clears the bar and
+    # the membership churn (Jaccard 0 vs baseline) fires the signal.
+    for key in (10, 11, 12, 13) * 30:
+        monitor.ingest(_access([key]))
+    assert monitor.hot_weight_share() > monitor.churn_weight_share_threshold()
+    report = monitor.check_drift()
+    assert report.drifted
+    assert any("churn" in reason for reason in report.reasons)
+
+
+def test_uniform_churn_does_not_fire_derived_gate():
+    options = MonitorOptions(
+        window_size=400,
+        min_window_fill=10,
+        hot_set_size=4,
+        drift_distributed_increase=2.0,
+        drift_skew_threshold=100.0,
+        drift_churn_threshold=0.5,
+    )
+    monitor = WorkloadMonitor(options, _strategy(2, {k: 0 for k in range(40)}))
+    # Uniform traffic over 20 tuples; the "hot set" is sampling noise.
+    for key in list(range(20)) * 3:
+        monitor.ingest(_access([key]))
+    monitor.set_baseline()
+    # Entirely different — but still uniform — tuples: membership churn is
+    # total, yet no hot set exists, so the weight-share gate must block it.
+    for key in list(range(20, 40)) * 3:
+        monitor.ingest(_access([key]))
+    report = monitor.check_drift()
+    assert not any("churn" in reason for reason in report.reasons)
+
+
+def test_churn_option_validation():
+    with pytest.raises(ValueError):
+        MonitorOptions(drift_churn_share_floor=-0.1)
+    with pytest.raises(ValueError):
+        MonitorOptions(drift_churn_share_lift=0.0)
+    with pytest.raises(ValueError):
+        MonitorOptions(drift_churn_min_weight_share=1.5)

@@ -90,3 +90,59 @@ def test_route_transaction_accumulates_participants(bank_schema):
     assert participants == {0, 1}
     decisions = router.route_transaction(transaction)
     assert len(decisions) == 2
+
+
+# -- dual-write migration window -----------------------------------------------------
+def _lookup_router(bank_schema, k=4, placements=None):
+    assignment = PartitionAssignment(k)
+    for key, partitions in (placements or {1: {0}, 2: {1}}).items():
+        assignment.assign(TupleId("account", (key,)), set(partitions))
+    table = DictLookupTable(k)
+    for tuple_id in assignment:
+        table.put(tuple_id, assignment.partitions_of(tuple_id))
+    strategy = LookupTablePartitioning(k, assignment, "hash")
+    return Router(strategy, schema=bank_schema, lookup_table=table)
+
+
+def test_window_widens_writes_but_not_reads(bank_schema):
+    router = _lookup_router(bank_schema)
+    tuple_id = TupleId("account", (1,))
+    router.migration_window.open([(tuple_id, {2})])
+    write = router.route_statement(
+        UpdateStatement("account", {"bal": ("delta", 1)}, where=eq("id", 1))
+    )
+    # The write reaches the copy destination as well as the source replica.
+    assert write.partitions == {0, 2}
+    read = router.route_statement(SelectStatement(("account",), where=eq("id", 1)))
+    # Reads keep preferring the source until the routing flip.
+    assert read.partitions == {0}
+
+
+def test_window_only_affects_in_flight_tuples(bank_schema):
+    router = _lookup_router(bank_schema)
+    router.migration_window.open([(TupleId("account", (1,)), {2})])
+    other = router.route_statement(
+        UpdateStatement("account", {"bal": ("delta", 1)}, where=eq("id", 2))
+    )
+    assert other.partitions == {1}
+
+
+def test_window_close_restores_plain_routing(bank_schema):
+    router = _lookup_router(bank_schema)
+    tuple_id = TupleId("account", (1,))
+    router.migration_window.open([(tuple_id, {2})])
+    assert router.migration_window
+    router.migration_window.close()
+    assert not router.migration_window
+    write = router.route_statement(
+        UpdateStatement("account", {"bal": ("delta", 1)}, where=eq("id", 1))
+    )
+    assert write.partitions == {0}
+
+
+def test_window_empty_extras_are_dropped(bank_schema):
+    router = _lookup_router(bank_schema)
+    router.migration_window.open([(TupleId("account", (1,)), frozenset())])
+    # An unchanged tuple contributes no entry — the window stays closed.
+    assert not router.migration_window
+    assert len(router.migration_window) == 0

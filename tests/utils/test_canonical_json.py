@@ -1,0 +1,77 @@
+"""The streaming canonical writer must match sort-key ``json.dumps`` exactly."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.utils.canonical_json import dumps_canonical, write_canonical
+
+CASES = [
+    None,
+    True,
+    False,
+    0,
+    -17,
+    10**30,
+    1.5,
+    -0.0,
+    1e-300,
+    "",
+    "plain",
+    "quotes \" and \\ backslash",
+    "newline\nand\ttab",
+    "café ünïcode 漢字  ",
+    [],
+    {},
+    [1, 2, 3],
+    [[], [[]], [{}, {"a": []}]],
+    {"a": 1, "b": 2},
+    {"b": 2, "a": 1},  # key order must not matter
+    {"outer": {"inner": [1, {"deep": None}]}, "z": "last", "A": "caps first"},
+    {"mixed": [1, "two", 3.0, None, True, {"k": [False]}]},
+    # plan-shaped payload: rows of [table, key-list, partition-list].
+    {
+        "placements": [
+            ["account", [5], [0, 1]],
+            ["account", [17], [3]],
+            ["order_line", [1, 2, 3, 4], [2]],
+        ],
+        "version": 1,
+    },
+]
+
+
+@pytest.mark.parametrize("payload", CASES)
+def test_dumps_matches_stdlib_bytes(payload):
+    assert dumps_canonical(payload) == json.dumps(payload, sort_keys=True, indent=1)
+
+
+@pytest.mark.parametrize("payload", CASES)
+def test_write_streams_identical_bytes(payload):
+    buffer = io.StringIO()
+    write_canonical(payload, buffer)
+    assert buffer.getvalue() == dumps_canonical(payload)
+
+
+def test_small_chunk_size_streams_identically():
+    payload = {"rows": [[i, str(i), [i, i + 1]] for i in range(200)]}
+    buffer = io.StringIO()
+    write_canonical(payload, buffer, chunk_size=7)
+    assert buffer.getvalue() == json.dumps(payload, sort_keys=True, indent=1)
+
+
+def test_tuples_serialise_as_lists():
+    assert dumps_canonical((1, (2, 3))) == json.dumps([1, [2, 3]], indent=1)
+
+
+def test_non_finite_floats_match_stdlib():
+    payload = [float("inf"), float("-inf")]
+    assert dumps_canonical(payload) == json.dumps(payload, sort_keys=True, indent=1)
+
+
+def test_round_trips_through_loads():
+    payload = {"a": [1, 2.5, None, "s"], "b": {"c": True}}
+    assert json.loads(dumps_canonical(payload)) == payload
