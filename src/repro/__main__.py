@@ -1,8 +1,17 @@
 """Entry point for ``python -m repro`` (see :mod:`repro.cli`)."""
 
+import os
 import sys
 
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        exit_code = main()
+    except BrokenPipeError:
+        # The consumer closed the pipe early (e.g. `repro status ... | head`);
+        # exit quietly like any well-behaved filter, and detach stdout so the
+        # interpreter's shutdown flush cannot raise the same error again.
+        sys.stdout = open(os.devnull, "w")
+        exit_code = 0
+    sys.exit(exit_code)

@@ -12,6 +12,11 @@ artifact:
   partition-count changes);
 * ``bench``  — run one of the paper's experiments and print its table.
 
+Two observability surfaces ride alongside them: ``status`` renders the state
+of a journaled migration (and ``journal inspect`` replays its journal into a
+timeline), and ``run``/``deploy``/``bench`` accept ``--metrics-out`` to dump
+a canonical-JSON metrics snapshot of everything the invocation did.
+
 Examples::
 
     python -m repro run --workload simplecount --partitions 4 --out plan.json
@@ -24,11 +29,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable
 
 from repro.core.config import default_options
 from repro.core.schism import start_online
 from repro.experiments.figure4 import FIGURE4_EXPERIMENTS
+from repro.obs import Telemetry, get_telemetry, set_telemetry
 from repro.pipeline import PartitionPlan, Pipeline
 from repro.utils.rng import SeededRng
 from repro.workload.rwsets import extract_access_trace
@@ -234,6 +241,47 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_journal(path_text: str):
+    """Load a migration journal from ``path_text``.
+
+    Accepts either the journal file itself or a plan file, in which case the
+    journal is looked up at its conventional sibling path (``<plan>.journal``).
+    """
+    from repro.online.migration import (
+        JournalFormatError,
+        MigrationJournal,
+        default_journal_path,
+    )
+
+    path = Path(path_text)
+    if not path.exists():
+        raise SystemExit(f"no such file: {path}")
+    try:
+        return MigrationJournal.loads(path.read_text(encoding="utf-8"))
+    except JournalFormatError:
+        journal_path = default_journal_path(path)
+        if journal_path.exists():
+            return MigrationJournal.loads(journal_path.read_text(encoding="utf-8"))
+        raise SystemExit(
+            f"{path} is not a migration journal and no journal exists at "
+            f"{journal_path}"
+        )
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.obs.status import render_status
+
+    print(render_status(_load_journal(args.path)))
+    return 0
+
+
+def cmd_journal_inspect(args: argparse.Namespace) -> int:
+    from repro.obs.status import inspect_journal
+
+    print(inspect_journal(_load_journal(args.path)))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
@@ -257,6 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--train-fraction", type=float, default=0.7)
     run_parser.add_argument("--out", default=None, help="where to write the plan JSON")
+    run_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write a canonical-JSON metrics snapshot of the run here",
+    )
     run_parser.set_defaults(handler=cmd_run)
 
     deploy_parser = subparsers.add_parser(
@@ -273,6 +326,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     deploy_parser.add_argument(
         "--export", default=None, help="re-export the live placement as a plan file"
+    )
+    deploy_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write a canonical-JSON metrics snapshot of the deployment here",
     )
     deploy_parser.set_defaults(handler=cmd_deploy)
 
@@ -294,15 +352,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--seed", type=int, default=0)
     bench_parser.add_argument("--scale", type=float, default=1.0)
+    bench_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write a canonical-JSON metrics snapshot of the experiment here",
+    )
     bench_parser.set_defaults(handler=cmd_bench)
+
+    status_parser = subparsers.add_parser(
+        "status", help="render the state of a journaled migration"
+    )
+    status_parser.add_argument(
+        "path", help="migration journal (or plan file with a sibling journal)"
+    )
+    status_parser.set_defaults(handler=cmd_status)
+
+    journal_parser = subparsers.add_parser(
+        "journal", help="inspect migration journal files"
+    )
+    journal_subparsers = journal_parser.add_subparsers(
+        dest="journal_command", required=True
+    )
+    inspect_parser = journal_subparsers.add_parser(
+        "inspect", help="replay a journal into a human-readable timeline"
+    )
+    inspect_parser.add_argument(
+        "path", help="migration journal (or plan file with a sibling journal)"
+    )
+    inspect_parser.set_defaults(handler=cmd_journal_inspect)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    When ``--metrics-out`` is given, an enabled telemetry registry is
+    installed *before* the handler constructs any instrumented objects (they
+    resolve their metric handles at construction time) and the snapshot is
+    written even when the handler exits via :class:`SystemExit` — the
+    resilience gate must not suppress the evidence of the run it failed.
+    """
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not metrics_out:
+        return args.handler(args)
+    previous = set_telemetry(Telemetry.create(seed=getattr(args, "seed", 0)))
+    try:
+        return args.handler(args)
+    finally:
+        snapshot = get_telemetry().metrics.dumps()
+        Path(metrics_out).write_text(snapshot, encoding="utf-8")
+        set_telemetry(previous)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.distributed.cluster import Cluster
 from repro.distributed.faults import FaultInjector, MessageDropped
 from repro.engine.executor import StatementResult
+from repro.obs import get_telemetry
 from repro.routing.router import Router, TransactionRoutingContext
 from repro.workload.trace import Transaction, Workload
 
@@ -105,6 +106,21 @@ class TwoPhaseCommitCoordinator:
         self.statistics = CoordinatorStatistics()
         #: injected delivery delay accumulated by the last fault draw.
         self._delay_total = 0.0
+        metrics = get_telemetry().metrics
+        self._attempts = metrics.counter(
+            "twopc.attempts",
+            "transaction attempts by outcome and locality",
+            labels=("outcome", "scope"),
+        )
+        self._abort_reasons = metrics.counter(
+            "twopc.aborts", "aborted attempts by (normalised) reason", labels=("reason",)
+        )
+        self._messages = metrics.counter(
+            "twopc.messages", "network messages exchanged"
+        )
+        self._latency = metrics.histogram(
+            "twopc.latency", "per-attempt latency proxy (messages + injected delay)"
+        )
 
     def execute_transaction(self, transaction: Transaction) -> TransactionOutcome:
         """Execute one transaction, returning its outcome and updating statistics."""
@@ -142,6 +158,16 @@ class TwoPhaseCommitCoordinator:
                     latency=float(abort_messages),
                 )
                 self.statistics.aborts += 1
+                scope = "distributed" if len(participants) > 1 else "local"
+                self._attempts.inc(outcome="aborted", scope=scope)
+                # Bounded label cardinality: "participant N unavailable"
+                # normalises to "unavailable" (the outcome keeps the full
+                # reason string).
+                self._abort_reasons.inc(
+                    reason="unavailable" if "unavailable" in aborted else "dropped"
+                )
+                self._messages.inc(abort_messages)
+                self._latency.observe(outcome.latency)
                 return outcome
         statement_results: list[StatementResult] = []
         for statement, decision in zip(transaction.statements, decisions):
@@ -227,3 +253,9 @@ class TwoPhaseCommitCoordinator:
         self.statistics.total_participants += len(outcome.participants)
         if outcome.is_distributed:
             self.statistics.distributed_transactions += 1
+        self._attempts.inc(
+            outcome="committed",
+            scope="distributed" if outcome.is_distributed else "local",
+        )
+        self._messages.inc(outcome.messages)
+        self._latency.observe(outcome.latency)

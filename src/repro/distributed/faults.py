@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import get_telemetry
 from repro.utils.rng import SeededRng
 
 
@@ -126,6 +127,9 @@ class FaultInjector:
         self._rng = SeededRng(plan.seed).fork("faults")
         self._pending_kills = {kill.at_record for kill in plan.coordinator_kills}
         self._fired_kills: set[int] = set()
+        self._injected = get_telemetry().metrics.counter(
+            "faults.injected", "faults fired by kind", labels=("kind",)
+        )
 
     # -- clock -------------------------------------------------------------------------
     def advance(self, ticks: int = 1) -> None:
@@ -153,6 +157,7 @@ class FaultInjector:
         """Raise :class:`NodeUnavailable` when ``partition`` is down."""
         if not self.node_available(partition):
             self.statistics.unavailability_hits += 1
+            self._injected.inc(kind="node_unavailable")
             raise NodeUnavailable(partition)
 
     # -- messages ----------------------------------------------------------------------
@@ -167,9 +172,11 @@ class FaultInjector:
         delay = 0.0
         if plan.message_drop_rate > 0.0 and self._rng.bernoulli(plan.message_drop_rate):
             self.statistics.messages_dropped += 1
+            self._injected.inc(kind="message_dropped")
             raise MessageDropped("message lost")
         if plan.message_delay_rate > 0.0 and self._rng.bernoulli(plan.message_delay_rate):
             self.statistics.messages_delayed += 1
+            self._injected.inc(kind="message_delayed")
             delay = plan.message_delay
         return delay
 
@@ -184,4 +191,5 @@ class FaultInjector:
         if record in self._pending_kills and record not in self._fired_kills:
             self._fired_kills.add(record)
             self.statistics.coordinator_deaths += 1
+            self._injected.inc(kind="coordinator_death")
             raise CoordinatorDeath(state, record)

@@ -47,6 +47,7 @@ from repro.online.controller import (
 )
 from repro.online.migration import MemoryJournalSink
 from repro.online.monitor import MonitorOptions
+from repro.obs import trace_span
 from repro.online.repartitioner import RepartitionOptions
 from repro.pipeline import Pipeline, SchismOptions
 from repro.workload.trace import Workload
@@ -133,6 +134,23 @@ def _run_scenario(
     migration_start: int,
 ) -> ResilienceReport:
     """One deterministic pass of the hostile-resize scenario."""
+    from repro.core.schism import start_online
+
+    with trace_span(
+        "experiment.resilience", seed=seed, warehouses=warehouses
+    ):
+        return _run_scenario_traced(
+            seed, warehouses, training_transactions, live_transactions, migration_start
+        )
+
+
+def _run_scenario_traced(
+    seed: int,
+    warehouses: int,
+    training_transactions: int,
+    live_transactions: int,
+    migration_start: int,
+) -> ResilienceReport:
     from repro.core.schism import start_online
 
     config = TpccConfig(

@@ -38,6 +38,7 @@ from dataclasses import dataclass, replace
 from repro.graph.coarsen import coarsen_chain, coarsen_to, project_assignment
 from repro.graph.initial import greedy_bisection, peripheral_seed, random_bisection
 from repro.graph.model import CSRGraph, Graph, as_csr
+from repro.obs import get_telemetry
 from repro.graph.refine import (
     _fm_refine_csr,
     cut_weight_two_way,
@@ -170,21 +171,37 @@ class GraphPartitioner:
             return [0] * graph.num_nodes
         csr = as_csr(graph)
         rng = SeededRng(self.options.seed)
-        if num_parts > 2 and self.options.kway_mode != "recursive":
-            return self._direct_kway(csr, num_parts, rng)
-        assignment = [0] * csr.num_nodes
-        self._recursive_bisect(
-            csr,
-            list(csr.nodes()),
-            num_parts,
-            first_part=0,
-            assignment=assignment,
-            rng=rng,
-        )
-        max_weights = self._kway_max_weights(csr, num_parts)
-        rebalance(csr, assignment, num_parts, max_weights)
-        greedy_kway_refine(csr, assignment, num_parts, max_weights, self.options.refine_passes)
-        return assignment
+        telemetry = get_telemetry()
+        telemetry.metrics.counter(
+            "partition.runs", "graph partitioner invocations"
+        ).inc()
+        with telemetry.tracer.span(
+            "partition.kway", k=num_parts, nodes=csr.num_nodes
+        ):
+            if num_parts > 2 and self.options.kway_mode != "recursive":
+                return self._direct_kway(csr, num_parts, rng)
+            assignment = [0] * csr.num_nodes
+            with telemetry.tracer.span("partition.bisect", k=num_parts):
+                self._recursive_bisect(
+                    csr,
+                    list(csr.nodes()),
+                    num_parts,
+                    first_part=0,
+                    assignment=assignment,
+                    rng=rng,
+                )
+            max_weights = self._kway_max_weights(csr, num_parts)
+            with telemetry.tracer.span("partition.refine", level=0, nodes=csr.num_nodes):
+                rebalance(csr, assignment, num_parts, max_weights)
+                greedy_kway_refine(
+                    csr, assignment, num_parts, max_weights, self.options.refine_passes
+                )
+            phases = telemetry.metrics.counter(
+                "partition.phases", "partitioner phase executions", labels=("phase",)
+            )
+            phases.inc(phase="bisect")
+            phases.inc(phase="refine")
+            return assignment
 
     # -- direct k-way -----------------------------------------------------------------
     def _direct_kway(self, csr: CSRGraph, num_parts: int, rng: SeededRng) -> list[int]:
@@ -210,14 +227,22 @@ class GraphPartitioner:
         ``max_weights``, so the final rebalance is a no-op safety net.
         """
         options = self.options
+        telemetry = get_telemetry()
+        phases = telemetry.metrics.counter(
+            "partition.phases", "partitioner phase executions", labels=("phase",)
+        )
         max_weights = self._kway_max_weights(csr, num_parts)
         coarse_target = max(options.coarsen_target, options.kway_coarse_factor * num_parts)
-        levels = coarsen_chain(csr, coarse_target, options.seed)
-        # A level far below the target over-coarsens the initial partition's
-        # granularity (one matching round can overshoot); back up one level.
-        while len(levels) > 1 and levels[-1].graph.num_nodes < coarse_target // 2:
-            levels.pop()
-        coarsest = levels[-1].graph if levels else csr
+        with telemetry.tracer.span("partition.coarsen", nodes=csr.num_nodes) as coarsen_span:
+            levels = coarsen_chain(csr, coarse_target, options.seed)
+            # A level far below the target over-coarsens the initial partition's
+            # granularity (one matching round can overshoot); back up one level.
+            while len(levels) > 1 and levels[-1].graph.num_nodes < coarse_target // 2:
+                levels.pop()
+            coarsest = levels[-1].graph if levels else csr
+            coarsen_span.set_attribute("levels", len(levels))
+            coarsen_span.set_attribute("coarsest_nodes", coarsest.num_nodes)
+        phases.inc(phase="coarsen")
         initial = GraphPartitioner(
             replace(
                 options,
@@ -235,43 +260,51 @@ class GraphPartitioner:
             )
         )
         assignment = [0] * coarsest.num_nodes
-        initial._recursive_bisect(
-            coarsest,
-            list(coarsest.nodes()),
-            num_parts,
-            first_part=0,
-            assignment=assignment,
-            rng=rng,
-        )
-        rebalance(coarsest, assignment, num_parts, max_weights)
-        external = kway_fm_refine(
-            coarsest,
-            assignment,
-            num_parts,
-            max_weights,
-            max_passes=max(options.refine_passes, 2),
-            max_negative_streak=4 * options.fm_negative_streak,
-            pass_gain_tolerance=0.002,
-        )
+        with telemetry.tracer.span(
+            "partition.initial", k=num_parts, nodes=coarsest.num_nodes
+        ):
+            initial._recursive_bisect(
+                coarsest,
+                list(coarsest.nodes()),
+                num_parts,
+                first_part=0,
+                assignment=assignment,
+                rng=rng,
+            )
+            rebalance(coarsest, assignment, num_parts, max_weights)
+            external = kway_fm_refine(
+                coarsest,
+                assignment,
+                num_parts,
+                max_weights,
+                max_passes=max(options.refine_passes, 2),
+                max_negative_streak=4 * options.fm_negative_streak,
+                pass_gain_tolerance=0.002,
+            )
+        phases.inc(phase="initial")
         for index in range(len(levels) - 1, -1, -1):
             fine_to_coarse = levels[index].fine_to_coarse
             assignment = project_assignment(levels[index], assignment)
             boundary_hint = [external[coarse] > 0.0 for coarse in fine_to_coarse]
             finest = index == 0
             finer_graph = csr if finest else levels[index - 1].graph
-            external = kway_fm_refine(
-                finer_graph,
-                assignment,
-                num_parts,
-                max_weights,
-                max_passes=options.refine_passes if finest else 1,
-                max_negative_streak=8 * options.fm_negative_streak
-                if finest
-                else 4 * options.fm_negative_streak,
-                boundary_hint=boundary_hint,
-                want_external=not finest,
-                pass_gain_tolerance=0.002,
-            )
+            with telemetry.tracer.span(
+                "partition.refine", level=index, nodes=finer_graph.num_nodes
+            ):
+                external = kway_fm_refine(
+                    finer_graph,
+                    assignment,
+                    num_parts,
+                    max_weights,
+                    max_passes=options.refine_passes if finest else 1,
+                    max_negative_streak=8 * options.fm_negative_streak
+                    if finest
+                    else 4 * options.fm_negative_streak,
+                    boundary_hint=boundary_hint,
+                    want_external=not finest,
+                    pass_gain_tolerance=0.002,
+                )
+            phases.inc(phase="refine")
         rebalance(csr, assignment, num_parts, max_weights)
         greedy_kway_refine(csr, assignment, num_parts, max_weights, max_passes=1)
         return assignment

@@ -1,0 +1,283 @@
+"""Deterministic span tracing.
+
+A :class:`Tracer` records a tree of **spans** — named regions of work with
+explicit parent/child relationships.  Span ids are drawn from a
+:class:`~repro.utils.rng.SeededRng` sub-stream (``fork("obs.spans")``), so a
+seeded run produces the same id sequence every time; wall-clock never enters
+an id.  Durations *are* measured (via :class:`~repro.obs.clock.Stopwatch`)
+but live on the span object only — the deterministic payload
+(:meth:`Tracer.finished_payload`) excludes them, mirroring the volatile-family
+rule in :mod:`repro.obs.metrics`.
+
+Spans follow strict stack discipline per tracer: ``span()`` is a context
+manager, children open and close inside their parent, and an exception
+unwinds the stack closing each span with ``status="error"``.  Finished spans
+accumulate in a bounded list (oldest dropped first, with a drop counter) so a
+long chaos run cannot grow memory without bound.
+
+:data:`NULL_TRACER` is the shared no-op used when telemetry is disabled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.obs.clock import Stopwatch
+from repro.utils.rng import SeededRng
+
+#: finished spans retained before the oldest are dropped.
+DEFAULT_SPAN_CAPACITY = 20_000
+#: trace events retained (deque, oldest evicted silently).
+DEFAULT_EVENT_CAPACITY = 20_000
+
+
+class Span:
+    """One named region of work inside a trace tree."""
+
+    __slots__ = ("name", "span_id", "parent_id", "depth", "sequence", "attributes",
+                 "status", "events", "duration", "_watch")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: str,
+        parent_id: str | None,
+        depth: int,
+        sequence: int,
+        attributes: dict,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.sequence = sequence
+        self.attributes = attributes
+        self.status = "ok"
+        self.events: list[dict] = []
+        self.duration = 0.0
+        self._watch = Stopwatch()
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach a key/value attribute to the span."""
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes: object) -> None:
+        """Record a point-in-time event inside the span."""
+        self.events.append({"name": name, "attributes": dict(attributes)})
+
+    def to_payload(self) -> dict:
+        """Deterministic dict form — no durations, no wall-clock."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "sequence": self.sequence,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "events": [dict(event) for event in self.events],
+        }
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.status = "error"
+            self._span.set_attribute("error_type", exc_type.__name__)
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Seeded span tracer with strict stack discipline.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the span-id stream (``SeededRng(seed).fork("obs.spans")``).
+    capacity:
+        Maximum finished spans retained; older spans are dropped and counted
+        in :attr:`dropped_spans`.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        seed: int = 0,
+        capacity: int = DEFAULT_SPAN_CAPACITY,
+        event_capacity: int = DEFAULT_EVENT_CAPACITY,
+    ) -> None:
+        self._ids = SeededRng(seed).fork("obs.spans")
+        self._capacity = capacity
+        self._stack: list[Span] = []
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._events: deque[dict] = deque(maxlen=event_capacity)
+        self._sequence = 0
+        self.dropped_spans = 0
+
+    def _next_id(self) -> str:
+        return f"{self._ids.randint(0, 0xFFFFFFFFFFFFFFFF):016x}"
+
+    def span(self, name: str, **attributes: object) -> _SpanContext:
+        """Open a child span of the current span (or a root span).
+
+        Use as a context manager::
+
+            with tracer.span("partition.refine", level=2) as span:
+                ...
+                span.set_attribute("moves", moves)
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id(),
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._stack),
+            sequence=self._sequence,
+            attributes=dict(attributes),
+        )
+        self._sequence += 1
+        return _SpanContext(self, span)
+
+    def event(self, name: str, **attributes: object) -> None:
+        """Record an event on the current span (or as a free-standing event)."""
+        if self._stack:
+            self._stack[-1].add_event(name, **attributes)
+        else:
+            self._events.append({"name": name, "attributes": dict(attributes)})
+
+    def current_span(self) -> Span | None:
+        """The innermost open span, or ``None``."""
+        return self._stack[-1] if self._stack else None
+
+    # -- stack management (called by _SpanContext) -------------------------------
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+        span._watch.start()
+
+    def _pop(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order; open stack: "
+                f"{[open_span.name for open_span in self._stack]}"
+            )
+        self._stack.pop()
+        span.duration = span._watch.stop()
+        if len(self._finished) == self._capacity:
+            self.dropped_spans += 1
+        self._finished.append(span)
+
+    # -- inspection ---------------------------------------------------------------
+    @property
+    def open_spans(self) -> list[Span]:
+        """The currently open span stack, outermost first."""
+        return list(self._stack)
+
+    @property
+    def finished_spans(self) -> list[Span]:
+        """Finished spans in completion order (oldest may have been dropped)."""
+        return list(self._finished)
+
+    def finished_payload(self) -> list[dict]:
+        """Deterministic payloads of the finished spans, in start order."""
+        return [
+            span.to_payload()
+            for span in sorted(self._finished, key=lambda open_span: open_span.sequence)
+        ]
+
+    def check_well_formed(self) -> None:
+        """Raise ``ValueError`` if the finished span tree is malformed.
+
+        Checks that every finished span's parent either finished as well or
+        is still open, that parents started before their children (sequence
+        order), and that depths are consistent with the parent chain.  With
+        all work complete and the stack empty this verifies every child
+        closed inside its parent.
+        """
+        by_id = {span.span_id: span for span in self._finished}
+        for span in self._stack:
+            by_id[span.span_id] = span
+        open_ids = {span.span_id for span in self._stack}
+        for span in self._finished:
+            if span.parent_id is None:
+                if span.depth != 0:
+                    raise ValueError(f"root span {span.name!r} has depth {span.depth}")
+                continue
+            parent = by_id.get(span.parent_id)
+            if parent is None:
+                # the parent may have been dropped from the bounded buffer
+                if self.dropped_spans == 0:
+                    raise ValueError(
+                        f"span {span.name!r} references unknown parent {span.parent_id}"
+                    )
+                continue
+            if parent.sequence >= span.sequence:
+                raise ValueError(
+                    f"span {span.name!r} started before its parent {parent.name!r}"
+                )
+            if span.depth != parent.depth + 1:
+                raise ValueError(
+                    f"span {span.name!r} depth {span.depth} inconsistent with "
+                    f"parent {parent.name!r} depth {parent.depth}"
+                )
+            if span.parent_id not in open_ids and parent not in self._finished:
+                raise ValueError(
+                    f"span {span.name!r} finished but parent {parent.name!r} vanished"
+                )
+
+
+class _NullSpan:
+    """Shared no-op span; also its own context manager."""
+
+    __slots__ = ()
+    name = ""
+    span_id = ""
+    parent_id = None
+    status = "ok"
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Disabled tracing: ``span()`` returns a shared no-op context manager."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(seed=0, capacity=1, event_capacity=1)
+
+    def span(self, name: str, **attributes: object):
+        return _NULL_SPAN
+
+    def event(self, name: str, **attributes: object) -> None:
+        pass
+
+
+#: the process-wide no-op tracer (see :mod:`repro.obs`).
+NULL_TRACER = NullTracer()

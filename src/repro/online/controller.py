@@ -54,6 +54,7 @@ from repro.online.migration import (
     MigrationReport,
     plan_migration,
 )
+from repro.obs import DEFAULT_BUCKETS, RATE_BUCKETS, get_telemetry
 from repro.online.monitor import DriftReport, MonitorOptions, WorkloadMonitor
 from repro.online.repartitioner import (
     BudgetedRepartitioner,
@@ -181,6 +182,32 @@ class PacingOptions:
             raise ValueError("need 1 <= backoff_initial <= backoff_max")
 
 
+@dataclass(frozen=True)
+class PacerSnapshot:
+    """Read-only view of a :class:`MigrationPacer`'s window state.
+
+    What ``repro status`` renders and what tests assert on — the pacer's
+    sliding windows and backoff state without reaching into private fields.
+    """
+
+    p99_latency: float
+    abort_rate: float
+    latency_samples: int
+    abort_samples: int
+    p99_latency_budget: float | None
+    abort_rate_budget: float | None
+    paused: bool
+    pause_remaining: int
+    backoff: int
+    #: budget granted by the most recent :meth:`MigrationPacer.plan_steps`
+    #: call (None before the first call).
+    last_budget: int | None
+    proceeds: int
+    throttles: int
+    pauses: int
+    resumes: int
+
+
 class MigrationPacer:
     """Turns live traffic health into a per-tick migration step budget.
 
@@ -188,7 +215,8 @@ class MigrationPacer:
     via :meth:`observe`; each :meth:`plan_steps` call then answers "how many
     migration steps may run this tick" — 0 while paused.  Decision counters
     (``proceeds`` / ``throttles`` / ``pauses`` / ``resumes``) feed the
-    resilience experiment's "pacing demonstrably reacted" assertion.
+    resilience experiment's "pacing demonstrably reacted" assertion;
+    :meth:`snapshot` exposes the whole window state read-only.
     """
 
     def __init__(self, options: PacingOptions | None = None) -> None:
@@ -198,10 +226,44 @@ class MigrationPacer:
         self._backoff = self.options.backoff_initial
         self._pause_remaining = 0
         self._paused = False
+        self._last_budget: int | None = None
         self.proceeds = 0
         self.throttles = 0
         self.pauses = 0
         self.resumes = 0
+        metrics = get_telemetry().metrics
+        self._decisions = metrics.counter(
+            "pacer.decisions", "pacing decisions per plan_steps call", labels=("decision",)
+        )
+        self._p99_histogram = metrics.histogram(
+            "pacer.p99_latency",
+            "windowed p99 latency proxy at each pacing decision",
+            buckets=DEFAULT_BUCKETS,
+        )
+        self._abort_histogram = metrics.histogram(
+            "pacer.abort_rate",
+            "windowed abort rate at each pacing decision",
+            buckets=RATE_BUCKETS,
+        )
+
+    def snapshot(self) -> PacerSnapshot:
+        """The current window state as a read-only :class:`PacerSnapshot`."""
+        return PacerSnapshot(
+            p99_latency=self.p99_latency(),
+            abort_rate=self.abort_rate(),
+            latency_samples=len(self._latencies),
+            abort_samples=len(self._aborts),
+            p99_latency_budget=self.options.p99_latency_budget,
+            abort_rate_budget=self.options.abort_rate_budget,
+            paused=self._paused,
+            pause_remaining=self._pause_remaining,
+            backoff=self._backoff,
+            last_budget=self._last_budget,
+            proceeds=self.proceeds,
+            throttles=self.throttles,
+            pauses=self.pauses,
+            resumes=self.resumes,
+        )
 
     def observe(self, outcome) -> None:
         """Record one transaction attempt (committed or aborted)."""
@@ -256,6 +318,15 @@ class MigrationPacer:
         window that ended over budget would pause a drain forever, since
         no new observations can ever slide it back under.
         """
+        self._p99_histogram.observe(self.p99_latency())
+        self._abort_histogram.observe(self.abort_rate())
+        budget, decision = self._decide(idle)
+        self._decisions.inc(decision=decision)
+        self._last_budget = budget
+        return budget
+
+    def _decide(self, idle: bool) -> tuple[int, str]:
+        """(step budget, decision label) for this tick; mutates the windows."""
         if idle:
             if self._paused:
                 self._paused = False
@@ -263,11 +334,11 @@ class MigrationPacer:
             self._pause_remaining = 0
             self._backoff = self.options.backoff_initial
             self.proceeds += 1
-            return self.options.max_steps
+            return self.options.max_steps, "proceed"
         if self._pause_remaining > 0:
             self._pause_remaining -= 1
             self.pauses += 1
-            return 0
+            return 0, "pause"
         over, near = self._pressure()
         if over:
             # Budget exceeded: pause, and double the next pause while the
@@ -276,16 +347,19 @@ class MigrationPacer:
             self._paused = True
             self._pause_remaining = self._backoff
             self._backoff = min(self.options.backoff_max, self._backoff * 2)
-            return 0
+            return 0, "pause"
         if near:
             self.throttles += 1
-            return self.options.throttled_steps
+            return self.options.throttled_steps, "throttle"
         if self._paused:
             self._paused = False
             self.resumes += 1
+            decision = "resume"
+        else:
+            decision = "proceed"
         self._backoff = self.options.backoff_initial
         self.proceeds += 1
-        return self.options.max_steps
+        return self.options.max_steps, decision
 
 
 @dataclass
@@ -478,7 +552,12 @@ class MigrationSession:
             budget = self.pacer.plan_steps(idle=idle)
             if budget == 0:
                 return 0
-        executed = self.migrator.step(budget)
+        tracer = get_telemetry().tracer
+        with tracer.span(
+            "migration.tick", state=self.journal.state, budget=budget
+        ) as span:
+            executed = self.migrator.step(budget)
+            span.set_attribute("executed", executed)
         self.steps_executed += executed
         if self.journal.is_terminal:
             self._finalize()
@@ -576,6 +655,13 @@ class OnlineSchism:
         self.resizes: list[ResizeRecord] = []
         self._cooldown = 0
         self._elastic_cooldown = 0
+        metrics = get_telemetry().metrics
+        self._adapt_counter = metrics.counter(
+            "online.adaptations", "drift-triggered placement adaptations"
+        )
+        self._resize_counter = metrics.counter(
+            "online.resizes", "elastic resize migrations planned", labels=("direction",)
+        )
 
     @property
     def strategy(self) -> LookupTablePartitioning:
@@ -766,6 +852,13 @@ class OnlineSchism:
         lookup backend cannot update in place (then a full rebuild + atomic
         swap is the only sound publication).
         """
+        self._adapt_counter.inc()
+        with get_telemetry().tracer.span("online.adapt", k=self.num_partitions) as span:
+            record = self._adapt(trigger)
+            span.set_attribute("tuples_changed", record.plan.tuples_changed)
+            return record
+
+    def _adapt(self, trigger: DriftReport | None) -> AdaptationRecord:
         before = self.monitor.window_stats().distributed_fraction
         repartitioner = BudgetedRepartitioner(self.options.repartition)
         candidates = self.replication_candidates()
@@ -873,6 +966,33 @@ class OnlineSchism:
         old_partitions = self.num_partitions
         if new_partitions == old_partitions:
             raise ValueError("resize to the current partition count is a no-op")
+        self._resize_counter.inc(
+            direction="grow" if new_partitions > old_partitions else "shrink"
+        )
+        with get_telemetry().tracer.span(
+            "online.resize.plan", old_k=old_partitions, new_k=new_partitions
+        ):
+            return self._plan_resize(
+                new_partitions,
+                old_partitions,
+                trigger_rate=trigger_rate,
+                sink=sink,
+                pacer=pacer,
+                injector=injector,
+                batch_size=batch_size,
+            )
+
+    def _plan_resize(
+        self,
+        new_partitions: int,
+        old_partitions: int,
+        *,
+        trigger_rate: float | None,
+        sink: MemoryJournalSink | FileJournalSink | None,
+        pacer: MigrationPacer | None,
+        injector: FaultInjector | None,
+        batch_size: int | None,
+    ) -> MigrationSession:
         repartitioner = BudgetedRepartitioner(self.options.repartition)
         candidates = self.replication_candidates()
         current, costs = self.current_placements(self.maintainer.tuples(), new_partitions)

@@ -35,6 +35,7 @@ from repro.core.strategies import LookupTablePartitioning, hash_home
 from repro.distributed.cluster import Cluster
 from repro.distributed.faults import FaultInjector, MessageDropped
 from repro.graph.assignment import PartitionAssignment
+from repro.obs import get_telemetry
 from repro.routing.lookup import build_lookup_table
 from repro.routing.router import Router
 from repro.utils.canonical_json import dumps_canonical
@@ -172,6 +173,11 @@ class LiveMigrator:
             raise ValueError("batch_size must be positive")
         self.cluster = cluster
         self.batch_size = batch_size
+        self._steps_counter = get_telemetry().metrics.counter(
+            "migration.steps",
+            "migration unit steps by action and result",
+            labels=("action", "result"),
+        )
 
     def execute(self, plan: MigrationPlan) -> MigrationReport:
         """Apply ``plan`` to the cluster (copies first, then drops)."""
@@ -236,6 +242,7 @@ class LiveMigrator:
             # planning and execution): nothing to copy, routing will miss it
             # everywhere, which is consistent.
             report.skipped += 1
+            self._steps_counter.inc(action="copy", result="skipped")
             return
         if copied_bytes == 0:
             # The target already held the replica (e.g. a plan replayed
@@ -243,18 +250,22 @@ class LiveMigrator:
             # so no write messages and no copy is recorded — mirroring how
             # dropping an absent replica reports a skip.
             report.skipped += 1
+            self._steps_counter.inc(action="copy", result="skipped")
             return
         # Write to target: one request/response pair.
         report.messages += 2
         report.bytes_copied += copied_bytes
         report.copies += 1
+        self._steps_counter.inc(action="copy", result="applied")
 
     def _drop(self, step: MigrationStep, report: MigrationReport) -> None:
         report.messages += 2
         if self.cluster.drop_tuple(step.tuple_id, step.source):
             report.drops += 1
+            self._steps_counter.inc(action="drop", result="applied")
         else:
             report.skipped += 1
+            self._steps_counter.inc(action="drop", result="skipped")
 
     def apply_routing_delta(
         self, router: Router, plan: MigrationPlan, report: MigrationReport
@@ -627,7 +638,26 @@ class JournaledMigrator:
         self.report = MigrationReport()
         #: placement each changed tuple migrates to (for restore sources).
         self._new_placement = dict(journal.plan.changes)
+        telemetry = get_telemetry()
+        self._tracer = telemetry.tracer
+        self._transitions = telemetry.metrics.counter(
+            "migration.state_transitions",
+            "journal state machine transitions",
+            labels=("from_state", "to_state"),
+        )
+        self._records_counter = telemetry.metrics.counter(
+            "migration.journal_records", "journal records persisted"
+        )
         self._attach()
+
+    def _transition(self, new_state: str) -> None:
+        """Move the journal to ``new_state``, recording the transition."""
+        old_state = self.journal.state
+        self.journal.state = new_state
+        self._transitions.inc(from_state=old_state, to_state=new_state)
+        self._tracer.event(
+            "migration.transition", from_state=old_state, to_state=new_state
+        )
 
     # -- attachment (fresh or resumed) -------------------------------------------------
     def _attach(self) -> None:
@@ -685,7 +715,7 @@ class JournaledMigrator:
             # update landing after a restore-copy would be lost at the
             # restored location once the flip-back happens.
             window.open(self._rollback_window_entries())
-        journal.state = "cancelling"
+        self._transition("cancelling")
         self._persist()
 
     def step(self, max_steps: int | None = None) -> int:
@@ -704,9 +734,17 @@ class JournaledMigrator:
             # windows expire even when no transactions are flowing (e.g. the
             # drain phase after live traffic ends).
             self.injector.advance()
-        if self.journal.is_cancelling:
-            return self._step_rollback(budget)
-        return self._step_forward(budget)
+        # The span closes with status="error" when an injected coordinator
+        # death unwinds out of a mid-batch persist.
+        with self._tracer.span(
+            "migration.step", state=self.journal.state, budget=budget
+        ) as span:
+            if self.journal.is_cancelling:
+                executed = self._step_rollback(budget)
+            else:
+                executed = self._step_forward(budget)
+            span.set_attribute("executed", executed)
+            return executed
 
     def run(self, max_ticks: int = 1_000_000) -> MigrationReport:
         """Drive :meth:`step` to a terminal state (no pacing, no faults gate).
@@ -734,13 +772,13 @@ class JournaledMigrator:
         journal = self.journal
         if journal.state == "planned":
             self.router.migration_window.open(self._forward_window_entries())
-            journal.state = "copying"
+            self._transition("copying")
             self._persist()
             return 1
         if journal.state == "copying":
             executed = self._run_batch(journal.plan.copies, "copies_done", budget)
             if journal.copies_done == len(journal.plan.copies):
-                journal.state = "dual-window"
+                self._transition("dual-window")
                 self._persist()
                 return max(executed, 1)
             if executed:
@@ -751,11 +789,11 @@ class JournaledMigrator:
             # and close the dual-write window in the same step.
             self._flip_forward()
             journal.flip_done = True
-            journal.state = "flipped"
+            self._transition("flipped")
             self._persist()
             return 1
         if journal.state == "flipped":
-            journal.state = "dropping"
+            self._transition("dropping")
             self._persist()
             return 1
         if journal.state == "dropping":
@@ -774,7 +812,7 @@ class JournaledMigrator:
             # Shrink: the evacuated partitions are empty now that the drops
             # ran; removing them is the last act before "completed".
             self.cluster.shrink_to(journal.new_num_partitions)
-        journal.state = "completed"
+        self._transition("completed")
         self._persist()
 
     def _flip_forward(self) -> None:
@@ -867,7 +905,7 @@ class JournaledMigrator:
             # A cancelled grow removes the partitions it added; rollback just
             # emptied them (every added replica was dropped).
             self.cluster.shrink_to(journal.old_num_partitions)
-        journal.state = "cancelled"
+        self._transition("cancelled")
         self._persist()
 
     def _flip_back(self) -> None:
@@ -978,6 +1016,7 @@ class JournaledMigrator:
         """
         journal = self.journal
         journal.records += 1
+        self._records_counter.inc()
         if self.sink is not None:
             self.sink.write(journal.dumps())
         if self.injector is not None:

@@ -37,6 +37,7 @@ from typing import Deque, Iterable
 from repro.catalog.tuples import TupleId
 from repro.core.cost import transaction_partitions
 from repro.core.strategies import PartitioningStrategy
+from repro.obs import get_telemetry
 from repro.workload.trace import TransactionAccess
 
 #: Renormalise stored counts once the inverse scale grows past this.
@@ -189,6 +190,13 @@ class WorkloadMonitor:
         self._baseline_skew = 1.0
         #: window fill when the baseline was last snapshot (-1 = never).
         self._baseline_window = -1
+        metrics = get_telemetry().metrics
+        self._batches_counter = metrics.counter(
+            "monitor.batches", "traffic batches ingested by the workload monitor"
+        )
+        self._drift_counter = metrics.counter(
+            "monitor.drift_checks", "drift checks by outcome", labels=("drifted",)
+        )
 
     # -- ingest -----------------------------------------------------------------------
     def ingest(self, access: TransactionAccess) -> None:
@@ -228,6 +236,7 @@ class WorkloadMonitor:
         for access in batch:
             self.ingest(access)
         self.advance_epoch()
+        self._batches_counter.inc()
 
     def advance_epoch(self) -> None:
         """Age the decayed counts by one epoch (cheap; amortised O(1) per call)."""
@@ -385,6 +394,11 @@ class WorkloadMonitor:
 
     def check_drift(self) -> DriftReport:
         """Compare the current window against the baseline snapshot."""
+        report = self._check_drift()
+        self._drift_counter.inc(drifted="true" if report.drifted else "false")
+        return report
+
+    def _check_drift(self) -> DriftReport:
         stats = self.window_stats()
         if stats.transactions < self.options.min_window_fill:
             return DriftReport(False, ["window not yet filled"], stats)

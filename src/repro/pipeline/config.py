@@ -48,15 +48,38 @@ class SchismOptions:
             raise ValueError("range_fallback must be 'replicate' or 'hash'")
 
 
+#: stage name (as the pipeline runner knows it) -> PhaseTimings field.
+STAGE_TIMING_FIELDS: dict[str, str] = {
+    "extract": "extraction",
+    "build_graph": "graph_build",
+    "partition": "partitioning",
+    "explain": "explanation",
+    "validate": "validation",
+}
+
+
 @dataclass
 class PhaseTimings:
-    """Wall-clock seconds spent in each pipeline phase."""
+    """Wall-clock seconds spent in each pipeline phase.
+
+    A thin provenance view over the telemetry layer's one timing code path:
+    the pipeline runner measures each stage with a
+    :class:`~repro.obs.clock.Stopwatch` and deposits the reading here via
+    :meth:`record` (stages no longer time themselves).
+    """
 
     extraction: float = 0.0
     graph_build: float = 0.0
     partitioning: float = 0.0
     explanation: float = 0.0
     validation: float = 0.0
+
+    def record(self, stage_name: str, seconds: float) -> None:
+        """Store the measured seconds of one pipeline stage."""
+        field_name = STAGE_TIMING_FIELDS.get(stage_name)
+        if field_name is None:
+            raise ValueError(f"unknown pipeline stage {stage_name!r}")
+        setattr(self, field_name, seconds)
 
     @property
     def total(self) -> float:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.engine.database import Database
 from repro.graph.builder import TupleGraph
+from repro.obs import SECONDS_BUCKETS, Stopwatch, get_telemetry
 from repro.pipeline.config import SchismOptions
 from repro.pipeline.plan import PartitionPlan, build_plan
 from repro.pipeline.stages import (
@@ -144,7 +145,21 @@ class Pipeline:
                 f"run earlier stages or inject the artifacts "
                 f"(present: {state.artifacts_present()})"
             )
-        stage.runner(state, self.options)
+        telemetry = get_telemetry()
+        watch = Stopwatch()
+        with watch, telemetry.tracer.span(f"pipeline.{stage.name}"):
+            stage.runner(state, self.options)
+        state.timings.record(stage.name, watch.elapsed)
+        telemetry.metrics.counter(
+            "pipeline.stage_runs", "pipeline stage executions", labels=("stage",)
+        ).inc(stage=stage.name)
+        telemetry.metrics.histogram(
+            "pipeline.stage_seconds",
+            "wall-clock seconds per pipeline stage",
+            labels=("stage",),
+            buckets=SECONDS_BUCKETS,
+            volatile=True,
+        ).observe(watch.elapsed, stage=stage.name)
         if stage.name not in state.completed:
             state.completed.append(stage.name)
 

@@ -31,7 +31,6 @@ from repro.graph.assignment import PartitionAssignment
 from repro.graph.builder import TupleGraph, build_tuple_graph
 from repro.graph.partitioner import GraphPartitioner, cut_weight
 from repro.pipeline.config import PhaseTimings, SchismOptions
-from repro.utils.timer import Timer
 from repro.workload.rwsets import AccessTrace, extract_access_trace
 from repro.workload.trace import Workload
 
@@ -107,50 +106,44 @@ class Stage:
 # ---------------------------------------------------------------------------
 def _run_extract(state: PipelineState, options: SchismOptions) -> None:
     """Execute the workloads against the database, recording read/write sets."""
-    with Timer() as timer:
-        if state.training_trace is None:
-            if state.training_workload is None:
-                raise PipelineError(
-                    "extract needs a training workload (or an injected training_trace)"
-                )
-            state.training_trace = extract_access_trace(
-                state.database, state.training_workload
+    if state.training_trace is None:
+        if state.training_workload is None:
+            raise PipelineError(
+                "extract needs a training workload (or an injected training_trace)"
             )
-        if state.test_trace is None:
-            if state.test_workload is None:
-                # The paper reuses the training trace for the smallest runs.
-                state.test_trace = state.training_trace
-            else:
-                state.test_trace = extract_access_trace(
-                    state.database, state.test_workload
-                )
-    state.timings.extraction = timer.elapsed
+        state.training_trace = extract_access_trace(
+            state.database, state.training_workload
+        )
+    if state.test_trace is None:
+        if state.test_workload is None:
+            # The paper reuses the training trace for the smallest runs.
+            state.test_trace = state.training_trace
+        else:
+            state.test_trace = extract_access_trace(
+                state.database, state.test_workload
+            )
 
 
 def _run_build_graph(state: PipelineState, options: SchismOptions) -> None:
     """Build the tuple-access graph (sampling / coalescing / replication stars)."""
     assert state.training_trace is not None
-    with Timer() as timer:
-        state.tuple_graph = build_tuple_graph(
-            state.training_trace, state.database, options.graph
-        )
-    state.timings.graph_build = timer.elapsed
+    state.tuple_graph = build_tuple_graph(
+        state.training_trace, state.database, options.graph
+    )
 
 
 def _run_partition(state: PipelineState, options: SchismOptions) -> None:
     """Run the multilevel min-cut partitioner and map nodes back to tuples."""
     assert state.tuple_graph is not None
-    with Timer() as timer:
-        partitioner = GraphPartitioner(options.partitioner)
-        # The CSR form is memoised on the TupleGraph, so a re-run of this
-        # stage (e.g. with different partitioner options) reuses it.
-        frozen_graph = state.tuple_graph.frozen()
-        node_assignment = partitioner.partition(frozen_graph, options.num_partitions)
-        state.assignment = state.tuple_graph.to_partition_assignment(
-            node_assignment, options.num_partitions
-        )
-        state.graph_cut = cut_weight(frozen_graph, node_assignment)
-    state.timings.partitioning = timer.elapsed
+    partitioner = GraphPartitioner(options.partitioner)
+    # The CSR form is memoised on the TupleGraph, so a re-run of this
+    # stage (e.g. with different partitioner options) reuses it.
+    frozen_graph = state.tuple_graph.frozen()
+    node_assignment = partitioner.partition(frozen_graph, options.num_partitions)
+    state.assignment = state.tuple_graph.to_partition_assignment(
+        node_assignment, options.num_partitions
+    )
+    state.graph_cut = cut_weight(frozen_graph, node_assignment)
 
 
 def _run_explain(state: PipelineState, options: SchismOptions) -> None:
@@ -161,12 +154,10 @@ def _run_explain(state: PipelineState, options: SchismOptions) -> None:
             "explain needs the training workload (attribute frequencies come "
             "from its statements, not from the extracted trace)"
         )
-    with Timer() as timer:
-        explainer = Explainer(options.explainer)
-        state.explanation = explainer.explain(
-            state.assignment, state.database, state.training_workload
-        )
-    state.timings.explanation = timer.elapsed
+    explainer = Explainer(options.explainer)
+    state.explanation = explainer.explain(
+        state.assignment, state.database, state.training_workload
+    )
 
 
 def _run_validate(state: PipelineState, options: SchismOptions) -> None:
@@ -174,19 +165,17 @@ def _run_validate(state: PipelineState, options: SchismOptions) -> None:
     assert state.assignment is not None
     assert state.explanation is not None
     assert state.training_trace is not None
-    with Timer() as timer:
-        candidates = candidate_strategies(
-            options, state.assignment, state.explanation, state.training_trace
-        )
-        state.validation = validate_strategies(
-            candidates,
-            state.test_trace,
-            state.database,
-            tie_tolerance=options.tie_tolerance,
-            relative_tie_tolerance=options.relative_tie_tolerance,
-            max_load_imbalance=options.max_load_imbalance,
-        )
-    state.timings.validation = timer.elapsed
+    candidates = candidate_strategies(
+        options, state.assignment, state.explanation, state.training_trace
+    )
+    state.validation = validate_strategies(
+        candidates,
+        state.test_trace,
+        state.database,
+        tie_tolerance=options.tie_tolerance,
+        relative_tie_tolerance=options.relative_tie_tolerance,
+        max_load_imbalance=options.max_load_imbalance,
+    )
 
 
 # ---------------------------------------------------------------------------

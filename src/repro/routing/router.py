@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.catalog.schema import Schema
 from repro.catalog.tuples import TupleId
 from repro.core.strategies import PartitioningStrategy
+from repro.obs import get_telemetry
 from repro.routing.lookup import LookupTable
 from repro.sqlparse.ast import InsertStatement, Statement, is_write, statement_tables
 from repro.sqlparse.predicates import AttributeCondition, conjunctive_conditions, statement_where
@@ -72,6 +73,11 @@ class MigrationWindow:
 
     def __init__(self) -> None:
         self._extra: dict[TupleId, frozenset[int]] = {}
+        self._window_events = get_telemetry().metrics.counter(
+            "router.window",
+            "dual-write window lifecycle (opens/closes with in-flight tuples)",
+            labels=("event",),
+        )
 
     def __bool__(self) -> bool:
         return bool(self._extra)
@@ -84,9 +90,13 @@ class MigrationWindow:
         for tuple_id, extra in entries:
             if extra:
                 self._extra[tuple_id] = frozenset(extra)
+        if self._extra:
+            self._window_events.inc(event="opened")
 
     def close(self) -> None:
         """Stop dual-writing (after the flip, or once rollback completes)."""
+        if self._extra:
+            self._window_events.inc(event="closed")
         self._extra.clear()
 
     def extra_write_partitions(self, tuple_id: TupleId) -> frozenset[int]:
@@ -109,6 +119,9 @@ class Router:
         self.num_partitions = strategy.num_partitions
         #: dual-write window of an in-flight migration (empty when idle).
         self.migration_window = MigrationWindow()
+        self._dual_writes = get_telemetry().metrics.counter(
+            "router.dual_writes", "writes widened by the dual-write window"
+        )
 
     def replace_strategy(
         self, strategy: PartitioningStrategy, lookup_table: LookupTable | None = None
@@ -259,7 +272,10 @@ class Router:
                     # to also land on the replicas being added, or updates
                     # applied after the copy step would be lost at the new
                     # location.  Reads stay on the source placement.
-                    partitions.update(window.extra_write_partitions(tuple_id))
+                    extra = window.extra_write_partitions(tuple_id)
+                    if extra:
+                        partitions.update(extra)
+                        self._dual_writes.inc()
         return frozenset(partitions) if partitions else None
 
     def _pick_replica(

@@ -1,12 +1,16 @@
-"""Small wall-clock timing helper used by experiments and the partitioner."""
+"""Small wall-clock timing helper used by experiments and the partitioner.
+
+``Timer`` is a thin alias of :class:`repro.obs.clock.Stopwatch` — the one
+timing primitive of the telemetry layer — kept for import compatibility.
+"""
 
 from __future__ import annotations
 
-import time
+from repro.obs.clock import Stopwatch
 
 
-class Timer:
-    """Context-manager stopwatch.
+class Timer(Stopwatch):
+    """Context-manager stopwatch (alias of :class:`~repro.obs.clock.Stopwatch`).
 
     Example
     -------
@@ -16,25 +20,4 @@ class Timer:
     True
     """
 
-    def __init__(self) -> None:
-        self._start: float | None = None
-        self.elapsed: float = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        if self._start is not None:
-            self.elapsed = time.perf_counter() - self._start
-
-    def start(self) -> None:
-        """Start (or restart) the stopwatch."""
-        self._start = time.perf_counter()
-
-    def stop(self) -> float:
-        """Stop the stopwatch and return the elapsed seconds."""
-        if self._start is None:
-            raise RuntimeError("Timer was never started")
-        self.elapsed = time.perf_counter() - self._start
-        return self.elapsed
+    __slots__ = ()

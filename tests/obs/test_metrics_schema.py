@@ -1,0 +1,112 @@
+"""Tests for the minimal JSON-Schema validator and the checked-in schema."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.schema import SchemaError, iter_errors, validate
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+METRICS_SCHEMA = json.loads(
+    (REPO_ROOT / "docs" / "metrics_schema.json").read_text(encoding="utf-8")
+)
+
+
+def test_type_const_enum_minimum():
+    assert list(iter_errors(3, {"type": "integer", "minimum": 0})) == []
+    assert list(iter_errors(-1, {"type": "integer", "minimum": 0}))
+    assert list(iter_errors(True, {"type": "integer"}))  # bools are not ints
+    assert list(iter_errors("x", {"const": "y"}))
+    assert list(iter_errors("z", {"enum": ["a", "b"]}))
+    assert list(iter_errors("a", {"enum": ["a", "b"]})) == []
+
+
+def test_required_and_additional_properties():
+    schema = {
+        "type": "object",
+        "required": ["a"],
+        "properties": {"a": {"type": "integer"}},
+        "additionalProperties": False,
+    }
+    assert list(iter_errors({"a": 1}, schema)) == []
+    assert any("missing required" in msg for msg in iter_errors({}, schema))
+    assert any("unexpected property" in msg for msg in iter_errors({"a": 1, "b": 2}, schema))
+
+
+def test_items_and_ref():
+    schema = {
+        "type": "object",
+        "properties": {"rows": {"type": "array", "items": {"$ref": "#/definitions/row"}}},
+        "definitions": {"row": {"type": "integer", "minimum": 0}},
+    }
+    assert list(iter_errors({"rows": [0, 1, 2]}, schema)) == []
+    errors = list(iter_errors({"rows": [0, -1, "x"]}, schema))
+    assert len(errors) == 2
+    assert "$.rows[1]" in errors[0]
+
+
+def test_unresolvable_ref_raises():
+    with pytest.raises(SchemaError):
+        validate({}, {"$ref": "#/definitions/missing"})
+
+
+def test_validate_raises_on_first_error_with_path():
+    with pytest.raises(SchemaError, match=r"\$\.a"):
+        validate({"a": "not-an-int"}, {"properties": {"a": {"type": "integer"}}})
+
+
+def _full_registry() -> MetricsRegistry:
+    """A registry carrying every family the checked-in schema requires."""
+    registry = MetricsRegistry()
+    for name in METRICS_SCHEMA["properties"]["families"]["required"]:
+        if name in ("pacer.p99_latency", "pacer.abort_rate", "twopc.latency"):
+            registry.histogram(name).observe(1.0)
+        else:
+            registry.counter(name, labels=("label",)).inc(label="x")
+    return registry
+
+
+def test_checked_in_schema_accepts_a_full_snapshot():
+    validate(_full_registry().snapshot(), METRICS_SCHEMA)
+
+
+def test_checked_in_schema_rejects_a_missing_family():
+    snapshot = _full_registry().snapshot()
+    del snapshot["families"]["migration.state_transitions"]
+    errors = list(iter_errors(snapshot, METRICS_SCHEMA))
+    assert any("migration.state_transitions" in msg for msg in errors)
+
+
+def test_checked_in_schema_rejects_malformed_series():
+    snapshot = _full_registry().snapshot()
+    snapshot["families"]["twopc.attempts"]["series"][0]["surprise"] = 1
+    with pytest.raises(SchemaError, match="surprise"):
+        validate(snapshot, METRICS_SCHEMA)
+
+
+def test_check_metrics_tool_partial_mode(tmp_path):
+    """A partial snapshot (e.g. from `repro run`) fails strict mode but
+    passes --partial, which keeps per-family structural validation."""
+    import sys
+
+    tools_dir = str(REPO_ROOT / "tools")
+    if tools_dir not in sys.path:
+        sys.path.insert(0, tools_dir)
+    import check_metrics
+
+    registry = MetricsRegistry()
+    registry.counter("partition.runs", labels=("workload",)).inc(workload="x")
+    snapshot_path = tmp_path / "partial.json"
+    snapshot_path.write_text(registry.dumps(), encoding="utf-8")
+    assert check_metrics.main([str(snapshot_path)]) == 1
+    assert check_metrics.main(["--partial", str(snapshot_path)]) == 0
+
+    # --partial still rejects structural damage in the exported families.
+    snapshot = json.loads(snapshot_path.read_text(encoding="utf-8"))
+    snapshot["families"]["partition.runs"]["series"][0]["surprise"] = 1
+    snapshot_path.write_text(json.dumps(snapshot), encoding="utf-8")
+    assert check_metrics.main(["--partial", str(snapshot_path)]) == 1

@@ -1,0 +1,142 @@
+"""Unit tests for the seeded span tracer, plus the chaos well-formedness check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NULL_TRACER, Telemetry, Tracer, use_telemetry
+
+
+def test_spans_nest_with_parent_child_ids():
+    tracer = Tracer(seed=0)
+    with tracer.span("outer", k=4) as outer:
+        assert tracer.current_span() is outer
+        with tracer.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+            assert inner.depth == 1
+            inner.set_attribute("moves", 3)
+    assert tracer.current_span() is None
+    payloads = tracer.finished_payload()
+    assert [payload["name"] for payload in payloads] == ["outer", "inner"]
+    outer_payload, inner_payload = payloads
+    assert outer_payload["attributes"] == {"k": 4}
+    assert inner_payload["attributes"] == {"moves": 3}
+    assert outer_payload["sequence"] < inner_payload["sequence"]
+    # deterministic payloads carry no wall-clock
+    assert "duration" not in outer_payload
+
+
+def test_span_ids_are_seed_deterministic():
+    def ids(seed: int) -> list[str]:
+        tracer = Tracer(seed=seed)
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        return [span.span_id for span in tracer.finished_spans]
+
+    assert ids(7) == ids(7)
+    assert ids(7) != ids(8)
+
+
+def test_exception_marks_span_as_error_and_unwinds():
+    tracer = Tracer(seed=0)
+    with pytest.raises(KeyError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise KeyError("boom")
+    assert tracer.current_span() is None
+    inner, outer = sorted(tracer.finished_spans, key=lambda span: span.depth, reverse=True)
+    assert inner.status == "error"
+    assert inner.attributes["error_type"] == "KeyError"
+    assert outer.status == "error"
+    tracer.check_well_formed()
+
+
+def test_out_of_order_close_is_rejected():
+    tracer = Tracer(seed=0)
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    outer.__enter__()
+    inner.__enter__()
+    with pytest.raises(RuntimeError):
+        outer.__exit__(None, None, None)
+
+
+def test_events_attach_to_the_current_span():
+    tracer = Tracer(seed=0)
+    with tracer.span("work") as span:
+        tracer.event("checkpoint", record=3)
+    assert span.events == [{"name": "checkpoint", "attributes": {"record": 3}}]
+    tracer.event("free-standing")  # no open span: buffered, not lost
+    tracer.check_well_formed()
+
+
+def test_bounded_capacity_counts_drops():
+    tracer = Tracer(seed=0, capacity=4)
+    for index in range(10):
+        with tracer.span(f"span-{index}"):
+            pass
+    assert len(tracer.finished_spans) == 4
+    assert tracer.dropped_spans == 6
+    tracer.check_well_formed()  # drops tolerated
+
+
+def test_check_well_formed_rejects_broken_depth():
+    tracer = Tracer(seed=0)
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    inner = next(span for span in tracer.finished_spans if span.name == "inner")
+    inner.depth = 5
+    with pytest.raises(ValueError):
+        tracer.check_well_formed()
+
+
+def test_null_tracer_span_is_a_noop_context_manager():
+    with NULL_TRACER.span("anything", k=1) as span:
+        span.set_attribute("ignored", True)
+        span.add_event("ignored")
+    assert NULL_TRACER.finished_spans == []
+
+
+def test_chaos_scenario_span_tree_is_well_formed():
+    """The resilience scenario — coordinator kills included — closes cleanly.
+
+    Two coordinator deaths unwind `migration.step` spans via exceptions, so
+    this is the adversarial case for stack discipline: every span must still
+    close inside its parent, with the killed steps marked ``status=error``.
+    """
+    from repro.experiments.resilience import _run_scenario
+
+    with use_telemetry(Telemetry.create(seed=0)) as telemetry:
+        report = _run_scenario(0, 1, 120, 200, 30)
+    assert report.coordinator_deaths == 2
+    tracer = telemetry.tracer
+    assert tracer.open_spans == []
+    tracer.check_well_formed()
+    names = {span.name for span in tracer.finished_spans}
+    assert {
+        "experiment.resilience",
+        "pipeline.partition",
+        "partition.kway",
+        "online.resize.plan",
+        "migration.tick",
+        "migration.step",
+    } <= names
+    killed = [
+        span
+        for span in tracer.finished_spans
+        if span.name == "migration.step"
+        and span.attributes.get("error_type") == "CoordinatorDeath"
+    ]
+    assert len(killed) == 2
+    assert all(span.status == "error" for span in killed)
+    transitions = [
+        event
+        for span in tracer.finished_spans
+        for event in span.events
+        if event["name"] == "migration.transition"
+    ]
+    assert any(
+        event["attributes"]["to_state"] == "completed" for event in transitions
+    )

@@ -124,3 +124,47 @@ def test_abort_rate_window_is_bounded():
     _feed(pacer, latency=10.0, count=16)
     # The old aborts aged out of the 16-sample window entirely.
     assert pacer.abort_rate() == 0.0
+
+
+def test_snapshot_reflects_window_and_decisions():
+    pacer = _pacer()
+    window = pacer.snapshot()
+    # Before any traffic or planning: empty window, no budget decided yet.
+    assert window.latency_samples == 0 and window.abort_samples == 0
+    assert window.last_budget is None
+    assert window.p99_latency_budget == 100.0
+    assert window.abort_rate_budget == 0.10
+    assert not window.paused
+
+    _feed(pacer, latency=10.0, count=32)
+    assert pacer.plan_steps() == 16
+    window = pacer.snapshot()
+    assert window.latency_samples == 32 and window.abort_samples == 32
+    assert window.p99_latency == 10.0
+    assert window.abort_rate == 0.0
+    assert window.last_budget == 16
+    assert (window.proceeds, window.throttles, window.pauses, window.resumes) == (1, 0, 0, 0)
+
+
+def test_snapshot_tracks_pause_and_backoff():
+    pacer = _pacer(backoff_initial=2)
+    _feed(pacer, aborted=True, count=32)
+    assert pacer.plan_steps() == 0
+    window = pacer.snapshot()
+    assert window.paused
+    assert window.pause_remaining == 2
+    # the stored backoff already doubled for the *next* pause
+    assert window.backoff == 4
+    assert window.pauses == 1
+    assert window.last_budget == 0
+
+
+def test_snapshot_is_read_only():
+    import dataclasses
+
+    import pytest
+
+    pacer = _pacer()
+    window = pacer.snapshot()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        window.paused = True

@@ -87,3 +87,97 @@ def test_registries_cover_the_advertised_surface():
     assert {"figure1", "figure4", "figure5", "figure6", "table1", "online-drift"} <= set(
         BENCH_EXPERIMENTS
     )
+
+
+def test_run_metrics_out_is_schema_valid_and_byte_deterministic(tmp_path, capsys):
+    import json
+
+    first = tmp_path / "m1.json"
+    second = tmp_path / "m2.json"
+    for out in (first, second):
+        assert main([
+            "run", "--workload", "simplecount", "--partitions", "2",
+            "--scale", "0.2", "--metrics-out", str(out),
+        ]) == 0
+    assert first.read_bytes() == second.read_bytes()
+    snapshot = json.loads(first.read_text())
+    assert snapshot["format"] == "repro-metrics"
+    families = snapshot["families"]
+    assert "pipeline.stage_runs" in families
+    assert "partition.phases" in families
+    # wall-clock families never reach the exported snapshot
+    assert "pipeline.stage_seconds" not in families
+
+
+def test_metrics_out_leaves_no_telemetry_installed(tmp_path):
+    from repro.obs import get_telemetry
+
+    assert main([
+        "run", "--workload", "simplecount", "--partitions", "2",
+        "--scale", "0.2", "--metrics-out", str(tmp_path / "m.json"),
+    ]) == 0
+    assert not get_telemetry().enabled
+
+
+def _write_journal(tmp_path, state="copying", copies_done=1):
+    from repro.catalog.tuples import TupleId
+    from repro.online.migration import MigrationJournal, MigrationPlan, MigrationStep
+
+    plan = MigrationPlan(4)
+    plan.previous = [(TupleId("t", (i,)), frozenset({0})) for i in range(2)]
+    plan.changes = [(TupleId("t", (i,)), frozenset({1})) for i in range(2)]
+    plan.copies = [MigrationStep("copy", TupleId("t", (i,)), 0, 1) for i in range(2)]
+    plan.drops = [MigrationStep("drop", TupleId("t", (i,)), 0) for i in range(2)]
+    plan.tuples_changed = 2
+    journal = MigrationJournal.for_plan(
+        plan, kind="resize", flip_mode="delta",
+        old_num_partitions=2, new_num_partitions=4,
+    )
+    journal.state = state
+    journal.copies_done = copies_done
+    journal.records = 3
+    path = tmp_path / "plan.json.journal"
+    path.write_text(journal.dumps(), encoding="utf-8")
+    return path
+
+
+def test_status_renders_a_journal_file(tmp_path, capsys):
+    path = _write_journal(tmp_path)
+    assert main(["status", str(path)]) == 0
+    output = capsys.readouterr().out
+    assert "migration resize (2 -> 4 partitions, flip=delta)" in output
+    assert "state: copying" in output
+    assert "[>] copying" in output and "1/2 copies" in output
+
+
+def test_status_falls_back_to_the_sibling_journal(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    assert main([
+        "run", "--workload", "simplecount", "--partitions", "2",
+        "--scale", "0.2", "--out", str(plan_path),
+    ]) == 0
+    capsys.readouterr()
+    _write_journal(tmp_path)  # writes plan.json.journal
+    assert main(["status", str(plan_path)]) == 0
+    assert "state: copying" in capsys.readouterr().out
+
+
+def test_status_without_a_journal_is_a_clean_error(tmp_path):
+    plan_path = tmp_path / "plan.json"
+    assert main([
+        "run", "--workload", "simplecount", "--partitions", "2",
+        "--scale", "0.2", "--out", str(plan_path),
+    ]) == 0
+    with pytest.raises(SystemExit, match="no journal"):
+        main(["status", str(plan_path)])
+    with pytest.raises(SystemExit, match="no such file"):
+        main(["status", str(tmp_path / "missing.journal")])
+
+
+def test_journal_inspect_renders_a_timeline(tmp_path, capsys):
+    path = _write_journal(tmp_path, state="completed", copies_done=2)
+    assert main(["journal", "inspect", str(path)]) == 0
+    output = capsys.readouterr().out
+    assert "journal: resize migration, 2 -> 4 partitions" in output
+    assert "1. planned: journal opened" in output
+    assert "current state: completed" in output

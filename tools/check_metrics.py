@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Validate a ``--metrics-out`` snapshot against ``docs/metrics_schema.json``.
+
+CI's metrics-smoke job runs the resilience chaos scenario with
+``--metrics-out`` and feeds the snapshot through this checker: the schema
+pins the snapshot structure and its ``required`` list names every documented
+metric family the scenario must export, so an instrumentation point that is
+accidentally removed (or renamed) fails the job instead of silently
+vanishing from dashboards.
+
+Snapshots from runs that never construct the online/migration layers (plain
+``repro run`` or ``deploy``) legitimately export a subset of the families;
+validate those with ``--partial``, which checks every exported family's
+structure but waives the completeness requirement.
+
+Usage::
+
+    python tools/check_metrics.py [--partial] SNAPSHOT.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.schema import iter_errors  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    partial = "--partial" in argv
+    paths = [arg for arg in argv if arg != "--partial"]
+    if len(paths) != 1:
+        print(
+            "usage: python tools/check_metrics.py [--partial] SNAPSHOT.json",
+            file=sys.stderr,
+        )
+        return 2
+    snapshot_path = Path(paths[0])
+    snapshot = json.loads(snapshot_path.read_text(encoding="utf-8"))
+    schema = json.loads(
+        (REPO_ROOT / "docs" / "metrics_schema.json").read_text(encoding="utf-8")
+    )
+    if partial:
+        schema["properties"]["families"].pop("required", None)
+    errors = list(iter_errors(snapshot, schema))
+    if errors:
+        for message in errors:
+            print(f"FAIL {snapshot_path}: {message}")
+        return 1
+    families = snapshot.get("families", {})
+    series = sum(len(family.get("series", ())) for family in families.values())
+    print(f"OK {snapshot_path}: {len(families)} families, {series} series")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
