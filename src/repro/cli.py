@@ -111,11 +111,86 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _deploy_sqlite(args: argparse.Namespace, plan: PartitionPlan, bundle: WorkloadBundle) -> int:
+    """Deploy a plan onto the real SQLite-backed cluster and drive the workload."""
+    import tempfile
+
+    from repro.routing.lookup import build_lookup_table
+    from repro.routing.router import Router
+    from repro.storage import (
+        ClosedLoopDriver,
+        RetryOptions,
+        SqliteStorageCluster,
+        StorageCoordinator,
+    )
+
+    if args.adapt or args.export:
+        raise SystemExit("--adapt/--export apply to the in-memory backend only")
+    try:
+        retry_options = RetryOptions(
+            timeout_ms=args.timeout_ms,
+            max_retries=args.max_retries,
+            backoff_base_ms=args.backoff_base_ms,
+        )
+    except ValueError as error:
+        raise SystemExit(f"invalid retry options: {error}")
+    strategy = plan.deployment_strategy("hash")
+    lookup_table = build_lookup_table(strategy.assignment)
+    router = Router(strategy, bundle.database.schema, lookup_table)
+    cleanup = None
+    directory = args.storage_dir
+    if directory is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-deploy-")
+        directory = cleanup.name
+    try:
+        cluster = SqliteStorageCluster.from_database(
+            directory, bundle.database, strategy
+        ).start()
+        try:
+            row_counts = [
+                cluster.handle(partition).request("row_count")
+                for partition in range(cluster.num_partitions)
+            ]
+            print(
+                f"\nmaterialised {cluster.num_partitions} SQLite partitions "
+                f"under {directory}: row counts {row_counts}"
+            )
+            print(
+                f"retry policy: timeout {retry_options.timeout_ms:.0f} ms, "
+                f"{retry_options.max_retries} retries, backoff base "
+                f"{retry_options.backoff_base_ms:.0f} ms"
+            )
+            coordinator = StorageCoordinator(
+                cluster, router, retry_options=retry_options, seed=args.seed
+            )
+            driver = ClosedLoopDriver(coordinator, num_clients=args.clients)
+            report = driver.run(bundle.workload.transactions)
+        finally:
+            cluster.close()
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    print(
+        f"streamed {report.total} transactions with {args.clients} clients: "
+        f"{report.committed} committed, {report.aborted} aborted, "
+        f"{report.distributed_fraction:.1%} distributed"
+    )
+    print(
+        f"throughput {report.throughput_txn_s:.1f} txn/s (wall-clock), "
+        f"p99 latency {report.latency_quantile(0.99):.1f} ms, "
+        f"read fallbacks {report.read_fallbacks}, "
+        f"in-doubt completed {report.in_doubt_completed}"
+    )
+    return 0
+
+
 def cmd_deploy(args: argparse.Namespace) -> int:
     plan = PartitionPlan.load(args.plan)
     print(f"loaded {args.plan}:")
     print(plan.describe())
     bundle = _build_bundle(args.workload, args.scale, args.seed)
+    if args.storage == "sqlite":
+        return _deploy_sqlite(args, plan, bundle)
     controller = start_online(plan, bundle.database)
     cluster = controller.cluster
     print(
@@ -223,6 +298,21 @@ def _bench_resilience(args: argparse.Namespace) -> str:
     return text
 
 
+def _bench_storage_resilience(args: argparse.Namespace) -> str:
+    from repro.experiments.storage_resilience import (
+        format_storage_resilience,
+        run_storage_resilience,
+    )
+
+    report = run_storage_resilience(seed=args.seed)
+    text = format_storage_resilience(report)
+    if report.violations:
+        # Same hard gate as the simulated resilience run: a lost update, an
+        # unreachable tuple, or an unrestarted worker fails the invocation.
+        raise SystemExit(text)
+    return text
+
+
 BENCH_EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
     "figure1": _bench_figure1,
     "figure4": _bench_figure4,
@@ -233,6 +323,7 @@ BENCH_EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
     "read-hot-drift": _bench_read_hot,
     "elastic": _bench_elastic,
     "resilience": _bench_resilience,
+    "storage-resilience": _bench_storage_resilience,
 }
 
 
@@ -246,7 +337,12 @@ def _load_journal(path_text: str):
 
     Accepts either the journal file itself or a plan file, in which case the
     journal is looked up at its conventional sibling path (``<plan>.journal``).
+    Anything that is not a parseable journal — a plan without a sibling
+    journal, a non-JSON file — exits with a friendly message naming the path
+    that was probed, never a traceback.
     """
+    import json
+
     from repro.online.migration import (
         JournalFormatError,
         MigrationJournal,
@@ -258,13 +354,19 @@ def _load_journal(path_text: str):
         raise SystemExit(f"no such file: {path}")
     try:
         return MigrationJournal.loads(path.read_text(encoding="utf-8"))
-    except JournalFormatError:
+    except (JournalFormatError, json.JSONDecodeError, UnicodeDecodeError):
         journal_path = default_journal_path(path)
         if journal_path.exists():
-            return MigrationJournal.loads(journal_path.read_text(encoding="utf-8"))
+            try:
+                return MigrationJournal.loads(journal_path.read_text(encoding="utf-8"))
+            except (JournalFormatError, json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise SystemExit(
+                    f"no journal found: {journal_path} exists but is not a "
+                    f"readable migration journal ({error})"
+                )
         raise SystemExit(
-            f"{path} is not a migration journal and no journal exists at "
-            f"{journal_path}"
+            f"no journal found: {path} is not a migration journal and nothing "
+            f"exists at the probed sibling path {journal_path}"
         )
 
 
@@ -331,6 +433,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         default=None,
         help="write a canonical-JSON metrics snapshot of the deployment here",
+    )
+    deploy_parser.add_argument(
+        "--storage",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="cluster backend: in-memory simulation or real SQLite worker processes",
+    )
+    deploy_parser.add_argument(
+        "--storage-dir",
+        default=None,
+        help="directory for the SQLite partition files (default: a temp dir)",
+    )
+    deploy_parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="closed-loop client threads for --storage sqlite",
+    )
+    deploy_parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=1000.0,
+        help="per-attempt worker request deadline (sqlite backend)",
+    )
+    deploy_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=4,
+        help="retry budget per routed operation (sqlite backend)",
+    )
+    deploy_parser.add_argument(
+        "--backoff-base-ms",
+        type=float,
+        default=25.0,
+        help="base backoff before the first retry (sqlite backend)",
     )
     deploy_parser.set_defaults(handler=cmd_deploy)
 

@@ -76,6 +76,22 @@ class CoordinatorKill:
 
 
 @dataclass(frozen=True)
+class WorkerKill:
+    """``SIGKILL`` a real partition worker process at a seeded commit tick.
+
+    Unlike :class:`NodeCrash` — a *simulated* outage window on the logical
+    clock — this one kills an actual OS process owning a SQLite file.  The
+    trigger is the cluster-wide committed-transaction count, which is a
+    deterministic point of the workload even though wall-clock thread
+    interleaving varies: the ``at_commit``-th commit fires the kill no
+    matter which client thread lands it.
+    """
+
+    partition: int
+    at_commit: int
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that will go wrong, declared up front.
 
@@ -87,6 +103,7 @@ class FaultPlan:
     seed: int = 0
     node_crashes: tuple[NodeCrash, ...] = ()
     coordinator_kills: tuple[CoordinatorKill, ...] = ()
+    worker_kills: tuple[WorkerKill, ...] = ()
     message_drop_rate: float = 0.0
     message_delay_rate: float = 0.0
     message_delay: float = 4.0
@@ -111,6 +128,7 @@ class FaultStatistics:
     messages_delayed: int = 0
     unavailability_hits: int = 0
     coordinator_deaths: int = 0
+    workers_killed: int = 0
 
 
 class FaultInjector:
@@ -127,6 +145,9 @@ class FaultInjector:
         self._rng = SeededRng(plan.seed).fork("faults")
         self._pending_kills = {kill.at_record for kill in plan.coordinator_kills}
         self._fired_kills: set[int] = set()
+        self._pending_worker_kills = sorted(
+            plan.worker_kills, key=lambda kill: (kill.at_commit, kill.partition)
+        )
         self._injected = get_telemetry().metrics.counter(
             "faults.injected", "faults fired by kind", labels=("kind",)
         )
@@ -179,6 +200,24 @@ class FaultInjector:
             self._injected.inc(kind="message_delayed")
             delay = plan.message_delay
         return delay
+
+    # -- worker kills ------------------------------------------------------------------
+    def due_worker_kills(self, commits: int) -> list[WorkerKill]:
+        """Pop every :class:`WorkerKill` whose commit tick has been reached.
+
+        Called by the closed-loop driver's commit hook with the cluster-wide
+        commit count; each kill fires exactly once.  The caller performs the
+        actual ``SIGKILL`` (the injector has no process handles) —
+        :meth:`repro.storage.cluster.SqliteStorageCluster.kill_worker` is
+        the intended target.
+        """
+        due: list[WorkerKill] = []
+        while self._pending_worker_kills and self._pending_worker_kills[0].at_commit <= commits:
+            due.append(self._pending_worker_kills.pop(0))
+        for kill in due:
+            self.statistics.workers_killed += 1
+            self._injected.inc(kind="worker_killed")
+        return due
 
     # -- coordinator death -------------------------------------------------------------
     def on_journal_record(self, state: str, record: int) -> None:

@@ -32,6 +32,11 @@ from repro.experiments.resilience import (
     format_resilience,
     run_resilience,
 )
+from repro.experiments.storage_resilience import (
+    StorageResilienceReport,
+    format_storage_resilience,
+    run_storage_resilience,
+)
 from repro.experiments.table1 import Table1Row, format_table1, run_table1
 
 __all__ = [
@@ -44,6 +49,7 @@ __all__ = [
     "OnlineDriftReport",
     "ReadHotDriftReport",
     "ResilienceReport",
+    "StorageResilienceReport",
     "Table1Row",
     "format_elastic_scaling",
     "format_figure1",
@@ -53,6 +59,7 @@ __all__ = [
     "format_online_drift",
     "format_read_hot_drift",
     "format_resilience",
+    "format_storage_resilience",
     "format_table1",
     "run_elastic_scaling",
     "run_figure1",
@@ -63,5 +70,6 @@ __all__ = [
     "run_online_drift",
     "run_read_hot_drift",
     "run_resilience",
+    "run_storage_resilience",
     "run_table1",
 ]

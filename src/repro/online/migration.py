@@ -26,6 +26,7 @@ its new location.  Two routing-update paths exist:
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping
@@ -578,17 +579,35 @@ class MemoryJournalSink:
 
 
 class FileJournalSink:
-    """Persists each journal snapshot to a file (alongside the plan artifact)."""
+    """Persists each journal snapshot to a file (alongside the plan artifact).
+
+    Crash-durable, not just atomic: the tmp file is fsync'd before the
+    rename and the containing directory is fsync'd after it.  Without the
+    first fsync a rename can land while the *contents* are still only in
+    the page cache (a power cut leaves a truncated or empty journal at the
+    final path); without the second the rename itself may not survive.  The
+    previous snapshot stays intact at every instant in between.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.writes = 0
 
     def write(self, text: str) -> None:
-        """Atomically replace the journal file with ``text``."""
+        """Durably replace the journal file with ``text`` (write-fsync-rename-fsync)."""
         temp = self.path.with_name(self.path.name + ".tmp")
-        temp.write_text(text, encoding="utf-8")
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         temp.replace(self.path)
+        directory_fd = os.open(self.path.parent, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        except OSError:  # pragma: no cover - directory fsync unsupported here
+            pass
+        finally:
+            os.close(directory_fd)
         self.writes += 1
 
     def load(self) -> MigrationJournal:

@@ -215,6 +215,20 @@ class Router:
             self.transaction_participants(transaction) for transaction in workload
         ]
 
+    def placement_of(self, tuple_id: TupleId) -> frozenset[int]:
+        """Full replica set of one tuple (lookup table first, then strategy).
+
+        Where :meth:`route_statement` narrows a replicated read to a single
+        replica, this returns every partition holding the tuple — the
+        fallback set a storage coordinator walks when the chosen replica's
+        worker is unreachable.
+        """
+        if self.lookup_table is not None:
+            placement = self.lookup_table.get(tuple_id)
+            if placement is not None:
+                return placement
+        return self.strategy.partitions_for_tuple(tuple_id)
+
     # -- helpers ------------------------------------------------------------------------
     def _statement_conditions(self, statement: Statement) -> list[AttributeCondition]:
         if isinstance(statement, InsertStatement):

@@ -1,0 +1,456 @@
+"""Routed transaction execution against the durable cluster.
+
+:class:`StorageCoordinator` is the client-facing layer: it routes each
+transaction's statements with the existing
+:class:`~repro.routing.router.Router`, executes reads (falling back across
+the plan's replica set when the chosen replica's worker is unreachable),
+applies writes partition by partition under the seeded retry/backoff
+policy, and mirrors every committed write into an in-memory **oracle**
+database for the post-run audits.
+
+**Commit point and in-doubt completion.**  A transaction's writes are
+applied to its participants in sorted partition order; the transaction is
+logically committed the moment the *first* participant durably applied its
+batch.  Before that point a retry-budget exhaustion aborts cleanly (the
+per-partition dedup table proves nothing landed); after it, the classic 2PC
+in-doubt rule applies — the only safe direction is forward, so remaining
+participants are completed with patient retries that ride through worker
+restarts.  Exactly-once application on each partition (dedup by ``txn_id``)
+is what makes those blind retries safe.
+
+**Write ordering.**  Concurrent clients applying non-commutative writes
+(TPC-C's delta updates) must reach the cluster and the oracle in the same
+per-key order, or the audit would flag false lost updates.  The coordinator
+holds per-key write locks (plus shared/exclusive table locks for statements
+that do not pin a primary key) from before the first partition apply until
+after the oracle mirror; tokens are acquired in a global sort order, so
+concurrent transactions cannot deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.catalog.schema import Schema
+from repro.catalog.tuples import TupleId
+from repro.engine.database import Database
+from repro.obs import get_telemetry
+from repro.routing.router import Router, RoutingDecision
+from repro.sqlparse.ast import InsertStatement, Statement, is_write
+from repro.sqlparse.predicates import conjunctive_conditions, statement_where
+from repro.storage.cluster import SqliteStorageCluster
+from repro.storage.retry import RetryBudgetExhausted, RetryOptions, RetryPolicy
+from repro.storage.sqlite_store import StoreConstraintError
+from repro.storage.worker import RemoteStoreError, WorkerTimeout, WorkerUnavailable
+from repro.workload.trace import Transaction
+
+#: attempts/backoff-cap of the patient loops (in-doubt completion and
+#: commit-point confirmation) — sized to ride through several supervisor
+#: restart cycles before giving up loudly.
+PATIENT_ATTEMPTS = 60
+PATIENT_DELAY_S = 0.05
+
+
+class InDoubtError(RuntimeError):
+    """A committed transaction could not be completed on every participant."""
+
+
+@dataclass
+class StorageOutcome:
+    """What happened to one routed transaction."""
+
+    txn_id: str
+    status: str  # "committed" | "aborted"
+    scope: str  # "single" | "distributed"
+    participants: tuple[int, ...]
+    reason: str = ""
+    in_doubt_completed: bool = False
+    read_fallbacks: int = 0
+
+    @property
+    def committed(self) -> bool:
+        """Whether the transaction reached its commit point."""
+        return self.status == "committed"
+
+
+# -- write-lock tokens -----------------------------------------------------------------
+class _TableLock:
+    """Shared/exclusive lock of one table (no fairness; client counts are small)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._shared = 0
+        self._exclusive = False
+
+    def acquire(self, exclusive: bool) -> None:
+        with self._cond:
+            if exclusive:
+                while self._exclusive or self._shared:
+                    self._cond.wait()
+                self._exclusive = True
+            else:
+                while self._exclusive:
+                    self._cond.wait()
+                self._shared += 1
+
+    def release(self, exclusive: bool) -> None:
+        with self._cond:
+            if exclusive:
+                self._exclusive = False
+            else:
+                self._shared -= 1
+            self._cond.notify_all()
+
+
+class LockManager:
+    """Token locks ordering concurrent writers.
+
+    Tokens are ``("key", table, key)`` (exclusive mutex per tuple),
+    ``("table-s", table)`` (shared: a key-pinned write), and
+    ``("table-x", table)`` (exclusive: a write that could touch any row).
+    Acquisition follows the tokens' global sort order and holds everything
+    until release, so no cycle — and therefore no deadlock — can form.
+    """
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._key_locks: dict[tuple, threading.Lock] = {}
+        self._table_locks: dict[str, _TableLock] = {}
+
+    def _key_lock(self, token: tuple) -> threading.Lock:
+        with self._guard:
+            return self._key_locks.setdefault(token, threading.Lock())
+
+    def _table_lock(self, table: str) -> _TableLock:
+        with self._guard:
+            return self._table_locks.setdefault(table, _TableLock())
+
+    def acquire(self, tokens: Sequence[tuple]) -> list[tuple]:
+        """Acquire ``tokens`` (pre-sorted); returns them for :meth:`release`."""
+        for token in tokens:
+            if token[0] == "key":
+                self._key_lock(token).acquire()
+            else:
+                self._table_lock(token[1]).acquire(exclusive=token[0] == "table-x")
+        return list(tokens)
+
+    def release(self, tokens: Sequence[tuple]) -> None:
+        """Release ``tokens`` in reverse acquisition order."""
+        for token in reversed(tokens):
+            if token[0] == "key":
+                self._key_lock(token).release()
+            else:
+                self._table_lock(token[1]).release(exclusive=token[0] == "table-x")
+
+
+def pinned_write_keys(statement: Statement, schema: Schema) -> list[tuple[object, ...]] | None:
+    """Primary keys a write statement pins, or ``None`` if it could touch any row."""
+    if isinstance(statement, InsertStatement):
+        try:
+            return [schema.table(statement.table).primary_key_of(statement.row)]
+        except KeyError:
+            return None
+    primary_key = schema.table(statement.table).primary_key
+    values: dict[str, tuple[object, ...]] = {}
+    for condition in conjunctive_conditions(statement_where(statement)):
+        if condition.table in (None, statement.table) and condition.column in primary_key:
+            candidates = condition.candidate_values()
+            if candidates:
+                values[condition.column] = candidates
+    if set(values) != set(primary_key):
+        return None
+    keys: list[tuple[object, ...]] = [()]
+    for column in primary_key:
+        keys = [key + (value,) for key in keys for value in values[column]]
+    return keys
+
+
+def write_lock_tokens(transaction: Transaction, schema: Schema) -> list[tuple]:
+    """The sorted lock tokens guarding a transaction's writes."""
+    tokens: set[tuple] = set()
+    for statement in transaction.statements:
+        if not is_write(statement):
+            continue
+        table = statement.table
+        keys = pinned_write_keys(statement, schema)
+        if keys is None:
+            tokens.add(("table-x", table))
+        else:
+            tokens.add(("table-s", table))
+            for key in keys:
+                tokens.add(("key", table, tuple(key)))
+    return sorted(tokens, key=repr)
+
+
+# -- the coordinator -------------------------------------------------------------------
+class StorageCoordinator:
+    """Routes, retries, locks, and audits transactions over the real cluster."""
+
+    def __init__(
+        self,
+        cluster: SqliteStorageCluster,
+        router: Router,
+        *,
+        oracle: Database | None = None,
+        retry_options: RetryOptions | None = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.cluster = cluster
+        self.router = router
+        self.oracle = oracle
+        self.policy = RetryPolicy(retry_options, seed=seed, sleep=sleep)
+        self.locks = LockManager()
+        self._oracle_lock = threading.Lock()
+        self._sleep = sleep
+        metrics = get_telemetry().metrics
+        self._requests = metrics.counter(
+            "storage.requests",
+            "routed worker requests by operation and outcome",
+            labels=("op", "outcome"),
+        )
+        self._transactions = metrics.counter(
+            "storage.transactions",
+            "routed transactions by outcome and partition scope",
+            labels=("outcome", "scope"),
+        )
+        self._read_fallbacks = metrics.counter(
+            "storage.read_fallbacks", "reads answered by a fallback replica"
+        )
+        self._write_fast_fails = metrics.counter(
+            "storage.write_fast_fails",
+            "write transactions aborted after exhausting the retry budget",
+        )
+
+    # -- worker plumbing ---------------------------------------------------------------
+    def _attempt(self, partition: int, op: str, payload: object) -> object:
+        """One worker request, always through the *current* handle."""
+        handle = self.cluster.handle(partition)
+        try:
+            result = handle.request(op, payload, timeout_s=self.policy.options.timeout_s)
+        except Exception:
+            self._requests.inc(op=op, outcome="error")
+            raise
+        self._requests.inc(op=op, outcome="ok")
+        return result
+
+    def _apply_with_retries(self, partition: int, txn_id: str, statements: list[Statement]) -> str:
+        return self.policy.run(
+            "apply",
+            (txn_id, partition),
+            lambda: self._attempt(partition, "apply", (txn_id, list(statements))),
+        )
+
+    def _patiently(self, describe: str, attempt: Callable[[], object]) -> object:
+        """Retry ``attempt`` through worker restarts; raise :class:`InDoubtError` only
+        after the patience budget — this loop runs *past* the commit point, where
+        giving up would mean a partially-applied committed transaction."""
+        last_error: BaseException | None = None
+        for _ in range(PATIENT_ATTEMPTS):
+            try:
+                return attempt()
+            except (WorkerUnavailable, WorkerTimeout, RetryBudgetExhausted, OSError) as error:
+                last_error = error
+            except RemoteStoreError as error:
+                if error.kind != "retryable":
+                    raise
+                last_error = error
+            self._sleep(PATIENT_DELAY_S)
+        raise InDoubtError(f"{describe}: gave up after {PATIENT_ATTEMPTS} attempts ({last_error!r})")
+
+    def _confirm_applied(self, partition: int, txn_id: str) -> bool:
+        """Whether ``txn_id`` durably applied on ``partition`` (patient probe).
+
+        Authoritative despite earlier timeouts: the worker serves its pipe
+        serially, so this probe is answered after any still-in-flight apply;
+        and if the worker was restarted instead, the in-flight apply died
+        with it and the fresh worker reads the recovered WAL state.
+        """
+        return bool(
+            self._patiently(
+                f"confirm txn {txn_id} on partition {partition}",
+                lambda: self._attempt(partition, "has_txn", txn_id),
+            )
+        )
+
+    # -- reads -------------------------------------------------------------------------
+    def _read_fallback_partitions(self, decision: RoutingDecision) -> list[int]:
+        """Replica-set fallbacks of a single-replica read, nearest-first."""
+        keys = None
+        statement = decision.statement
+        tables = [statement.tables[0]] if getattr(statement, "tables", None) else []
+        if len(tables) == 1:
+            schema = self.router.schema
+            if schema is not None and schema.has_table(tables[0]):
+                primary_key = schema.table(tables[0]).primary_key
+                values: dict[str, tuple[object, ...]] = {}
+                for condition in conjunctive_conditions(statement_where(statement)):
+                    if condition.table in (None, tables[0]) and condition.column in primary_key:
+                        candidates = condition.candidate_values()
+                        if candidates:
+                            values[condition.column] = candidates
+                if set(values) == set(primary_key):
+                    keys = [()]
+                    for column in primary_key:
+                        keys = [key + (value,) for key in keys for value in values[column]]
+        replicas: set[int] = set()
+        if keys:
+            for key in keys:
+                replicas.update(self.router.placement_of(TupleId(tables[0], tuple(key))))
+        replicas -= decision.partitions
+        return sorted(replicas)
+
+    def _execute_read(self, decision: RoutingDecision, outcome: StorageOutcome) -> list[tuple]:
+        """Run a read on its routed partitions, falling back across replicas."""
+        rows: list[tuple] = []
+        for partition in sorted(decision.partitions):
+            try:
+                result = self.policy.run(
+                    "read",
+                    (outcome.txn_id, "read", partition, repr(decision.statement)),
+                    lambda p=partition: self._attempt(p, "read", decision.statement),
+                )
+            except RetryBudgetExhausted:
+                fallbacks = (
+                    self._read_fallback_partitions(decision)
+                    if len(decision.partitions) == 1
+                    else []
+                )
+                result = None
+                for fallback in fallbacks:
+                    try:
+                        result = self.policy.run(
+                            "read",
+                            (outcome.txn_id, "read-fallback", fallback, repr(decision.statement)),
+                            lambda p=fallback: self._attempt(p, "read", decision.statement),
+                        )
+                    except RetryBudgetExhausted:
+                        continue
+                    self._read_fallbacks.inc()
+                    outcome.read_fallbacks += 1
+                    break
+                if result is None:
+                    raise
+            rows.extend(result)
+        return rows
+
+    # -- transactions ------------------------------------------------------------------
+    def execute_transaction(self, transaction: Transaction, txn_id: str) -> StorageOutcome:
+        """Route and execute one transaction; returns its outcome.
+
+        Reads run in statement order; writes are batched per participant and
+        applied at commit, in sorted partition order, under the transaction's
+        write locks.  Committed writes are mirrored into the oracle before
+        the locks release, so cluster and oracle agree on per-key order.
+        """
+        decisions = self.router.route_transaction(transaction)
+        participants: set[int] = set()
+        for decision in decisions:
+            participants.update(decision.partitions)
+        scope = "single" if len(participants) <= 1 else "distributed"
+        outcome = StorageOutcome(
+            txn_id=txn_id,
+            status="committed",
+            scope=scope,
+            participants=tuple(sorted(participants)),
+        )
+        write_batches: dict[int, list[Statement]] = {}
+        write_statements: list[Statement] = []
+        for decision in decisions:
+            if is_write(decision.statement):
+                write_statements.append(decision.statement)
+                for partition in sorted(decision.partitions):
+                    write_batches.setdefault(partition, []).append(decision.statement)
+        tokens = (
+            write_lock_tokens(transaction, self.router.schema)
+            if write_batches and self.router.schema is not None
+            else []
+        )
+        self.locks.acquire(tokens)
+        try:
+            try:
+                for decision in decisions:
+                    if not is_write(decision.statement):
+                        self._execute_read(decision, outcome)
+            except RetryBudgetExhausted as error:
+                outcome.status = "aborted"
+                outcome.reason = f"read unavailable: {error.operation}"
+                self._transactions.inc(outcome="aborted", scope=scope)
+                return outcome
+            if write_batches:
+                self._apply_writes(outcome, write_batches, write_statements)
+            self._transactions.inc(outcome=outcome.status, scope=scope)
+            return outcome
+        finally:
+            self.locks.release(tokens)
+
+    def _apply_writes(
+        self,
+        outcome: StorageOutcome,
+        write_batches: dict[int, list[Statement]],
+        write_statements: list[Statement],
+    ) -> None:
+        ordered = sorted(write_batches)
+        committed = False  # flips once the first participant durably applied
+        for index, partition in enumerate(ordered):
+            statements = write_batches[partition]
+            try:
+                if not committed:
+                    self._apply_with_retries(partition, outcome.txn_id, statements)
+                    committed = True
+                else:
+                    outcome.in_doubt_completed = (
+                        self._complete_forward(partition, outcome.txn_id, statements)
+                        or outcome.in_doubt_completed
+                    )
+            except StoreConstraintError as error:
+                if committed:  # pragma: no cover - workload never splits constraints
+                    raise InDoubtError(
+                        f"constraint violation after commit point on partition {partition}"
+                    ) from error
+                outcome.status = "aborted"
+                outcome.reason = f"constraint: {error}"
+                return
+            except RemoteStoreError as error:
+                if error.kind == "fatal":
+                    if committed:  # pragma: no cover - as above
+                        raise InDoubtError(
+                            f"fatal error after commit point on partition {partition}"
+                        ) from error
+                    outcome.status = "aborted"
+                    outcome.reason = f"fatal: {error}"
+                    return
+                raise  # pragma: no cover - retryable RemoteStoreError is consumed by the policy
+            except RetryBudgetExhausted:
+                # The budget ran out on the would-be first participant; a
+                # timed-out attempt may still have landed, so ask the dedup
+                # table which side of the commit point we are on.
+                if self._confirm_applied(partition, outcome.txn_id):
+                    committed = True
+                    continue
+                outcome.status = "aborted"
+                outcome.reason = "write fast-fail: retry budget exhausted"
+                self._write_fast_fails.inc()
+                return
+        if committed and self.oracle is not None:
+            with self._oracle_lock:
+                for statement in write_statements:
+                    self.oracle.execute(statement)
+
+    def _complete_forward(self, partition: int, txn_id: str, statements: list[Statement]) -> bool:
+        """Apply one participant's batch past the commit point (patiently).
+
+        Returns whether completion needed the patient path (the normal
+        retry budget did not suffice)."""
+        try:
+            self._apply_with_retries(partition, txn_id, statements)
+            return False
+        except RetryBudgetExhausted:
+            self._patiently(
+                f"forward-complete txn {txn_id} on partition {partition}",
+                lambda: self._attempt(partition, "apply", (txn_id, list(statements))),
+            )
+            return True

@@ -1,0 +1,178 @@
+"""Retry/timeout/backoff policy for routed storage operations.
+
+Every statement routed to a worker runs under this policy: a per-attempt
+deadline, a bounded retry budget, exponential backoff between attempts with
+**seeded** jitter, and a retryable-vs-fatal error classification so a
+constraint violation is never retried while a dead worker is.
+
+Determinism: the backoff *schedule* of an operation is a pure function of
+``(seed, operation key)`` — each schedule draws its jitter from a
+:meth:`repro.utils.rng.SeededRng.fork` sub-stream salted with the key, so
+concurrent clients never race on a shared generator and two runs of the same
+scenario produce byte-identical schedules on either array backend.  Only the
+*durations actually slept* are wall-clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.obs import get_telemetry
+from repro.utils.rng import SeededRng
+
+T = TypeVar("T")
+
+#: classification outcomes.
+RETRYABLE = "retryable"
+FATAL = "fatal"
+
+
+@dataclass
+class RetryOptions:
+    """Knobs of the storage retry policy.
+
+    Mirrors :class:`~repro.graph.partitioner.PartitionerOptions` hygiene:
+    count/duration knobs are clamped to sane floors on construction (zero or
+    negative timeouts would otherwise turn every request into an instant
+    failure), ratio knobs are validated outright.
+    """
+
+    #: per-attempt deadline for one worker request, in milliseconds.
+    timeout_ms: float = 1000.0
+    #: retry budget: total attempts are ``max_retries + 1``.
+    max_retries: int = 4
+    #: backoff before the first retry, in milliseconds.
+    backoff_base_ms: float = 25.0
+    #: backoff growth per retry (exponential).
+    backoff_multiplier: float = 2.0
+    #: upper bound on a single backoff delay, in milliseconds.
+    backoff_cap_ms: float = 1000.0
+    #: fraction of each delay that is jittered: the drawn delay lies in
+    #: ``[delay * (1 - jitter), delay]``.  0 disables jitter.
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        self.timeout_ms = max(1.0, float(self.timeout_ms))
+        self.max_retries = max(0, int(self.max_retries))
+        self.backoff_base_ms = max(0.0, float(self.backoff_base_ms))
+        self.backoff_multiplier = max(1.0, float(self.backoff_multiplier))
+        self.backoff_cap_ms = max(self.backoff_base_ms, float(self.backoff_cap_ms))
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    @property
+    def timeout_s(self) -> float:
+        """Per-attempt deadline in seconds."""
+        return self.timeout_ms / 1000.0
+
+
+class RetryBudgetExhausted(RuntimeError):
+    """Every attempt of an operation failed with a retryable error."""
+
+    def __init__(self, operation: str, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"{operation}: retry budget exhausted after {attempts} attempts "
+            f"(last error: {last_error!r})"
+        )
+        self.operation = operation
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+def classify_error(error: BaseException) -> str:
+    """Classify an operation failure as :data:`RETRYABLE` or :data:`FATAL`.
+
+    Retryable: the worker being unreachable, slow, or mid-restart — anything
+    where a later attempt can legitimately succeed.  Fatal: constraint
+    violations and malformed statements, which fail identically every time
+    (retrying a duplicate-key insert only burns the budget).  Errors the
+    worker itself classified travel with their classification
+    (:class:`~repro.storage.worker.RemoteStoreError`).
+    """
+    # Imported here to avoid a cycle (worker imports the policy options).
+    from repro.storage.worker import RemoteStoreError, WorkerTimeout, WorkerUnavailable
+
+    if isinstance(error, RemoteStoreError):
+        return error.kind
+    if isinstance(
+        error,
+        (
+            WorkerUnavailable,
+            WorkerTimeout,
+            BrokenPipeError,
+            ConnectionError,
+            EOFError,
+            OSError,
+        ),
+    ):
+        return RETRYABLE
+    return FATAL
+
+
+class RetryPolicy:
+    """Executes operations under :class:`RetryOptions` with seeded backoff."""
+
+    def __init__(
+        self,
+        options: RetryOptions | None = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.options = options or RetryOptions()
+        self.seed = seed
+        self._sleep = sleep
+        metrics = get_telemetry().metrics
+        self._retries = metrics.counter(
+            "storage.retries", "routed-operation retries by operation kind", labels=("op",)
+        )
+        self._backoff = metrics.histogram(
+            "storage.backoff_ms", "scheduled backoff delays in milliseconds"
+        )
+
+    def schedule_for(self, key: object) -> tuple[float, ...]:
+        """Backoff delays (ms) for the operation identified by ``key``.
+
+        A pure function of ``(seed, key)``: the jitter draws come from a
+        forked sub-stream salted with the key, independent of any other
+        operation's draws and of thread interleaving.
+        """
+        options = self.options
+        rng = SeededRng(self.seed).fork(("storage-retry", repr(key)))
+        delays = []
+        for attempt in range(options.max_retries):
+            delay = min(
+                options.backoff_cap_ms,
+                options.backoff_base_ms * options.backoff_multiplier**attempt,
+            )
+            if options.jitter > 0.0:
+                delay *= 1.0 - options.jitter * rng.random()
+            delays.append(delay)
+        return tuple(delays)
+
+    def run(self, operation: str, key: object, attempt: Callable[[], T]) -> T:
+        """Run ``attempt`` under the policy; returns its result.
+
+        Fatal errors propagate immediately (never retried); retryable errors
+        consume the budget with the scheduled backoff between attempts, and
+        exhaustion raises :class:`RetryBudgetExhausted` wrapping the last
+        error.
+        """
+        schedule = self.schedule_for(key)
+        last_error: BaseException | None = None
+        for index in range(len(schedule) + 1):
+            try:
+                return attempt()
+            except BaseException as error:
+                if classify_error(error) != RETRYABLE:
+                    raise
+                last_error = error
+                if index < len(schedule):
+                    self._retries.inc(op=operation)
+                    delay_ms = schedule[index]
+                    self._backoff.observe(delay_ms)
+                    if delay_ms > 0.0:
+                        self._sleep(delay_ms / 1000.0)
+        assert last_error is not None
+        raise RetryBudgetExhausted(operation, len(schedule) + 1, last_error)

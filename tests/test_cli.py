@@ -181,3 +181,52 @@ def test_journal_inspect_renders_a_timeline(tmp_path, capsys):
     assert "journal: resize migration, 2 -> 4 partitions" in output
     assert "1. planned: journal opened" in output
     assert "current state: completed" in output
+
+
+def test_status_with_unreadable_sibling_journal_is_a_clean_error(tmp_path):
+    plan_path = tmp_path / "plan.json"
+    assert main([
+        "run", "--workload", "simplecount", "--partitions", "2",
+        "--scale", "0.2", "--out", str(plan_path),
+    ]) == 0
+    (tmp_path / "plan.json.journal").write_text("not json at all", encoding="utf-8")
+    with pytest.raises(SystemExit, match="no journal found"):
+        main(["status", str(plan_path)])
+
+
+def test_deploy_sqlite_rejects_in_memory_only_flags(tmp_path):
+    plan_path = tmp_path / "plan.json"
+    assert main([
+        "run", "--workload", "simplecount", "--partitions", "2",
+        "--scale", "0.2", "--out", str(plan_path),
+    ]) == 0
+    with pytest.raises(SystemExit, match="in-memory backend only"):
+        main([
+            "deploy", str(plan_path), "--workload", "simplecount",
+            "--scale", "0.2", "--storage", "sqlite",
+            "--export", str(tmp_path / "live.json"),
+        ])
+
+
+def test_deploy_sqlite_streams_the_workload(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    assert main([
+        "run", "--workload", "simplecount", "--partitions", "2",
+        "--scale", "0.2", "--out", str(plan_path),
+    ]) == 0
+    capsys.readouterr()
+    storage_dir = tmp_path / "cluster"
+    code = main([
+        "deploy", str(plan_path), "--workload", "simplecount",
+        "--scale", "0.2", "--storage", "sqlite",
+        "--storage-dir", str(storage_dir), "--clients", "2",
+        "--timeout-ms", "1000", "--max-retries", "4", "--backoff-base-ms", "10",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "materialised 2 SQLite partitions" in output
+    assert "retry policy: timeout 1000 ms, 4 retries" in output
+    assert "0 aborted" in output
+    # the files are real and stay behind when --storage-dir is explicit.
+    assert (storage_dir / "partition-0.sqlite").exists()
+    assert (storage_dir / "partition-1.sqlite").exists()

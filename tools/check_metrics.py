@@ -11,11 +11,14 @@ vanishing from dashboards.
 Snapshots from runs that never construct the online/migration layers (plain
 ``repro run`` or ``deploy``) legitimately export a subset of the families;
 validate those with ``--partial``, which checks every exported family's
-structure but waives the completeness requirement.
+structure but waives the completeness requirement.  Other scenarios export
+a *different* complete set: ``--profile NAME`` swaps the requirement for
+the family list recorded under ``$profiles`` in the schema (``storage`` is
+the real-storage chaos run).
 
 Usage::
 
-    python tools/check_metrics.py [--partial] SNAPSHOT.json
+    python tools/check_metrics.py [--partial | --profile NAME] SNAPSHOT.json
 """
 
 from __future__ import annotations
@@ -33,20 +36,38 @@ from repro.obs.schema import iter_errors  # noqa: E402
 
 def main(argv: list[str]) -> int:
     partial = "--partial" in argv
-    paths = [arg for arg in argv if arg != "--partial"]
-    if len(paths) != 1:
+    arguments = [arg for arg in argv if arg != "--partial"]
+    profile = None
+    if "--profile" in arguments:
+        index = arguments.index("--profile")
+        try:
+            profile = arguments[index + 1]
+        except IndexError:
+            print("--profile requires a name", file=sys.stderr)
+            return 2
+        del arguments[index : index + 2]
+    if len(arguments) != 1 or (partial and profile):
         print(
-            "usage: python tools/check_metrics.py [--partial] SNAPSHOT.json",
+            "usage: python tools/check_metrics.py [--partial | --profile NAME] SNAPSHOT.json",
             file=sys.stderr,
         )
         return 2
-    snapshot_path = Path(paths[0])
+    snapshot_path = Path(arguments[0])
     snapshot = json.loads(snapshot_path.read_text(encoding="utf-8"))
     schema = json.loads(
         (REPO_ROOT / "docs" / "metrics_schema.json").read_text(encoding="utf-8")
     )
     if partial:
         schema["properties"]["families"].pop("required", None)
+    elif profile is not None:
+        profiles = schema.get("$profiles", {})
+        if profile not in profiles:
+            print(
+                f"unknown profile {profile!r}; choose from {', '.join(sorted(profiles))}",
+                file=sys.stderr,
+            )
+            return 2
+        schema["properties"]["families"]["required"] = profiles[profile]
     errors = list(iter_errors(snapshot, schema))
     if errors:
         for message in errors:
