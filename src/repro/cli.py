@@ -114,6 +114,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def _deploy_sqlite(args: argparse.Namespace, plan: PartitionPlan, bundle: WorkloadBundle) -> int:
     """Deploy a plan onto the real SQLite-backed cluster and drive the workload."""
     import tempfile
+    import threading
 
     from repro.routing.lookup import build_lookup_table
     from repro.routing.router import Router
@@ -126,6 +127,8 @@ def _deploy_sqlite(args: argparse.Namespace, plan: PartitionPlan, bundle: Worklo
 
     if args.adapt or args.export:
         raise SystemExit("--adapt/--export apply to the in-memory backend only")
+    if args.resize is not None and args.resize <= 0:
+        raise SystemExit("--resize must be a positive partition count")
     try:
         retry_options = RetryOptions(
             timeout_ms=args.timeout_ms,
@@ -163,8 +166,62 @@ def _deploy_sqlite(args: argparse.Namespace, plan: PartitionPlan, bundle: Worklo
             coordinator = StorageCoordinator(
                 cluster, router, retry_options=retry_options, seed=args.seed
             )
-            driver = ClosedLoopDriver(coordinator, num_clients=args.clients)
+            session = None
+            on_commit = None
+            on_outcome = None
+            if args.resize is not None:
+                from repro.online.controller import MigrationPacer, PacingOptions
+                from repro.online.migration import FileJournalSink
+                from repro.storage import (
+                    StorageMigrationSession,
+                    StorageMigrator,
+                    plan_storage_resize,
+                )
+
+                journal = plan_storage_resize(
+                    cluster,
+                    args.resize,
+                    migration_id=f"cli-resize-{args.resize}-seed{args.seed}",
+                    retry_options=retry_options,
+                    seed=args.seed,
+                )
+                journal_path = Path(directory) / "resize.journal"
+                sink = FileJournalSink(journal_path)
+                sink.write(journal.dumps())
+                pacer = MigrationPacer(PacingOptions(max_steps=16), volatile=True)
+                migrator = StorageMigrator(
+                    cluster,
+                    router,
+                    journal,
+                    sink=sink,
+                    batch_size=16,
+                    locks=coordinator.locks,
+                    retry_options=retry_options,
+                    seed=args.seed,
+                )
+                session = StorageMigrationSession(migrator, pacer=pacer)
+                tick_lock = threading.Lock()
+
+                def on_commit(_commits: int) -> None:
+                    with tick_lock:
+                        if not session.done:
+                            session.tick()
+
+                on_outcome = pacer.record
+                print(
+                    f"live resize {journal.old_num_partitions} -> {args.resize} "
+                    f"partitions: {len(journal.plan.copies)} copies, "
+                    f"{len(journal.plan.drops)} drops, journal {journal_path}"
+                )
+            driver = ClosedLoopDriver(
+                coordinator,
+                num_clients=args.clients,
+                on_commit=on_commit,
+                on_outcome=on_outcome,
+            )
             report = driver.run(bundle.workload.transactions)
+            if session is not None:
+                session.run_to_completion()
         finally:
             cluster.close()
     finally:
@@ -181,6 +238,16 @@ def _deploy_sqlite(args: argparse.Namespace, plan: PartitionPlan, bundle: Worklo
         f"read fallbacks {report.read_fallbacks}, "
         f"in-doubt completed {report.in_doubt_completed}"
     )
+    if session is not None:
+        journal = session.journal
+        print(
+            f"resize {journal.old_num_partitions} -> {journal.new_num_partitions} "
+            f"partitions {journal.state}: "
+            f"copies {journal.copies_done}/{len(journal.plan.copies)}, "
+            f"drops {journal.drops_done}/{len(journal.plan.drops)}, "
+            f"{journal.records} journal records, "
+            f"{session.ticks} ticks"
+        )
     return 0
 
 
@@ -313,6 +380,21 @@ def _bench_storage_resilience(args: argparse.Namespace) -> str:
     return text
 
 
+def _bench_storage_migration(args: argparse.Namespace) -> str:
+    from repro.experiments.storage_migration import (
+        format_storage_migration,
+        run_storage_migration,
+    )
+
+    report = run_storage_migration(seed=args.seed)
+    text = format_storage_migration(report)
+    if report.violations:
+        # Hard gate: an unfinished resize, a lost update, a phantom or
+        # unreachable tuple, or an unfired kill fails the invocation.
+        raise SystemExit(text)
+    return text
+
+
 BENCH_EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
     "figure1": _bench_figure1,
     "figure4": _bench_figure4,
@@ -324,6 +406,7 @@ BENCH_EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
     "elastic": _bench_elastic,
     "resilience": _bench_resilience,
     "storage-resilience": _bench_storage_resilience,
+    "storage-migration": _bench_storage_migration,
 }
 
 
@@ -468,6 +551,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=25.0,
         help="base backoff before the first retry (sqlite backend)",
+    )
+    deploy_parser.add_argument(
+        "--resize",
+        type=int,
+        default=None,
+        metavar="K",
+        help="live-resize the sqlite cluster to K partitions while the "
+        "workload runs (journaled dual-write migration)",
     )
     deploy_parser.set_defaults(handler=cmd_deploy)
 

@@ -32,6 +32,11 @@ from repro.experiments.resilience import (
     format_resilience,
     run_resilience,
 )
+from repro.experiments.storage_migration import (
+    StorageMigrationReport,
+    format_storage_migration,
+    run_storage_migration,
+)
 from repro.experiments.storage_resilience import (
     StorageResilienceReport,
     format_storage_resilience,
@@ -49,6 +54,7 @@ __all__ = [
     "OnlineDriftReport",
     "ReadHotDriftReport",
     "ResilienceReport",
+    "StorageMigrationReport",
     "StorageResilienceReport",
     "Table1Row",
     "format_elastic_scaling",
@@ -59,6 +65,7 @@ __all__ = [
     "format_online_drift",
     "format_read_hot_drift",
     "format_resilience",
+    "format_storage_migration",
     "format_storage_resilience",
     "format_table1",
     "run_elastic_scaling",
@@ -70,6 +77,7 @@ __all__ = [
     "run_online_drift",
     "run_read_hot_drift",
     "run_resilience",
+    "run_storage_migration",
     "run_storage_resilience",
     "run_table1",
 ]

@@ -22,10 +22,16 @@ def _journal_of(target):
     return getattr(target, "journal", target)
 
 
+def _is_storage(journal) -> bool:
+    """Whether the journal records a real-storage (SQLite) migration."""
+    return getattr(journal, "backend", "simulated") == "storage"
+
+
 def _forward_phase_rows(journal) -> list[tuple[str, str, str]]:
     """(marker, state, detail) rows for the forward half of the state machine."""
     total_copies = len(journal.plan.copies)
     total_drops = len(journal.plan.drops)
+    storage = _is_storage(journal)
     order = ["planned", "copying", "dual-window", "flipped", "dropping", "completed"]
     if journal.state in order:
         position = order.index(journal.state)
@@ -42,9 +48,11 @@ def _forward_phase_rows(journal) -> list[tuple[str, str, str]]:
         else:
             marker = "todo"
         if state == "copying":
-            detail = f"{journal.copies_done}/{total_copies} copies"
+            unit = "rows copied across partitions" if storage else "copies"
+            detail = f"{journal.copies_done}/{total_copies} {unit}"
         elif state == "dropping":
-            detail = f"{journal.drops_done}/{total_drops} drops"
+            unit = "stale rows dropped" if storage else "drops"
+            detail = f"{journal.drops_done}/{total_drops} {unit}"
         elif state == "dual-window":
             detail = "all tuples dually resident"
         elif state == "flipped":
@@ -149,10 +157,20 @@ def render_status(target, pacer=None) -> str:
     direction = f"{journal.old_num_partitions} -> {journal.new_num_partitions} partitions"
     lines = [
         f"migration {journal.kind} ({direction}, flip={journal.flip_mode})",
+    ]
+    if _is_storage(journal):
+        # A storage-backed journal drives real SQLite partition workers, so
+        # the counters below are durable rows moved under the exactly-once
+        # transaction-id namespace — not simulated-cluster bookkeeping.
+        lines.append(
+            "backend: storage (SQLite partition workers), "
+            f"migration id {journal.migration_id}"
+        )
+    lines.extend([
         f"state: {journal.state}"
         + ("  [terminal]" if journal.is_terminal else ""),
         f"journal records: {journal.records}",
-    ]
+    ])
     if journal.tuples_pinned:
         lines.append(f"tuples pinned: {journal.tuples_pinned}")
     lines.append("forward progress:")

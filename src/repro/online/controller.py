@@ -219,7 +219,9 @@ class MigrationPacer:
     :meth:`snapshot` exposes the whole window state read-only.
     """
 
-    def __init__(self, options: PacingOptions | None = None) -> None:
+    def __init__(
+        self, options: PacingOptions | None = None, *, volatile: bool = False
+    ) -> None:
         self.options = options or PacingOptions()
         self._latencies: deque[float] = deque(maxlen=self.options.latency_window)
         self._aborts: deque[int] = deque(maxlen=self.options.abort_window)
@@ -232,18 +234,28 @@ class MigrationPacer:
         self.pauses = 0
         self.resumes = 0
         metrics = get_telemetry().metrics
+        # ``volatile=True`` keeps this pacer's histogram observations out of
+        # deterministic metric snapshots — the real-storage migration feeds
+        # it wall-clock latencies, which must never reach a byte-compared
+        # export.  (The simulated pacer's inputs are virtual-time proxies,
+        # so it stays in the default snapshot.)
         self._decisions = metrics.counter(
-            "pacer.decisions", "pacing decisions per plan_steps call", labels=("decision",)
+            "pacer.decisions",
+            "pacing decisions per plan_steps call",
+            labels=("decision",),
+            volatile=volatile,
         )
         self._p99_histogram = metrics.histogram(
             "pacer.p99_latency",
             "windowed p99 latency proxy at each pacing decision",
             buckets=DEFAULT_BUCKETS,
+            volatile=volatile,
         )
         self._abort_histogram = metrics.histogram(
             "pacer.abort_rate",
             "windowed abort rate at each pacing decision",
             buckets=RATE_BUCKETS,
+            volatile=volatile,
         )
 
     def snapshot(self) -> PacerSnapshot:

@@ -8,7 +8,9 @@ At no point is a tuple stored on zero of its old-or-new partitions, so reads
 routed under either the old or the new lookup table always find a replica —
 the downtime-free property the executor reports progress on.
 
-The executor applies the plan to a :class:`~repro.distributed.cluster.Cluster`
+The executor applies the plan to any :class:`MigrationBackend` — the
+simulated :class:`~repro.distributed.cluster.Cluster` or the real SQLite
+worker cluster via :class:`~repro.storage.migrator.SqliteMigrationBackend` —
 with message accounting consistent with the 2PC coordinator (one
 request/response pair per remote read, write, or delete).  The controller
 sequences it as copies -> routing update -> drops, so the routing state is
@@ -29,17 +31,48 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Protocol, runtime_checkable
 
 from repro.catalog.tuples import TupleId
 from repro.core.strategies import LookupTablePartitioning, hash_home
-from repro.distributed.cluster import Cluster
 from repro.distributed.faults import FaultInjector, MessageDropped
 from repro.graph.assignment import PartitionAssignment
 from repro.obs import get_telemetry
 from repro.routing.lookup import build_lookup_table
 from repro.routing.router import Router
 from repro.utils.canonical_json import dumps_canonical
+
+
+@runtime_checkable
+class MigrationBackend(Protocol):
+    """What a migration executor needs from the thing holding the data.
+
+    The simulated :class:`~repro.distributed.cluster.Cluster` satisfies this
+    natively; :class:`~repro.storage.migrator.SqliteMigrationBackend` adapts
+    the real worker-process cluster to the same contract, so the journaled
+    state machine is backend-agnostic.  The semantics the executor relies on:
+
+    * :meth:`copy_tuple` returns ``None`` when the tuple no longer exists at
+      ``source`` (vanished under live traffic — skip), ``0`` when the target
+      already held the replica (idempotent replay — skip), and the copied
+      byte count otherwise;
+    * :meth:`drop_tuple` returns ``False`` when the replica was already gone;
+    * both must be atomic with respect to concurrent client writes;
+    * :meth:`grow_to` / :meth:`shrink_to` are idempotent on re-attach.
+    """
+
+    @property
+    def num_partitions(self) -> int: ...
+
+    def grow_to(self, num_partitions: int) -> None: ...
+
+    def shrink_to(self, num_partitions: int) -> None: ...
+
+    def copy_tuple(self, tuple_id: TupleId, source: int, target: int) -> int | None: ...
+
+    def drop_tuple(self, tuple_id: TupleId, partition: int) -> bool: ...
+
+    def tuple_locations_map(self) -> dict[TupleId, frozenset[int]]: ...
 
 
 @dataclass(frozen=True)
@@ -169,7 +202,7 @@ class MigrationReport:
 class LiveMigrator:
     """Executes migration plans against a cluster and swaps routing state."""
 
-    def __init__(self, cluster: Cluster, batch_size: int = 64) -> None:
+    def __init__(self, cluster: MigrationBackend, batch_size: int = 64) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.cluster = cluster
@@ -384,6 +417,16 @@ class MigrationJournal:
     new_num_partitions: int = 0
     lookup_backend: str = "dict"
     default_policy: str = "hash"
+    #: stable identifier of this migration, journalled so resumed executors
+    #: regenerate the *same* per-step transaction ids.  Real-storage backends
+    #: namespace their exactly-once dedup markers with it: dedup rows persist
+    #: in the SQLite files across successive migrations, so a later migration
+    #: touching the same tuple must not collide with an earlier one's markers.
+    migration_id: str = "mig"
+    #: which executor family owns this journal: "simulated" (in-memory
+    #: cluster) or "storage" (SQLite worker processes).  Status rendering and
+    #: resume tooling use it to pick the right session counters.
+    backend: str = "simulated"
     state: str = "planned"
     copies_done: int = 0
     drops_done: int = 0
@@ -403,6 +446,8 @@ class MigrationJournal:
             raise ValueError("kind must be 'adapt' or 'resize'")
         if self.flip_mode not in ("delta", "swap"):
             raise ValueError("flip_mode must be 'delta' or 'swap'")
+        if self.backend not in ("simulated", "storage"):
+            raise ValueError("backend must be 'simulated' or 'storage'")
         if self.state not in JOURNAL_FORWARD_STATES + JOURNAL_CANCEL_STATES:
             raise ValueError(f"unknown journal state {self.state!r}")
 
@@ -417,6 +462,8 @@ class MigrationJournal:
         new_num_partitions: int | None = None,
         lookup_backend: str = "dict",
         default_policy: str = "hash",
+        migration_id: str = "mig",
+        backend: str = "simulated",
     ) -> "MigrationJournal":
         """Open a fresh journal for ``plan``."""
         return cls(
@@ -429,6 +476,8 @@ class MigrationJournal:
             ),
             lookup_backend=lookup_backend,
             default_policy=default_policy,
+            migration_id=migration_id,
+            backend=backend,
         )
 
     @property
@@ -465,6 +514,8 @@ class MigrationJournal:
             "new_num_partitions": self.new_num_partitions,
             "lookup_backend": self.lookup_backend,
             "default_policy": self.default_policy,
+            "migration_id": self.migration_id,
+            "backend": self.backend,
             "copies": [
                 [step.tuple_id.table, list(step.tuple_id.key), step.source, step.target]
                 for step in self.plan.copies
@@ -532,6 +583,8 @@ class MigrationJournal:
             new_num_partitions=int(payload["new_num_partitions"]),
             lookup_backend=payload.get("lookup_backend", "dict"),
             default_policy=payload.get("default_policy", "hash"),
+            migration_id=payload.get("migration_id", "mig"),
+            backend=payload.get("backend", "simulated"),
             state=cursor.get("state", "planned"),
             copies_done=int(cursor.get("copies_done", 0)),
             drops_done=int(cursor.get("drops_done", 0)),
@@ -638,7 +691,7 @@ class JournaledMigrator:
 
     def __init__(
         self,
-        cluster: Cluster,
+        cluster: MigrationBackend,
         router: Router,
         journal: MigrationJournal,
         sink: MemoryJournalSink | FileJournalSink | None = None,

@@ -31,12 +31,22 @@ Layers, bottom to top:
   transactions forward;
 * :mod:`repro.storage.driver` — closed-loop concurrent clients measuring
   wall-clock throughput/latency/abort-rate, with the process-kill chaos
-  hook.
+  hook;
+* :mod:`repro.storage.migrator` — the journaled live-migration executor
+  over this backend: exactly-once cross-partition row movement through the
+  dedup table, the dual-write window on the coordinator's router, and paced
+  sessions resumable after coordinator or worker kills.
 """
 
 from repro.storage.cluster import SqliteStorageCluster
 from repro.storage.coordinator import StorageCoordinator, StorageOutcome
 from repro.storage.driver import ClosedLoopDriver, DriverReport
+from repro.storage.migrator import (
+    SqliteMigrationBackend,
+    StorageMigrationSession,
+    StorageMigrator,
+    plan_storage_resize,
+)
 from repro.storage.retry import (
     FATAL,
     RETRYABLE,
@@ -55,6 +65,10 @@ __all__ = [
     "StorageOutcome",
     "ClosedLoopDriver",
     "DriverReport",
+    "SqliteMigrationBackend",
+    "StorageMigrator",
+    "StorageMigrationSession",
+    "plan_storage_resize",
     "RetryOptions",
     "RetryPolicy",
     "RetryBudgetExhausted",

@@ -43,6 +43,7 @@ class SqliteStorageCluster:
         *,
         journal_sink: object | None = None,
         health_interval_s: float = 0.05,
+        startup_deadline_s: float = 30.0,
     ) -> None:
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
@@ -59,6 +60,7 @@ class SqliteStorageCluster:
             schema,
             journal_sink=journal_sink,
             health_interval_s=health_interval_s,
+            startup_deadline_s=startup_deadline_s,
         )
         self._started = False
         self._closed = False
@@ -139,6 +141,41 @@ class SqliteStorageCluster:
     def restart_count(self) -> int:
         """Worker restarts the supervisor has performed."""
         return self.supervisor.restart_count()
+
+    # -- elastic resizing --------------------------------------------------------------
+    def grow_to(self, num_partitions: int) -> None:
+        """Add empty partitions (with live workers when started) up to
+        ``num_partitions``.  Idempotent: re-attaching a resumed migration
+        finds the partitions already present and does nothing."""
+        if num_partitions <= self.num_partitions:
+            return
+        for partition in range(self.num_partitions, num_partitions):
+            path = partition_path(self.directory, partition)
+            # Run the DDL in the parent so the worker's own open (and any
+            # direct audit open) finds the schema already materialised.
+            SqlitePartitionStore(path, self.schema).close()
+            self.paths[partition] = path
+            self.supervisor.add_partition(partition, str(path))
+        self.num_partitions = num_partitions
+
+    def shrink_to(self, num_partitions: int) -> None:
+        """Remove the evacuated partitions above ``num_partitions`` — their
+        workers stop and their files are deleted.  Idempotent like
+        :meth:`grow_to`."""
+        if num_partitions >= self.num_partitions:
+            return
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        for partition in range(num_partitions, self.num_partitions):
+            self.supervisor.remove_partition(partition)
+            path = self.paths.pop(partition, None)
+            if path is None:
+                continue
+            for suffix in ("", "-wal", "-shm"):
+                sidecar = path.with_name(path.name + suffix)
+                if sidecar.exists():
+                    sidecar.unlink()
+        self.num_partitions = num_partitions
 
     def open_store(self, partition: int) -> SqlitePartitionStore:
         """Open a partition's file directly (audits; cluster must be closed)."""

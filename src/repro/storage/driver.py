@@ -91,12 +91,18 @@ class ClosedLoopDriver:
         *,
         num_clients: int = 4,
         on_commit: Callable[[int], None] | None = None,
+        on_outcome: Callable[[float, bool], None] | None = None,
     ) -> None:
         if num_clients <= 0:
             raise ValueError("num_clients must be positive")
         self.coordinator = coordinator
         self.num_clients = num_clients
         self.on_commit = on_commit
+        #: called with (latency_ms, aborted) after every transaction — the
+        #: live SLO stream a MigrationPacer records to throttle under real
+        #: contention.  Wall-clock values: route them only into volatile
+        #: instruments.  May run concurrently from client threads.
+        self.on_outcome = on_outcome
         self._latency = get_telemetry().metrics.histogram(
             "storage.txn_latency_ms",
             "wall-clock transaction latency in milliseconds",
@@ -140,6 +146,8 @@ class ClosedLoopDriver:
                     return
                 latency_ms = (time.monotonic() - started) * 1000.0
                 self._latency.observe(latency_ms)
+                if self.on_outcome is not None:
+                    self.on_outcome(latency_ms, not outcome.committed)
                 commits_now = None
                 with report_lock:
                     report.outcomes.append(outcome)

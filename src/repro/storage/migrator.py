@@ -1,0 +1,358 @@
+"""Journaled live migration over the real SQLite worker cluster.
+
+This is the integration seam between the two halves of the repo: the
+crash-safe migration state machine of :mod:`repro.online.migration` (journal,
+dual-write window, pacing, rollback) executing against the worker-process
+storage backend of :mod:`repro.storage` (durable SQLite files, supervised
+restarts, exactly-once application).
+
+:class:`SqliteMigrationBackend` adapts a running
+:class:`~repro.storage.cluster.SqliteStorageCluster` to the
+:class:`~repro.online.migration.MigrationBackend` contract.  Three properties
+make the steps safe under concurrent client traffic and SIGKILLs:
+
+* **Exactly-once movement.**  Every copy/drop step applies through the
+  partition's ``_repro_applied`` dedup table with a transaction id derived
+  from the journal's ``migration_id`` plus the step's (action, tuple,
+  partitions) — stable across resumes, unique across successive migrations.
+  A step replayed after a crash reports ``duplicate``/``present``/``absent``
+  and is counted as a skip, exactly like the simulated backend.
+* **Step atomicity vs live writers.**  A copy reads the source replica and
+  writes the destination as two worker round-trips; a client update landing
+  between them would be lost at the destination after the flip.  The backend
+  therefore acquires the same :class:`~repro.storage.coordinator.LockManager`
+  tokens a single-key writer takes, for the duration of the step — share the
+  coordinator's lock manager and copies serialise with conflicting client
+  writes.  Tokens are acquired in the global sort order and only one tuple's
+  tokens are held at a time, so no deadlock can form.
+* **Crash patience.**  Worker requests ride the seeded
+  :class:`~repro.storage.retry.RetryPolicy` and, like the coordinator, keep
+  waiting out a supervisor restart window patiently rather than failing the
+  migration on the first exhausted budget.
+
+:class:`StorageMigrator` is the :class:`~repro.online.migration.JournaledMigrator`
+bound to that backend; :func:`plan_storage_resize` builds a resize journal
+from the cluster's *actual* tuple locations; and
+:class:`StorageMigrationSession` paces ticks between live transactions the
+way the simulated controller's session does.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.catalog.tuples import TupleId
+from repro.core.strategies import hash_home
+from repro.distributed.faults import FaultInjector
+from repro.graph.assignment import PartitionAssignment
+from repro.obs import get_telemetry
+from repro.online.controller import MigrationPacer
+from repro.online.migration import (
+    FileJournalSink,
+    JournaledMigrator,
+    MemoryJournalSink,
+    MigrationJournal,
+    MigrationReport,
+    plan_migration,
+)
+from repro.routing.router import Router
+from repro.storage.cluster import SqliteStorageCluster
+from repro.storage.coordinator import (
+    PATIENT_ATTEMPTS,
+    PATIENT_DELAY_S,
+    LockManager,
+)
+from repro.storage.retry import RetryBudgetExhausted, RetryOptions, RetryPolicy
+from repro.utils.canonical_json import dumps_canonical
+
+
+class SqliteMigrationBackend:
+    """Adapts the worker cluster to the migration executor's backend contract."""
+
+    def __init__(
+        self,
+        cluster: SqliteStorageCluster,
+        *,
+        migration_id: str,
+        locks: LockManager | None = None,
+        retry_options: RetryOptions | None = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.cluster = cluster
+        self.migration_id = migration_id
+        self.locks = locks if locks is not None else LockManager()
+        self.policy = RetryPolicy(retry_options, seed=seed, sleep=sleep)
+        self._sleep = sleep
+
+    # -- cluster shape -----------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return self.cluster.num_partitions
+
+    def grow_to(self, num_partitions: int) -> None:
+        self.cluster.grow_to(num_partitions)
+
+    def shrink_to(self, num_partitions: int) -> None:
+        self.cluster.shrink_to(num_partitions)
+
+    # -- worker requests ---------------------------------------------------------------
+    def _request(self, partition: int, op: str, payload: object) -> object:
+        return self.cluster.handle(partition).request(
+            op, payload, timeout_s=self.policy.options.timeout_s
+        )
+
+    def _patiently(self, operation: str, key: object, attempt: Callable[[], object]) -> object:
+        """Retry through restart windows like the coordinator's apply path."""
+        last_error: RetryBudgetExhausted | None = None
+        for _ in range(PATIENT_ATTEMPTS):
+            try:
+                return self.policy.run(operation, key, attempt)
+            except RetryBudgetExhausted as error:
+                last_error = error
+                self._sleep(PATIENT_DELAY_S)
+        assert last_error is not None
+        raise last_error
+
+    # -- step execution ----------------------------------------------------------------
+    def _tokens(self, tuple_id: TupleId) -> list[tuple]:
+        # The same tokens a single-key client write takes (see
+        # write_lock_tokens), in the same global sort order.
+        return sorted(
+            [("key", tuple_id.table, tuple(tuple_id.key)), ("table-s", tuple_id.table)],
+            key=repr,
+        )
+
+    def copy_tuple(self, tuple_id: TupleId, source: int, target: int) -> int | None:
+        """Move one replica: export from ``source``, exactly-once apply to
+        ``target``.  ``None`` = vanished at source, ``0`` = already present
+        at target (dedup replay, or a dual-write landed it first)."""
+        key = tuple(tuple_id.key)
+        txn_id = (
+            f"{self.migration_id}:copy:{tuple_id.table}:{key!r}:{source}->{target}"
+        )
+        tokens = self.locks.acquire(self._tokens(tuple_id))
+        try:
+            row = self._patiently(
+                "migrate-export",
+                (txn_id, "export"),
+                lambda: self._request(source, "export_row", (tuple_id.table, key)),
+            )
+            if row is None:
+                return None
+            outcome = self._patiently(
+                "migrate-in",
+                (txn_id, "apply"),
+                lambda: self._request(
+                    target, "migrate_in", (txn_id, tuple_id.table, key, row)
+                ),
+            )
+            if outcome == "applied":
+                return len(dumps_canonical(row))
+            return 0
+        finally:
+            self.locks.release(tokens)
+
+    def drop_tuple(self, tuple_id: TupleId, partition: int) -> bool:
+        """Exactly-once removal of a stale replica; ``False`` = already gone."""
+        key = tuple(tuple_id.key)
+        txn_id = f"{self.migration_id}:drop:{tuple_id.table}:{key!r}:{partition}"
+        tokens = self.locks.acquire(self._tokens(tuple_id))
+        try:
+            outcome = self._patiently(
+                "migrate-out",
+                (txn_id, "apply"),
+                lambda: self._request(
+                    partition, "migrate_out", (txn_id, tuple_id.table, key)
+                ),
+            )
+            return outcome == "applied"
+        finally:
+            self.locks.release(tokens)
+
+    def tuple_locations_map(self) -> dict[TupleId, frozenset[int]]:
+        """Where every tuple physically lives, by asking each worker."""
+        locations: dict[TupleId, set[int]] = {}
+        for partition in range(self.cluster.num_partitions):
+            rows = self._patiently(
+                "migrate-locations",
+                ("locations", partition),
+                lambda p=partition: self._request(p, "tuple_ids", None),
+            )
+            for table, key in rows:
+                tuple_id = TupleId(table, tuple(key))
+                locations.setdefault(tuple_id, set()).add(partition)
+        return {
+            tuple_id: frozenset(partitions)
+            for tuple_id, partitions in locations.items()
+        }
+
+
+class StorageMigrator(JournaledMigrator):
+    """A :class:`JournaledMigrator` executing against the real worker cluster.
+
+    Identical state machine, journal format, and crash model as the
+    simulated executor — only the step primitives differ.  Pass the
+    coordinator's ``locks`` so migration steps serialise with concurrent
+    client writes on the same tuples.
+    """
+
+    def __init__(
+        self,
+        cluster: SqliteStorageCluster,
+        router: Router,
+        journal: MigrationJournal,
+        sink: MemoryJournalSink | FileJournalSink | None = None,
+        batch_size: int = 64,
+        injector: FaultInjector | None = None,
+        *,
+        locks: LockManager | None = None,
+        retry_options: RetryOptions | None = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.storage_cluster = cluster
+        self.backend = SqliteMigrationBackend(
+            cluster,
+            migration_id=journal.migration_id,
+            locks=locks,
+            retry_options=retry_options,
+            seed=seed,
+            sleep=sleep,
+        )
+        super().__init__(
+            self.backend,
+            router,
+            journal,
+            sink=sink,
+            batch_size=batch_size,
+            injector=injector,
+        )
+
+
+def plan_storage_resize(
+    cluster: SqliteStorageCluster,
+    new_num_partitions: int,
+    *,
+    migration_id: str,
+    lookup_backend: str = "dict",
+    default_policy: str = "hash",
+    retry_options: RetryOptions | None = None,
+    seed: int = 0,
+) -> MigrationJournal:
+    """Build the resize journal for a running cluster from its real contents.
+
+    Singleton tuples re-home to their hash placement at the new partition
+    count (the same target rule as the simulated controller's resize);
+    replicated tuples keep every location that survives the resize.  The
+    returned journal has ``backend="storage"`` and carries ``migration_id``,
+    so any later :class:`StorageMigrator` — including one attached after a
+    crash — derives the same exactly-once transaction ids.
+    """
+    if new_num_partitions <= 0:
+        raise ValueError("new_num_partitions must be positive")
+    backend = SqliteMigrationBackend(
+        cluster, migration_id=migration_id, retry_options=retry_options, seed=seed
+    )
+    locations = backend.tuple_locations_map()
+    assignment = PartitionAssignment(new_num_partitions)
+    for tuple_id, resident in sorted(locations.items()):
+        if len(resident) > 1:
+            surviving = frozenset(
+                partition for partition in resident if partition < new_num_partitions
+            )
+            assignment.assign(
+                tuple_id, surviving or hash_home(tuple_id, new_num_partitions)
+            )
+        else:
+            assignment.assign(tuple_id, hash_home(tuple_id, new_num_partitions))
+    plan = plan_migration(lambda tuple_id: locations[tuple_id], assignment)
+    return MigrationJournal.for_plan(
+        plan,
+        kind="resize",
+        flip_mode="swap",
+        old_num_partitions=cluster.num_partitions,
+        new_num_partitions=new_num_partitions,
+        lookup_backend=lookup_backend,
+        default_policy=default_policy,
+        migration_id=migration_id,
+        backend="storage",
+    )
+
+
+class StorageMigrationSession:
+    """Paced ticks of a :class:`StorageMigrator` between live transactions.
+
+    The storage-side mirror of the controller's
+    :class:`~repro.online.controller.MigrationSession`: a traffic loop (or
+    the driver's commit hook) calls :meth:`tick` between transactions; an
+    attached :class:`~repro.online.controller.MigrationPacer` — fed the
+    live :class:`~repro.storage.driver.DriverReport` latency/abort stream —
+    gates each tick's step budget, holding the migration still while the
+    SLO recovers.
+    """
+
+    def __init__(
+        self,
+        migrator: StorageMigrator,
+        *,
+        pacer: MigrationPacer | None = None,
+    ) -> None:
+        if migrator.journal.kind != "resize":
+            raise ValueError("StorageMigrationSession drives resize journals")
+        self.migrator = migrator
+        self.journal = migrator.journal
+        self.pacer = pacer
+        self.ticks = 0
+        self.steps_executed = 0
+
+    @property
+    def report(self) -> MigrationReport:
+        """Execution report of (this attempt at) the migration."""
+        return self.migrator.report
+
+    @property
+    def done(self) -> bool:
+        """Whether the journal reached a terminal state."""
+        return self.journal.is_terminal
+
+    def tick(self, idle: bool = False) -> int:
+        """Advance by one paced batch; returns the steps executed."""
+        if self.journal.is_terminal:
+            return 0
+        self.ticks += 1
+        budget: int | None = None
+        if self.pacer is not None:
+            budget = self.pacer.plan_steps(idle=idle)
+            if budget == 0:
+                return 0
+        tracer = get_telemetry().tracer
+        with tracer.span(
+            "migration.tick", state=self.journal.state, budget=budget
+        ) as span:
+            executed = self.migrator.step(budget)
+            span.set_attribute("executed", executed)
+        self.steps_executed += executed
+        return executed
+
+    def cancel(self) -> None:
+        """Switch the migration onto the rollback branch (see the journal)."""
+        self.migrator.cancel()
+
+    def run_to_completion(self, max_ticks: int = 1_000_000) -> MigrationReport:
+        """Idle-tick the migration to a terminal state (the drain phase)."""
+        stalled = 0
+        for _ in range(max_ticks):
+            if self.journal.is_terminal:
+                return self.migrator.report
+            executed = self.tick(idle=True)
+            if executed == 0 and not self.journal.is_terminal:
+                stalled += 1
+                if stalled > 10_000:
+                    raise RuntimeError(
+                        f"migration stalled at {self.journal.progress_summary()}"
+                    )
+            else:
+                stalled = 0
+        raise RuntimeError("migration did not terminate within max_ticks")

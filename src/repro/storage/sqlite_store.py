@@ -106,6 +106,118 @@ class SqlitePartitionStore:
             cursor.execute("ROLLBACK")
             raise
 
+    # -- migration primitives ----------------------------------------------------------
+    def _pk_predicate(self, table: str) -> tuple[tuple[str, ...], str]:
+        meta = self.schema.table(table)
+        predicate = " AND ".join(
+            f"{quote_identifier(column)} = ?" for column in meta.primary_key
+        )
+        return meta.primary_key, predicate
+
+    def export_row(self, table: str, key: Sequence[object]) -> dict[str, object] | None:
+        """The row of ``table`` at primary key ``key``, or ``None`` if absent.
+
+        The bulk-export read of the migration copy path: the migrator reads
+        the source replica here and ships it to the destination's
+        :meth:`migrate_in`.
+        """
+        meta = self.schema.table(table)
+        columns = meta.column_names
+        _, predicate = self._pk_predicate(table)
+        selected = ", ".join(quote_identifier(column) for column in columns)
+        values = self._connection.execute(
+            f"SELECT {selected} FROM {quote_identifier(table)} WHERE {predicate}",
+            tuple(key),
+        ).fetchone()
+        if values is None:
+            return None
+        return dict(zip(columns, values))
+
+    def migrate_in(
+        self, txn_id: str, table: str, key: Sequence[object], row: dict[str, object]
+    ) -> str:
+        """Land a migrated replica of ``row`` exactly once.
+
+        The check, the insert, and the dedup marker commit in one SQLite
+        transaction.  Returns ``"applied"`` on first application,
+        ``"present"`` when a row with this key already exists (a dual-write
+        landed it first, or a crashed copy is being replayed without its
+        marker — either way the resident row is newer-or-equal and must win),
+        and ``"duplicate"`` when ``txn_id``'s marker is already durable.
+        """
+        meta = self.schema.table(table)
+        columns = meta.column_names
+        _, predicate = self._pk_predicate(table)
+        cursor = self._connection.cursor()
+        cursor.execute("BEGIN IMMEDIATE")
+        try:
+            cursor.execute(
+                f"SELECT 1 FROM {quote_identifier(APPLIED_TABLE)} WHERE txn_id = ?",
+                (txn_id,),
+            )
+            if cursor.fetchone() is not None:
+                cursor.execute("ROLLBACK")
+                return "duplicate"
+            cursor.execute(
+                f"SELECT 1 FROM {quote_identifier(table)} WHERE {predicate}",
+                tuple(key),
+            )
+            outcome = "present"
+            if cursor.fetchone() is None:
+                cursor.execute(
+                    f"INSERT INTO {quote_identifier(table)} "
+                    f"({', '.join(quote_identifier(column) for column in columns)}) "
+                    f"VALUES ({', '.join('?' for _ in columns)})",
+                    [row[column] for column in columns],
+                )
+                outcome = "applied"
+            cursor.execute(
+                f"INSERT INTO {quote_identifier(APPLIED_TABLE)} (txn_id) VALUES (?)",
+                (txn_id,),
+            )
+            cursor.execute("COMMIT")
+            return outcome
+        except sqlite3.IntegrityError as error:
+            cursor.execute("ROLLBACK")
+            raise StoreConstraintError(str(error)) from error
+        except Exception:
+            cursor.execute("ROLLBACK")
+            raise
+
+    def migrate_out(self, txn_id: str, table: str, key: Sequence[object]) -> str:
+        """Remove a stale replica exactly once (the migration drop path).
+
+        Returns ``"applied"`` when the row was deleted, ``"absent"`` when no
+        row with this key exists (already dropped before the marker landed),
+        ``"duplicate"`` when ``txn_id``'s marker is already durable.  Delete
+        and marker commit atomically, like :meth:`migrate_in`.
+        """
+        _, predicate = self._pk_predicate(table)
+        cursor = self._connection.cursor()
+        cursor.execute("BEGIN IMMEDIATE")
+        try:
+            cursor.execute(
+                f"SELECT 1 FROM {quote_identifier(APPLIED_TABLE)} WHERE txn_id = ?",
+                (txn_id,),
+            )
+            if cursor.fetchone() is not None:
+                cursor.execute("ROLLBACK")
+                return "duplicate"
+            cursor.execute(
+                f"DELETE FROM {quote_identifier(table)} WHERE {predicate}",
+                tuple(key),
+            )
+            outcome = "applied" if cursor.rowcount else "absent"
+            cursor.execute(
+                f"INSERT INTO {quote_identifier(APPLIED_TABLE)} (txn_id) VALUES (?)",
+                (txn_id,),
+            )
+            cursor.execute("COMMIT")
+            return outcome
+        except Exception:
+            cursor.execute("ROLLBACK")
+            raise
+
     def has_transaction(self, txn_id: str) -> bool:
         """Whether ``txn_id`` was durably applied on this partition."""
         cursor = self._connection.execute(

@@ -42,6 +42,7 @@ class WorkerSupervisor:
         journal_sink: object | None = None,
         health_interval_s: float = 0.05,
         ping_timeout_s: float = 1.0,
+        startup_deadline_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._paths = dict(paths)
@@ -49,7 +50,9 @@ class WorkerSupervisor:
         self._journal_sink = journal_sink
         self._health_interval_s = health_interval_s
         self._ping_timeout_s = ping_timeout_s
+        self._startup_deadline_s = startup_deadline_s
         self._clock = clock
+        self._started = False
         self._lock = threading.Lock()
         self._handles: dict[int, WorkerHandle] = {}
         self._generations: dict[int, int] = {partition: 0 for partition in self._paths}
@@ -90,6 +93,7 @@ class WorkerSupervisor:
             target=self._health_loop, name="repro-storage-supervisor", daemon=True
         )
         self._thread.start()
+        self._started = True
 
     def close(self) -> None:
         """Stop health-checking, then stop every worker."""
@@ -116,6 +120,45 @@ class WorkerSupervisor:
                 return self._handles[partition]
             except KeyError:
                 raise WorkerUnavailable(partition, "unknown partition") from None
+
+    def add_partition(self, partition: int, path: str) -> None:
+        """Begin supervising a new (empty) partition — the elastic grow path.
+
+        When the supervisor is already running, the worker is spawned and
+        probed immediately; otherwise it joins the next :meth:`start`.
+        """
+        with self._lock:
+            if partition in self._paths:
+                return
+            self._paths[partition] = path
+            self._generations[partition] = 0
+            if self._started:
+                self._handles[partition] = WorkerHandle(
+                    partition, path, self._schema, generation=0
+                )
+                self._record_event("start", partition, 0)
+        if self._started:
+            self._probe_all([partition])
+            with self._lock:
+                alive = sum(1 for handle in self._handles.values() if handle.alive)
+            self._alive_gauge.set(alive)
+
+    def remove_partition(self, partition: int) -> None:
+        """Stop supervising ``partition`` and shut its worker down — the
+        elastic shrink path (caller has already evacuated the data)."""
+        with self._lock:
+            if partition not in self._paths:
+                return
+            del self._paths[partition]
+            self._generations.pop(partition, None)
+            handle = self._handles.pop(partition, None)
+            generation = handle.generation if handle is not None else 0
+            self._record_event("stop", partition, generation)
+        if handle is not None:
+            handle.close()
+        with self._lock:
+            alive = sum(1 for h in self._handles.values() if h.alive)
+        self._alive_gauge.set(alive)
 
     def kill_worker(self, partition: int) -> None:
         """SIGKILL ``partition``'s worker (chaos-harness entry point).
@@ -147,25 +190,34 @@ class WorkerSupervisor:
         except (WorkerUnavailable, WorkerTimeout):
             return False
 
-    def _probe_all(self, deadline_s: float = 30.0) -> None:
+    def _probe_all(
+        self, partitions: list[int] | None = None, deadline_s: float | None = None
+    ) -> None:
         """Wait for every worker's first ping (spawned interpreters boot slowly
         — hundreds of milliseconds each, more under load — so the startup
-        probe retries against a generous deadline instead of one strict shot)."""
-        deadline = time.monotonic() + deadline_s
-        for partition in self.partitions:
+        probe retries against a deadline — the constructor's
+        ``startup_deadline_s`` by default — instead of one strict shot)."""
+        if deadline_s is None:
+            deadline_s = self._startup_deadline_s
+        deadline = self._clock() + deadline_s
+        for partition in self.partitions if partitions is None else partitions:
             while True:
                 if self.ping(partition):
                     break
                 if not self.handle(partition).process.is_alive():  # pragma: no cover
                     raise WorkerUnavailable(partition, "died during startup")
-                if time.monotonic() >= deadline:  # pragma: no cover - startup failure
+                if self._clock() >= deadline:
                     raise WorkerUnavailable(partition, "did not answer startup ping")
 
     def _restart(self, partition: int, dead_handle: WorkerHandle, reason: str) -> bool:
         with self._lock:
             # Generation guard: only the thread that observed the *current*
-            # handle dead performs the restart; racing observers no-op.
+            # handle dead performs the restart; racing observers no-op.  A
+            # partition removed (elastic shrink) between observation and here
+            # must not be resurrected.
             if self._handles.get(partition) is not dead_handle:
+                return False
+            if partition not in self._paths:
                 return False
             generation = self._generations[partition] + 1
             self._generations[partition] = generation

@@ -88,6 +88,20 @@ def worker_main(connection: Connection, db_path: str, schema: Schema) -> None:
                     result = store.has_transaction(payload)
                 elif op == "row_count":
                     result = store.row_count()
+                elif op == "export_row":
+                    table, key = payload
+                    result = store.export_row(table, key)
+                elif op == "migrate_in":
+                    txn_id, table, key, row = payload
+                    result = store.migrate_in(txn_id, table, key, row)
+                elif op == "migrate_out":
+                    txn_id, table, key = payload
+                    result = store.migrate_out(txn_id, table, key)
+                elif op == "tuple_ids":
+                    result = [
+                        [tuple_id.table, list(tuple_id.key)]
+                        for tuple_id in store.tuple_ids()
+                    ]
                 elif op == "stop":
                     connection.send((seq, "ok", "stopping"))
                     break

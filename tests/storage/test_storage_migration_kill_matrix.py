@@ -1,0 +1,262 @@
+"""Kill-at-every-journal-record matrix for the real-storage migrator.
+
+The storage mirror of ``tests/online/test_journaled_migration.py``: a
+12-tuple 2 -> 4 resize, but the tuples are rows in SQLite partition files
+owned by worker processes and every copy/drop is a real cross-partition row
+movement through the ``_repro_applied`` dedup table.  For every journal
+record index the migration coordinator is killed right after that record
+became durable (persist-then-kill), and the surviving cluster must reach a
+consistent end state both ways:
+
+* **resume**: a fresh :class:`StorageMigrator` attached to the reloaded
+  journal completes the resize, replaying at most one idempotent batch;
+* **cancel**: the fresh migrator rolls the resize back, restoring the
+  pre-migration placement and deleting the added partitions' files.
+
+Either way the SQLite files are audited row by row against the oracle
+database: no lost rows, no phantoms, no unreachable tuples, exact tuple
+conservation.  The record count is derived from a fault-free dry run of the
+*identical* plan on the simulated cluster — same state machine, same batch
+size — so collection never spawns worker processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.schema import Schema, Table, integer_column, string_column
+from repro.catalog.tuples import TupleId
+from repro.core.strategies import LookupTablePartitioning, hash_home
+from repro.distributed.cluster import Cluster
+from repro.distributed.faults import CoordinatorDeath, CoordinatorKill, FaultPlan
+from repro.engine.database import Database
+from repro.graph.assignment import PartitionAssignment
+from repro.online.migration import (
+    JournaledMigrator,
+    MemoryJournalSink,
+    MigrationJournal,
+    plan_migration,
+)
+from repro.routing.lookup import build_lookup_table
+from repro.routing.router import Router
+from repro.storage import SqliteStorageCluster, StorageMigrator, plan_storage_resize
+
+pytestmark = [pytest.mark.storage, pytest.mark.slow]
+
+NUM_TUPLES = 12
+OLD_K = 2
+NEW_K = 4
+BATCH = 3
+MIGRATION_ID = "matrix"
+
+
+def _tid(i: int) -> TupleId:
+    return TupleId("account", (i,))
+
+
+def _schema() -> Schema:
+    return Schema(
+        "bank",
+        [
+            Table(
+                "account",
+                [integer_column("id"), string_column("name"), integer_column("bal")],
+                primary_key=["id"],
+            )
+        ],
+    )
+
+
+def _database() -> Database:
+    database = Database(_schema())
+    for i in range(NUM_TUPLES):
+        database.insert_row("account", {"id": i, "name": f"acct-{i}", "bal": 100 + i})
+    return database
+
+
+def _old_assignment() -> PartitionAssignment:
+    old = PartitionAssignment(OLD_K)
+    for i in range(NUM_TUPLES):
+        old.assign(_tid(i), {i % OLD_K})
+    return old
+
+
+def _router(schema: Schema) -> Router:
+    old = _old_assignment()
+    strategy = LookupTablePartitioning(OLD_K, old, "hash")
+    return Router(strategy, schema, build_lookup_table(old))
+
+
+def _dry_run_records() -> int:
+    """Fault-free record count of this exact scenario, no worker processes.
+
+    ``plan_storage_resize`` re-homes every singleton to ``hash_home`` at the
+    new partition count; replaying that same plan through the *simulated*
+    cluster walks the identical journal record stream (the state machine and
+    batch size are shared), giving the matrix bound without any subprocess
+    at collection time.
+    """
+    database = _database()
+    old = _old_assignment()
+    strategy = LookupTablePartitioning(OLD_K, old, "hash")
+    cluster = Cluster.from_database(database, strategy)
+    router = Router(strategy, database.schema, build_lookup_table(old))
+    new = PartitionAssignment(NEW_K)
+    for i in range(NUM_TUPLES):
+        new.assign(_tid(i), hash_home(_tid(i), NEW_K))
+    plan = plan_migration(strategy.partitions_for_tuple, new)
+    journal = MigrationJournal.for_plan(
+        plan,
+        kind="resize",
+        flip_mode="swap",
+        old_num_partitions=OLD_K,
+        new_num_partitions=NEW_K,
+    )
+    JournaledMigrator(
+        cluster, router, journal, sink=MemoryJournalSink(), batch_size=BATCH
+    ).run()
+    assert journal.state == "completed"
+    return journal.records
+
+
+TOTAL_RECORDS = _dry_run_records()
+
+
+def _deploy(tmp_path):
+    """A started 2-partition worker cluster plus its router and oracle."""
+    database = _database()
+    router = _router(database.schema)
+    cluster = SqliteStorageCluster.from_database(
+        tmp_path / "cluster", database, router.strategy
+    ).start()
+    return cluster, router, database
+
+
+def _assert_files_match_oracle(cluster, router, database, expected_k: int) -> None:
+    """Audit the closed cluster's SQLite files row by row against the oracle."""
+    assert cluster.num_partitions == expected_k
+    cluster.close()
+    locations: dict[TupleId, set[int]] = {}
+    for partition in range(cluster.num_partitions):
+        store = cluster.open_store(partition)
+        try:
+            for key, row in store.all_rows("account").items():
+                tuple_id = TupleId("account", key)
+                locations.setdefault(tuple_id, set()).add(partition)
+                assert database.get_row(tuple_id) == row, tuple_id  # lost/phantom
+        finally:
+            store.close()
+    assert set(locations) == set(database.all_tuple_ids())  # conservation
+    for tuple_id, resident in locations.items():
+        placement = router.placement_of(tuple_id)
+        assert any(partition in resident for partition in placement), tuple_id
+
+
+def _kill_matrix_setup(tmp_path, kill_at: int):
+    """Run the migration into a coordinator kill at record ``kill_at``."""
+    cluster, router, database = _deploy(tmp_path)
+    journal = plan_storage_resize(cluster, NEW_K, migration_id=MIGRATION_ID)
+    sink = MemoryJournalSink()
+    injector = FaultPlan(
+        seed=7, coordinator_kills=(CoordinatorKill(at_record=kill_at),)
+    ).build()
+    migrator = StorageMigrator(
+        cluster, router, journal, sink=sink, batch_size=BATCH, injector=injector
+    )
+    with pytest.raises(CoordinatorDeath):
+        migrator.run()
+    resumed = sink.load()
+    # persist-then-kill: the record the kill targeted reached the sink.
+    assert resumed.records == kill_at
+    assert resumed.migration_id == MIGRATION_ID
+    assert resumed.backend == "storage"
+    return cluster, router, database, sink, resumed
+
+
+def test_forward_run_completes_and_files_are_consistent(tmp_path):
+    cluster, router, database = _deploy(tmp_path)
+    try:
+        journal = plan_storage_resize(cluster, NEW_K, migration_id=MIGRATION_ID)
+        sink = MemoryJournalSink()
+        report = StorageMigrator(
+            cluster, router, journal, sink=sink, batch_size=BATCH
+        ).run()
+        assert journal.state == "completed"
+        assert journal.records == TOTAL_RECORDS
+        assert report.copies == len(journal.plan.copies)
+        assert report.drops == len(journal.plan.drops)
+        assert report.skipped == 0
+        assert report.bytes_copied > 0
+        _assert_files_match_oracle(cluster, router, database, NEW_K)
+    finally:
+        cluster.close()
+
+
+@pytest.mark.parametrize("kill_at", range(1, TOTAL_RECORDS + 1))
+def test_kill_at_every_record_then_resume_completes(tmp_path, kill_at):
+    cluster, router, database, sink, resumed = _kill_matrix_setup(tmp_path, kill_at)
+    try:
+        StorageMigrator(
+            cluster, router, resumed, sink=sink, batch_size=BATCH
+        ).run()
+        assert resumed.state == "completed"
+        _assert_files_match_oracle(cluster, router, database, NEW_K)
+    finally:
+        cluster.close()
+
+
+@pytest.mark.parametrize("kill_at", range(1, TOTAL_RECORDS + 1))
+def test_kill_at_every_record_then_cancel_rolls_back(tmp_path, kill_at):
+    cluster, router, database, sink, resumed = _kill_matrix_setup(tmp_path, kill_at)
+    try:
+        if resumed.is_terminal:
+            # Killed at the final record: nothing left to cancel, and
+            # cancelling a terminal journal must refuse.
+            with pytest.raises(ValueError):
+                StorageMigrator(
+                    cluster, router, resumed, sink=sink, batch_size=BATCH
+                ).cancel()
+            _assert_files_match_oracle(cluster, router, database, NEW_K)
+            return
+        recovery = StorageMigrator(
+            cluster, router, resumed, sink=sink, batch_size=BATCH
+        )
+        recovery.cancel()
+        recovery.run()
+        assert resumed.state == "cancelled"
+        # Rollback undoes everything: back at the old k, the added
+        # partitions' files deleted, the old placement routable.
+        _assert_files_match_oracle(cluster, router, database, OLD_K)
+        for partition in range(OLD_K, NEW_K):
+            assert not (tmp_path / "cluster" / f"partition-{partition}.sqlite").exists()
+    finally:
+        cluster.close()
+
+
+def test_worker_sigkill_mid_copy_rides_through(tmp_path):
+    """A SIGKILLed partition worker mid-migration is waited out, not fatal."""
+    cluster, router, database = _deploy(tmp_path)
+    try:
+        journal = plan_storage_resize(cluster, NEW_K, migration_id=MIGRATION_ID)
+        migrator = StorageMigrator(
+            cluster, router, journal, sink=MemoryJournalSink(), batch_size=BATCH
+        )
+        migrator.step()  # planned -> copying (window open)
+        migrator.step()  # first copy batch
+        assert journal.state == "copying"
+        cluster.kill_worker(0)
+        migrator.run()
+        assert journal.state == "completed"
+        assert cluster.restart_count() >= 1
+        _assert_files_match_oracle(cluster, router, database, NEW_K)
+    finally:
+        cluster.close()
+
+
+def test_plan_storage_resize_rejects_bad_partition_count(tmp_path):
+    cluster, _, _ = _deploy(tmp_path)
+    try:
+        with pytest.raises(ValueError):
+            plan_storage_resize(cluster, 0, migration_id=MIGRATION_ID)
+    finally:
+        cluster.close()

@@ -119,7 +119,9 @@ def test_metrics_out_leaves_no_telemetry_installed(tmp_path):
     assert not get_telemetry().enabled
 
 
-def _write_journal(tmp_path, state="copying", copies_done=1):
+def _write_journal(
+    tmp_path, state="copying", copies_done=1, backend="simulated", migration_id="mig"
+):
     from repro.catalog.tuples import TupleId
     from repro.online.migration import MigrationJournal, MigrationPlan, MigrationStep
 
@@ -132,6 +134,7 @@ def _write_journal(tmp_path, state="copying", copies_done=1):
     journal = MigrationJournal.for_plan(
         plan, kind="resize", flip_mode="delta",
         old_num_partitions=2, new_num_partitions=4,
+        backend=backend, migration_id=migration_id,
     )
     journal.state = state
     journal.copies_done = copies_done
@@ -148,6 +151,25 @@ def test_status_renders_a_journal_file(tmp_path, capsys):
     assert "migration resize (2 -> 4 partitions, flip=delta)" in output
     assert "state: copying" in output
     assert "[>] copying" in output and "1/2 copies" in output
+
+
+def test_status_renders_storage_backend_counters(tmp_path, capsys):
+    """A storage-backed journal names the real backend, not the simulation."""
+    path = _write_journal(tmp_path, backend="storage", migration_id="resize-2to4")
+    assert main(["status", str(path)]) == 0
+    output = capsys.readouterr().out
+    assert "backend: storage (SQLite partition workers)" in output
+    assert "migration id resize-2to4" in output
+    assert "1/2 rows copied across partitions" in output
+    assert "0/2 stale rows dropped" in output
+
+
+def test_status_simulated_journal_has_no_backend_line(tmp_path, capsys):
+    path = _write_journal(tmp_path)  # backend="simulated"
+    assert main(["status", str(path)]) == 0
+    output = capsys.readouterr().out
+    assert "backend:" not in output
+    assert "1/2 copies" in output
 
 
 def test_status_falls_back_to_the_sibling_journal(tmp_path, capsys):
@@ -206,6 +228,49 @@ def test_deploy_sqlite_rejects_in_memory_only_flags(tmp_path):
             "--scale", "0.2", "--storage", "sqlite",
             "--export", str(tmp_path / "live.json"),
         ])
+
+
+def test_deploy_sqlite_rejects_nonpositive_resize(tmp_path):
+    plan_path = tmp_path / "plan.json"
+    assert main([
+        "run", "--workload", "simplecount", "--partitions", "2",
+        "--scale", "0.2", "--out", str(plan_path),
+    ]) == 0
+    with pytest.raises(SystemExit, match="--resize must be a positive"):
+        main([
+            "deploy", str(plan_path), "--workload", "simplecount",
+            "--scale", "0.2", "--storage", "sqlite", "--resize", "0",
+        ])
+
+
+@pytest.mark.storage
+@pytest.mark.slow
+def test_deploy_sqlite_resize_migrates_live(tmp_path, capsys):
+    """`deploy --storage sqlite --resize K` runs the journaled migration
+    under the streaming workload and leaves a loadable journal behind."""
+    plan_path = tmp_path / "plan.json"
+    assert main([
+        "run", "--workload", "simplecount", "--partitions", "2",
+        "--scale", "0.2", "--out", str(plan_path),
+    ]) == 0
+    capsys.readouterr()
+    storage_dir = tmp_path / "cluster"
+    code = main([
+        "deploy", str(plan_path), "--workload", "simplecount",
+        "--scale", "0.2", "--storage", "sqlite",
+        "--storage-dir", str(storage_dir), "--clients", "2", "--resize", "4",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "live resize 2 -> 4 partitions" in output
+    assert "resize 2 -> 4 partitions completed" in output
+    for partition in range(4):
+        assert (storage_dir / f"partition-{partition}.sqlite").exists()
+    capsys.readouterr()
+    assert main(["status", str(storage_dir / "resize.journal")]) == 0
+    status = capsys.readouterr().out
+    assert "backend: storage (SQLite partition workers)" in status
+    assert "state: completed" in status
 
 
 def test_deploy_sqlite_streams_the_workload(tmp_path, capsys):
