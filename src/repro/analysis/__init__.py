@@ -1,0 +1,52 @@
+"""Invariant analysis suite: static passes + runtime lock-order witness.
+
+Four shipped passes keep the repo's conventions mechanical (see
+``docs/ARCHITECTURE.md`` → "Invariant analysis"):
+
+* :class:`~repro.analysis.determinism.DeterminismPass` — no ambient entropy,
+  no wall-clock-as-data, no set-iteration order escaping into sequences or
+  serialized output, tagged ``SeededRng.fork`` salts.
+* :class:`~repro.analysis.lock_order.LockOrderPass` — every
+  ``LockManager.acquire`` site provably passes globally-sorted tokens.
+* :class:`~repro.analysis.exceptions.ExceptionClassificationPass` — every
+  exception raised under ``repro.storage`` is registered retryable-or-fatal.
+* :class:`~repro.analysis.journal.JournalDisciplinePass` — migration
+  progress is always followed by a journal persist (persist-then-kill).
+
+``tools/check_invariants.py`` is the CLI; the chaos experiments additionally
+wrap the live lock manager in
+:class:`~repro.analysis.witness.WitnessedLockManager` to certify executed
+interleavings, not just call sites.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    InvariantPass,
+    ModuleSource,
+    Project,
+    Suppressions,
+    run_passes,
+)
+from repro.analysis.determinism import DeterminismPass
+from repro.analysis.exceptions import ExceptionClassificationPass
+from repro.analysis.journal import JournalDisciplinePass
+from repro.analysis.lock_order import LockOrderPass
+from repro.analysis.runner import analyze, default_registry
+from repro.analysis.witness import LockOrderViolation, WitnessedLockManager
+
+__all__ = [
+    "Finding",
+    "InvariantPass",
+    "ModuleSource",
+    "Project",
+    "Suppressions",
+    "run_passes",
+    "DeterminismPass",
+    "LockOrderPass",
+    "ExceptionClassificationPass",
+    "JournalDisciplinePass",
+    "analyze",
+    "default_registry",
+    "LockOrderViolation",
+    "WitnessedLockManager",
+]

@@ -1,0 +1,217 @@
+"""Core of the invariant-analysis framework: findings, passes, suppressions.
+
+The repo's headline guarantees — byte-deterministic snapshots, deadlock-free
+storage commits via globally-ordered locks, exactly-once apply under retries,
+persist-then-kill journal discipline — are conventions spread across many
+modules.  This package turns them into *mechanically checked* invariants: a
+small AST-based pass framework that walks the repo's own source, emits
+deterministic findings, and honours per-line / per-file suppression pragmas
+so a justified exception is visible in the diff instead of silently waived
+in review.
+
+Suppression pragmas
+-------------------
+A finding is suppressed when the *reported line* carries::
+
+    some_call()  # repro: allow(determinism) -- justification here
+
+or when the module carries a file-level pragma on any line (conventionally
+in the module docstring's vicinity)::
+
+    # repro: allow-file(lock-order) -- justification here
+
+Multiple rules may be listed comma-separated.  Pragmas name the rule they
+waive, so an unrelated pass still reports the line.  Everything after the
+closing parenthesis is free-form justification — write one.
+
+Determinism
+-----------
+Findings are plain data sorted by ``(path, line, col, rule, message)`` and
+paths are repo-relative POSIX strings, so two runs over the same tree emit
+byte-identical reports on any machine and either array backend.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: ``# repro: allow(rule-a, rule-b) optional justification``
+_LINE_PRAGMA = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+#: ``# repro: allow-file(rule-a) optional justification``
+_FILE_PRAGMA = re.compile(r"#\s*repro:\s*allow-file\(([^)]*)\)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location (ordering = report order)."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: [rule] message`` — the human report line."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_payload(self) -> dict:
+        """JSON-ready mapping (canonical serialization sorts the keys)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class Suppressions:
+    """The pragma state of one module: per-line and whole-file waivers."""
+
+    def __init__(self, text: str) -> None:
+        self.line_rules: dict[int, frozenset[str]] = {}
+        self.file_rules: frozenset[str] = frozenset()
+        file_rules: set[str] = set()
+        for number, line in enumerate(text.splitlines(), start=1):
+            file_match = _FILE_PRAGMA.search(line)
+            if file_match:
+                file_rules.update(_parse_rules(file_match.group(1)))
+                continue
+            line_match = _LINE_PRAGMA.search(line)
+            if line_match:
+                self.line_rules[number] = frozenset(_parse_rules(line_match.group(1)))
+        self.file_rules = frozenset(file_rules)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Whether ``finding`` is waived by a pragma naming its rule."""
+        if finding.rule in self.file_rules:
+            return True
+        return finding.rule in self.line_rules.get(finding.line, frozenset())
+
+
+def _parse_rules(listing: str) -> list[str]:
+    return [rule.strip() for rule in listing.split(",") if rule.strip()]
+
+
+class ModuleSource:
+    """One parsed source file: path, text, AST, and its suppression pragmas."""
+
+    def __init__(self, path: Path, relpath: str, text: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.tree = ast.parse(text, filename=relpath)
+        self.suppressions = Suppressions(text)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "ModuleSource":
+        relpath = path.relative_to(root).as_posix()
+        return cls(path, relpath, path.read_text(encoding="utf-8"))
+
+
+class Project:
+    """The set of modules a run analyses, loaded once and shared by passes.
+
+    ``root`` anchors the repo-relative paths findings report;
+    ``relative_roots`` are the directories scanned for ``*.py`` files
+    (default: the library source tree).
+    """
+
+    def __init__(self, root: Path, relative_roots: Sequence[str] = ("src/repro",)) -> None:
+        self.root = Path(root)
+        self._modules: dict[str, ModuleSource] = {}
+        for relative in relative_roots:
+            base = self.root / relative if relative else self.root
+            for path in sorted(base.rglob("*.py")):
+                module = ModuleSource.load(path, self.root)
+                self._modules[module.relpath] = module
+
+    def modules(self) -> list[ModuleSource]:
+        """Every loaded module, sorted by repo-relative path."""
+        return [self._modules[relpath] for relpath in sorted(self._modules)]
+
+    def module(self, relpath: str) -> ModuleSource | None:
+        """The module at ``relpath``, or ``None`` when not part of the scan."""
+        return self._modules.get(relpath)
+
+
+class InvariantPass:
+    """Base class of one analysis pass; subclasses set ``name`` and ``run``."""
+
+    #: rule identifier referenced by pragmas and ``--rule`` filters.
+    name = "invariant"
+    #: one-line catalogue description (shown by ``--list``).
+    description = ""
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        """Whether ``module`` is in this pass's scope (default: everything)."""
+        return True
+
+    def run(self, project: Project) -> list[Finding]:
+        """Analyse ``project`` and return (unsorted, unsuppressed) findings."""
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node`` in ``module``."""
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+        )
+
+
+def run_passes(
+    project: Project, passes: Iterable[InvariantPass]
+) -> tuple[list[Finding], list[Finding]]:
+    """Run ``passes`` over ``project``; returns ``(active, suppressed)``.
+
+    Both lists are deterministically sorted; ``suppressed`` holds the
+    findings waived by pragmas (reported by the CLI's verbose mode and
+    counted in the JSON payload so waivers stay visible).
+    """
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for invariant_pass in passes:
+        for finding in invariant_pass.run(project):
+            module = project.module(finding.path)
+            if module is not None and module.suppressions.suppresses(finding):
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+    return sorted(set(active)), sorted(set(suppressed))
+
+
+# -- shared AST helpers ------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last segment of a Name/Attribute chain (``c`` of ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def iter_functions(tree: ast.Module):
+    """Every function/method definition in ``tree`` (nested ones included)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,133 @@
+"""Exception-classification audit over the storage layer.
+
+The storage retry policy splits every failure into *retryable* (a later
+attempt can succeed: dead worker, timeout, broken pipe) and *fatal*
+(retrying reproduces the failure: constraint violation, malformed
+statement).  An exception type missing from that split silently inherits
+the default — and a wrong default turns a new error either into an
+infinite-retry loop (fatal treated as retryable) or a dropped commit
+(retryable treated as fatal).
+
+This pass makes the split total over the storage layer: every exception
+*raised* under ``src/repro/storage/`` must appear by name in the
+``EXCEPTION_CLASSIFICATION`` table of :mod:`repro.storage.retry`.  The
+table is read statically (a dict literal keyed by class name), so the audit
+needs no imports and runs on a tree that does not even compile as a whole.
+
+Raise statements considered: ``raise SomeError(...)`` and
+``raise SomeError`` where the name is a CapWords identifier (exception
+classes by convention).  Bare re-raises and raising a caught variable
+(``raise last_error``) pass through — classification happened when the
+object was first constructed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, InvariantPass, ModuleSource, Project, terminal_name
+
+#: module whose classification table is the registry.
+DEFAULT_TABLE_MODULE = "src/repro/storage/retry.py"
+#: name of the table inside it.
+TABLE_NAME = "EXCEPTION_CLASSIFICATION"
+#: subtree whose raise statements must be registered.
+DEFAULT_SCOPE_PREFIX = "src/repro/storage/"
+
+
+def registered_exceptions(module: ModuleSource) -> set[str] | None:
+    """Class names keyed by the table's dict literal, or ``None`` if absent."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        if (
+            any(
+                isinstance(target, ast.Name) and target.id == TABLE_NAME
+                for target in targets
+            )
+            and isinstance(node.value, ast.Dict)
+        ):
+            return {
+                key.value
+                for key in node.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            }
+    return None
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """The class name a raise statement constructs, if identifiable."""
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    name = terminal_name(exc)
+    if name is None or not name[:1].isupper():
+        return None  # raising a variable or something exotic
+    return name
+
+
+class ExceptionClassificationPass(InvariantPass):
+    """Every exception raised under storage/ is registered retryable-or-fatal."""
+
+    name = "exception-classification"
+    description = (
+        "exceptions raised under repro.storage must be registered in "
+        "retry.EXCEPTION_CLASSIFICATION so new error types cannot default "
+        "into infinite retries or dropped commits"
+    )
+
+    def __init__(
+        self,
+        table_module: str = DEFAULT_TABLE_MODULE,
+        scope_prefix: str = DEFAULT_SCOPE_PREFIX,
+    ) -> None:
+        self.table_module = table_module
+        self.scope_prefix = scope_prefix
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.relpath.startswith(self.scope_prefix)
+
+    def run(self, project: Project) -> list[Finding]:
+        table_source = project.module(self.table_module)
+        if table_source is None:
+            return []  # the table module is outside this scan's roots
+        registered = registered_exceptions(table_source)
+        if registered is None:
+            return [
+                Finding(
+                    path=table_source.relpath,
+                    line=1,
+                    col=0,
+                    rule=self.name,
+                    message=(
+                        f"{TABLE_NAME} dict literal not found; the "
+                        "classification table is the audit's registry"
+                    ),
+                )
+            ]
+        findings: list[Finding] = []
+        for module in project.modules():
+            if not self.applies_to(module):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Raise):
+                    continue
+                name = _raised_name(node)
+                if name is None or name in registered:
+                    continue
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"exception {name} raised in the storage layer but "
+                        f"not registered in retry.{TABLE_NAME}; classify it "
+                        "retryable or fatal",
+                    )
+                )
+        return findings

@@ -1,0 +1,160 @@
+"""Lock-order checker: every ``LockManager.acquire`` site takes sorted tokens.
+
+The storage coordinator's deadlock-freedom argument is purely order-based:
+token locks are acquired in their global sort order and held to the end, so
+no wait-for cycle can form.  The argument collapses the moment one call site
+passes an unsorted token list, and nothing at runtime would notice until a
+real deadlock hangs CI.  This pass proves the discipline statically at every
+acquisition site in the configured modules (the storage coordinator and the
+storage migrator by default).
+
+An argument expression is accepted as *sorted-safe* when it is
+
+* a direct ``sorted(...)`` call;
+* a call to a function/method in the same module whose every ``return``
+  is itself sorted-safe (``write_lock_tokens``, ``_tokens``, ...);
+* a list/tuple literal of at most one element (trivially ordered);
+* a conditional expression whose both arms are sorted-safe; or
+* a local name whose every assignment in the enclosing function is
+  sorted-safe.
+
+Anything else — notably a bare list built ad hoc — is a finding.  The
+static proof is complemented by the *runtime* witness
+(:class:`repro.analysis.witness.WitnessedLockManager`), which the chaos
+experiments wrap around the live lock manager to certify that no executed
+interleaving ever acquired out of order.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    Finding,
+    InvariantPass,
+    ModuleSource,
+    Project,
+    iter_functions,
+    terminal_name,
+)
+
+#: default acquisition sites to prove: the modules holding LockManager users.
+DEFAULT_TARGETS = (
+    "src/repro/storage/coordinator.py",
+    "src/repro/storage/migrator.py",
+)
+
+
+def _is_trivial_sequence(node: ast.AST) -> bool:
+    return isinstance(node, (ast.List, ast.Tuple)) and len(node.elts) <= 1
+
+
+def _returns_sorted(function: ast.FunctionDef, producers: set[str]) -> bool:
+    """Whether every return of ``function`` is a sorted-safe expression."""
+    returns = [
+        node
+        for node in ast.walk(function)
+        if isinstance(node, ast.Return) and node.value is not None
+    ]
+    if not returns:
+        return False
+    return all(_is_sorted_safe(node.value, None, producers) for node in returns)
+
+
+def _is_sorted_safe(
+    node: ast.AST, enclosing: ast.FunctionDef | None, producers: set[str]
+) -> bool:
+    if isinstance(node, ast.Call):
+        callee = terminal_name(node.func)
+        if callee == "sorted":
+            return True
+        return callee in producers
+    if _is_trivial_sequence(node):
+        return True
+    if isinstance(node, ast.IfExp):
+        return _is_sorted_safe(node.body, enclosing, producers) and _is_sorted_safe(
+            node.orelse, enclosing, producers
+        )
+    if isinstance(node, ast.Name) and enclosing is not None:
+        assignments = [
+            statement.value
+            for statement in ast.walk(enclosing)
+            if isinstance(statement, (ast.Assign, ast.AnnAssign))
+            and statement.value is not None
+            and any(
+                isinstance(target, ast.Name) and target.id == node.id
+                for target in (
+                    statement.targets
+                    if isinstance(statement, ast.Assign)
+                    else [statement.target]
+                )
+            )
+        ]
+        if not assignments:
+            return False
+        return all(
+            _is_sorted_safe(value, enclosing, producers) for value in assignments
+        )
+    return False
+
+
+class LockOrderPass(InvariantPass):
+    """Proves every ``*.locks.acquire(tokens)`` site passes sorted tokens."""
+
+    name = "lock-order"
+    description = (
+        "LockManager acquisition sites in the storage coordinator/migrator "
+        "must pass globally-sorted token lists (the deadlock-freedom proof)"
+    )
+
+    def __init__(self, targets: tuple[str, ...] = DEFAULT_TARGETS) -> None:
+        self.targets = targets
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.relpath in self.targets
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules():
+            if not self.applies_to(module):
+                continue
+            producers = {
+                function.name
+                for function in iter_functions(module.tree)
+                if _returns_sorted(function, set())
+            }
+            # One fixpoint round so a producer may delegate to another.
+            producers |= {
+                function.name
+                for function in iter_functions(module.tree)
+                if _returns_sorted(function, producers)
+            }
+            for function in iter_functions(module.tree):
+                for node in ast.walk(function):
+                    if not self._is_acquire_site(node):
+                        continue
+                    argument = node.args[0]
+                    if not _is_sorted_safe(argument, function, producers):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                "lock acquisition with tokens not provably "
+                                "sorted; acquire in global sort order "
+                                "(sorted(..., key=repr))",
+                            )
+                        )
+        return findings
+
+    @staticmethod
+    def _is_acquire_site(node: ast.AST) -> bool:
+        """``<...>.locks.acquire(tokens)`` / ``locks.acquire(tokens)`` calls."""
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "acquire"
+            and len(node.args) == 1
+        ):
+            return False
+        owner = terminal_name(node.func.value)
+        return owner is not None and owner.endswith("locks")

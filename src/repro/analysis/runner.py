@@ -1,0 +1,44 @@
+"""Pass registry and the one-call entry point the CLI and tests share."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.core import Finding, InvariantPass, Project, run_passes
+from repro.analysis.determinism import DeterminismPass
+from repro.analysis.exceptions import ExceptionClassificationPass
+from repro.analysis.journal import JournalDisciplinePass
+from repro.analysis.lock_order import LockOrderPass
+
+
+def default_registry() -> list[InvariantPass]:
+    """The shipped pass catalogue, in stable documentation order."""
+    return [
+        DeterminismPass(),
+        LockOrderPass(),
+        ExceptionClassificationPass(),
+        JournalDisciplinePass(),
+    ]
+
+
+def analyze(
+    root: Path,
+    passes: Sequence[InvariantPass] | None = None,
+    rules: Sequence[str] | None = None,
+) -> tuple[list[Finding], list[Finding]]:
+    """Run the invariant suite over the repo at ``root``.
+
+    ``rules`` filters the registry by pass name; returns the deterministic
+    ``(active, suppressed)`` finding lists of :func:`run_passes`.
+    """
+    selected = list(passes) if passes is not None else default_registry()
+    if rules:
+        unknown = set(rules) - {invariant_pass.name for invariant_pass in selected}
+        if unknown:
+            raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+        selected = [
+            invariant_pass for invariant_pass in selected if invariant_pass.name in rules
+        ]
+    project = Project(Path(root))
+    return run_passes(project, selected)

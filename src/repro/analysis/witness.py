@@ -1,0 +1,126 @@
+"""Runtime lock-order witness: certify executed interleavings acquire in order.
+
+The static :class:`~repro.analysis.lock_order.LockOrderPass` proves the
+acquisition *sites* pass sorted token lists; this module witnesses the
+acquisitions that actually happen.  :class:`WitnessedLockManager` wraps any
+``LockManager``-shaped object (``acquire(tokens)`` / ``release(tokens)``),
+records the per-thread acquisition order and the global held-before-acquired
+edge graph, and
+
+* raises :class:`LockOrderViolation` immediately when an out-of-order
+  acquire closes a cycle in that graph (a real deadlock-capable schedule),
+* counts every out-of-order acquire — cycle-forming or not — so the chaos
+  experiments can assert zero at audit time via :meth:`assert_clean`.
+
+The witness adds no entropy and no wall-clock reads: its counters are pure
+functions of the acquisition sequence, so wrapping it inside the
+byte-deterministic chaos experiments cannot perturb their snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+
+class LockOrderViolation(RuntimeError):
+    """An acquisition violated the global sort order (or closed a cycle)."""
+
+
+class WitnessedLockManager:
+    """Debug-mode wrapper recording lock-acquisition graphs per thread.
+
+    Tokens are compared by ``repr``, the same total order the coordinator's
+    ``write_lock_tokens`` sorts by.  ``inner`` is the real lock manager all
+    calls delegate to; the witness only observes.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self._guard = threading.Lock()
+        #: thread ident -> repr of tokens currently held, in acquisition order.
+        self._held: dict[int, list[str]] = {}
+        #: edge graph: token held -> tokens acquired while it was held.
+        self._edges: dict[str, set[str]] = {}
+        #: (held, acquired) repr pairs seen in descending order.
+        self._out_of_order: set[tuple[str, str]] = set()
+        #: total tokens witnessed through acquire calls.
+        self.acquisitions = 0
+
+    # -- LockManager surface -----------------------------------------------------------
+    def acquire(self, tokens: Sequence[tuple]) -> list[tuple]:
+        """Witness then delegate; raises on a cycle-forming acquisition."""
+        self._witness([repr(token) for token in tokens])
+        return self.inner.acquire(tokens)
+
+    def release(self, tokens: Sequence[tuple]) -> None:
+        """Delegate, then forget the tokens from the thread's held list."""
+        self.inner.release(tokens)
+        ident = threading.get_ident()
+        with self._guard:
+            held = self._held.get(ident, [])
+            for token in tokens:
+                key = repr(token)
+                if key in held:
+                    held.remove(key)
+            if not held:
+                self._held.pop(ident, None)
+
+    # -- witnessing --------------------------------------------------------------------
+    def _witness(self, keys: list[str], ident: int | None = None) -> None:
+        """Record ``keys`` being acquired (in order) by thread ``ident``.
+
+        Exposed with an explicit ``ident`` so tests can simulate interleaved
+        threads deterministically.
+        """
+        if ident is None:
+            ident = threading.get_ident()
+        with self._guard:
+            held = self._held.setdefault(ident, [])
+            for key in keys:
+                for prior in held:
+                    if prior == key:
+                        continue
+                    self._edges.setdefault(prior, set()).add(key)
+                    if key < prior:
+                        self._out_of_order.add((prior, key))
+                        if self._reaches(key, prior):
+                            raise LockOrderViolation(
+                                f"cycle-forming out-of-order acquire: {key} "
+                                f"while holding {prior} (and {prior} is "
+                                f"reachable from {key} in the acquisition graph)"
+                            )
+                held.append(key)
+                self.acquisitions += 1
+
+    def _reaches(self, start: str, goal: str) -> bool:
+        """Whether ``goal`` is reachable from ``start`` in the edge graph."""
+        stack, seen = [start], {start}
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            for neighbour in self._edges.get(node, ()):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        return False
+
+    # -- audit surface -----------------------------------------------------------------
+    @property
+    def out_of_order(self) -> int:
+        """Number of distinct (held, acquired) pairs seen in descending order."""
+        with self._guard:
+            return len(self._out_of_order)
+
+    def out_of_order_pairs(self) -> list[tuple[str, str]]:
+        """The offending pairs, sorted (deterministic report material)."""
+        with self._guard:
+            return sorted(self._out_of_order)
+
+    def assert_clean(self) -> None:
+        """Raise :class:`LockOrderViolation` if any out-of-order acquire ran."""
+        pairs = self.out_of_order_pairs()
+        if pairs:
+            rendered = "; ".join(f"{held} held while acquiring {key}" for held, key in pairs)
+            raise LockOrderViolation(f"{len(pairs)} out-of-order acquisition(s): {rendered}")

@@ -51,6 +51,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.analysis.witness import WitnessedLockManager
 from repro.distributed.faults import (
     CoordinatorDeath,
     CoordinatorKill,
@@ -112,6 +113,10 @@ class StorageMigrationReport:
     phantom_rows: int = 0
     unreachable_tuples: int = 0
     tuple_conservation: bool = True
+    #: runtime lock-order witness over the shared client/migrator manager
+    #: (must be zero: no executed acquisition broke the global sorted order).
+    lock_acquisitions: int = 0
+    lock_order_out_of_order: int = 0
     #: wall-clock measurements (volatile; excluded from the bench payload).
     wall_s: float = 0.0
     throughput_txn_s: float = 0.0
@@ -166,6 +171,11 @@ class StorageMigrationReport:
             failures.append(f"{self.label}: no transaction committed")
         if self.committed + self.aborted != self.total:
             failures.append(f"{self.label}: run did not complete every transaction")
+        if self.lock_order_out_of_order:
+            failures.append(
+                f"{self.label}: {self.lock_order_out_of_order} out-of-order "
+                "lock acquisition(s) witnessed"
+            )
         return failures
 
     def to_payload(self) -> dict:
@@ -193,6 +203,7 @@ class StorageMigrationReport:
             "phantom_rows": self.phantom_rows,
             "unreachable_tuples": self.unreachable_tuples,
             "tuple_conservation": self.tuple_conservation,
+            "lock_order_out_of_order": self.lock_order_out_of_order,
             "violations": self.violations,
         }
 
@@ -332,6 +343,11 @@ def _run(
         coordinator = StorageCoordinator(
             cluster, router, oracle=database, retry_options=retry_options, seed=seed
         )
+        # Runtime lock-order witness over the shared manager: the migrator is
+        # handed the *same* (wrapped) instance below, so client commits and
+        # migration batches are certified against one acquisition graph.
+        witness = WitnessedLockManager(coordinator.locks)
+        coordinator.locks = witness
 
         # -- plan the resize and attach the journaled migrator ---------------------
         journal = plan_storage_resize(
@@ -462,6 +478,8 @@ def _run(
         report.worker_kills_fired = injector.statistics.workers_killed
         report.coordinator_deaths = injector.statistics.coordinator_deaths
         report.restarts = cluster.restart_count()
+        report.lock_acquisitions = witness.acquisitions
+        report.lock_order_out_of_order = witness.out_of_order
         report.wall_s = time.monotonic() - started
         report.throughput_txn_s = (
             report.committed / report.wall_s if report.wall_s > 0 else 0.0

@@ -37,6 +37,7 @@ from repro.distributed.faults import FaultPlan, WorkerKill
 from repro.obs import trace_span
 from repro.pipeline import Pipeline, SchismOptions
 from repro.routing.lookup import build_lookup_table
+from repro.analysis.witness import WitnessedLockManager
 from repro.routing.router import Router
 from repro.storage import (
     ClosedLoopDriver,
@@ -73,6 +74,10 @@ class StoragePointReport:
     phantom_rows: int = 0
     unreachable_tuples: int = 0
     tuple_conservation: bool = True
+    #: runtime lock-order witness (must be zero: every executed acquisition
+    #: respected the global sorted order).
+    lock_acquisitions: int = 0
+    lock_order_out_of_order: int = 0
     #: wall-clock measurements (volatile; excluded from the bench payload).
     wall_s: float = 0.0
     throughput_txn_s: float = 0.0
@@ -103,6 +108,11 @@ class StoragePointReport:
             failures.append(f"{self.label}: no transaction committed")
         if self.committed + self.aborted != self.total:
             failures.append(f"{self.label}: run did not complete every transaction")
+        if self.lock_order_out_of_order:
+            failures.append(
+                f"{self.label}: {self.lock_order_out_of_order} out-of-order "
+                "lock acquisition(s) witnessed"
+            )
         return failures
 
     def to_payload(self) -> dict:
@@ -121,6 +131,7 @@ class StoragePointReport:
             "phantom_rows": self.phantom_rows,
             "unreachable_tuples": self.unreachable_tuples,
             "tuple_conservation": self.tuple_conservation,
+            "lock_order_out_of_order": self.lock_order_out_of_order,
         }
 
 
@@ -259,6 +270,12 @@ def _run_point(
             retry_options=retry_options,
             seed=seed,
         )
+        # Runtime lock-order witness: certify that the interleaving this run
+        # actually executed never acquired tokens out of global sorted order
+        # (the static lock-order pass proves the call sites; this proves the
+        # traffic).
+        witness = WitnessedLockManager(coordinator.locks)
+        coordinator.locks = witness
 
         def on_commit(commits: int) -> None:
             for kill in injector.due_worker_kills(commits):
@@ -280,6 +297,8 @@ def _run_point(
     point.distributed_fraction = report.distributed_fraction
     point.kills_fired = injector.statistics.workers_killed
     point.restarts = cluster.restart_count()
+    point.lock_acquisitions = witness.acquisitions
+    point.lock_order_out_of_order = witness.out_of_order
     point.wall_s = report.wall_s
     point.throughput_txn_s = report.throughput_txn_s
     point.latency_p50_ms = report.latency_quantile(0.50)

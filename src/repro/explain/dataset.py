@@ -95,7 +95,11 @@ def build_training_sets(
             continue
         tuple_ids = sorted(tuple_ids)
         if max_samples_per_table is not None and len(tuple_ids) > max_samples_per_table:
-            tuple_ids = rng.fork(table).sample(tuple_ids, max_samples_per_table)
+            # The caller hands us an rng already forked with a static
+            # "dataset" tag (explainer.py), so the bare table-name salt
+            # cannot collide with any other stream; re-tagging here would
+            # silently change every blessed sampled stream.
+            tuple_ids = rng.fork(table).sample(tuple_ids, max_samples_per_table)  # repro: allow(determinism)
         dataset = Dataset(table, tuple(attributes))
         for tuple_id in tuple_ids:
             row = database.get_row(tuple_id)

@@ -27,6 +27,42 @@ T = TypeVar("T")
 #: classification outcomes.
 RETRYABLE = "retryable"
 FATAL = "fatal"
+#: table-only marker: the error instance carries its own classification
+#: (``RemoteStoreError.kind`` travels from the worker process).
+CARRIED = "carried"
+
+#: The classification table: every exception type the storage layer raises,
+#: registered retryable-or-fatal **by class name**.  :func:`classify_error`
+#: resolves an instance by walking its MRO and taking the first registered
+#: name, so subclasses inherit their base's classification unless they
+#: register themselves.  The ``exception-classification`` invariant pass
+#: (``tools/check_invariants.py``) audits that every ``raise`` under
+#: ``src/repro/storage/`` names a registered type — an unregistered error
+#: would otherwise default to FATAL silently, and a *wrong* default turns a
+#: new error type into an infinite-retry loop or a dropped commit.
+EXCEPTION_CLASSIFICATION: dict[str, str] = {
+    # Transport-layer failures: the worker is dead, slow, or mid-restart —
+    # a later attempt can legitimately succeed.
+    "WorkerUnavailable": RETRYABLE,
+    "WorkerTimeout": RETRYABLE,
+    "BrokenPipeError": RETRYABLE,
+    "ConnectionError": RETRYABLE,
+    "TimeoutError": RETRYABLE,
+    "EOFError": RETRYABLE,
+    "OSError": RETRYABLE,
+    # The worker classified the error itself; the instance carries it.
+    "RemoteStoreError": CARRIED,
+    # Data/logic errors: retrying reproduces the failure identically
+    # (retrying a duplicate-key insert only burns the budget).
+    "StoreConstraintError": FATAL,
+    "UnsupportedStatementError": FATAL,
+    "ValueError": FATAL,
+    "RuntimeError": FATAL,
+    # Terminal policy outcomes: already *past* retrying — re-entering the
+    # policy with one of these would loop the budget on itself.
+    "RetryBudgetExhausted": FATAL,
+    "InDoubtError": FATAL,
+}
 
 
 @dataclass
@@ -84,30 +120,23 @@ class RetryBudgetExhausted(RuntimeError):
 def classify_error(error: BaseException) -> str:
     """Classify an operation failure as :data:`RETRYABLE` or :data:`FATAL`.
 
-    Retryable: the worker being unreachable, slow, or mid-restart — anything
-    where a later attempt can legitimately succeed.  Fatal: constraint
-    violations and malformed statements, which fail identically every time
-    (retrying a duplicate-key insert only burns the budget).  Errors the
-    worker itself classified travel with their classification
-    (:class:`~repro.storage.worker.RemoteStoreError`).
+    Resolution walks the instance's MRO against
+    :data:`EXCEPTION_CLASSIFICATION`: the first registered class name wins,
+    so ``ConnectionResetError`` inherits ``ConnectionError``'s RETRYABLE and
+    ``StoreConstraintError`` overrides its ``ValueError`` base explicitly.
+    A :data:`CARRIED` entry defers to the instance's own ``kind`` (the
+    worker process classified the error before shipping it over the pipe).
+    Unregistered types default to FATAL — the conservative direction (a
+    dropped retry surfaces loudly; an infinite retry wedges a client) — and
+    the static audit keeps that default from ever being exercised by code
+    in the storage layer itself.
     """
-    # Imported here to avoid a cycle (worker imports the policy options).
-    from repro.storage.worker import RemoteStoreError, WorkerTimeout, WorkerUnavailable
-
-    if isinstance(error, RemoteStoreError):
-        return error.kind
-    if isinstance(
-        error,
-        (
-            WorkerUnavailable,
-            WorkerTimeout,
-            BrokenPipeError,
-            ConnectionError,
-            EOFError,
-            OSError,
-        ),
-    ):
-        return RETRYABLE
+    for klass in type(error).__mro__:
+        classification = EXCEPTION_CLASSIFICATION.get(klass.__name__)
+        if classification == CARRIED:
+            return getattr(error, "kind", FATAL)
+        if classification is not None:
+            return classification
     return FATAL
 
 

@@ -1,0 +1,100 @@
+"""The live tree satisfies its own invariants, and the CLI proves it in CI."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze, default_registry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CHECKER = REPO_ROOT / "tools" / "check_invariants.py"
+
+
+def test_live_tree_has_no_active_findings():
+    active, _suppressed = analyze(REPO_ROOT, default_registry())
+    assert active == [], "\n".join(finding.format() for finding in active)
+
+
+def test_every_suppressed_finding_sits_on_a_pragma_line():
+    _active, suppressed = analyze(REPO_ROOT, default_registry())
+    for finding in suppressed:
+        line = (
+            (REPO_ROOT / finding.path)
+            .read_text(encoding="utf-8")
+            .splitlines()[finding.line - 1]
+        )
+        assert "repro: allow" in line, finding.format()
+
+
+def test_default_registry_covers_the_four_invariants():
+    names = [invariant_pass.name for invariant_pass in default_registry()]
+    assert names == [
+        "determinism",
+        "lock-order",
+        "exception-classification",
+        "journal-discipline",
+    ]
+
+
+def test_unknown_rule_filter_raises():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown"):
+        analyze(REPO_ROOT, default_registry(), rules=["no-such-rule"])
+
+
+def test_cli_strict_exits_zero_on_the_live_tree():
+    result = subprocess.run(
+        [sys.executable, str(CHECKER), "--strict"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+def test_cli_json_payload_is_byte_deterministic():
+    runs = [
+        subprocess.run(
+            [sys.executable, str(CHECKER), "--json"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        for _ in range(2)
+    ]
+    assert runs[0].returncode == 0 and runs[1].returncode == 0
+    assert runs[0].stdout == runs[1].stdout
+    payload = json.loads(runs[0].stdout)
+    assert payload["version"] == 1
+    assert payload["findings"] == []
+    assert len(payload["passes"]) == 4
+
+
+def test_cli_rule_filter_and_list():
+    listing = subprocess.run(
+        [sys.executable, str(CHECKER), "--list"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert listing.returncode == 0
+    assert "determinism:" in listing.stdout
+    filtered = subprocess.run(
+        [sys.executable, str(CHECKER), "--strict", "--rule", "lock-order"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert filtered.returncode == 0, filtered.stdout + filtered.stderr
+    unknown = subprocess.run(
+        [sys.executable, str(CHECKER), "--rule", "bogus"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert unknown.returncode == 2

@@ -1,0 +1,141 @@
+"""Framework mechanics: findings, suppression pragmas, deterministic order."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    Finding,
+    InvariantPass,
+    ModuleSource,
+    Project,
+    Suppressions,
+    dotted_name,
+    run_passes,
+    terminal_name,
+)
+
+
+def _write_module(tmp_path, relpath: str, text: str) -> None:
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+
+
+class _EveryCallPass(InvariantPass):
+    """Toy pass flagging every call expression — exercises the plumbing."""
+
+    name = "every-call"
+    description = "flags every ast.Call"
+
+    def run(self, project: Project) -> list[Finding]:
+        findings = []
+        for module in project.modules():
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    findings.append(self.finding(module, node, "call site"))
+        return findings
+
+
+def test_finding_format_and_payload():
+    finding = Finding(path="pkg/a.py", line=3, col=4, rule="r", message="m")
+    assert finding.format() == "pkg/a.py:3:4: [r] m"
+    assert finding.to_payload() == {
+        "path": "pkg/a.py",
+        "line": 3,
+        "col": 4,
+        "rule": "r",
+        "message": "m",
+    }
+
+
+def test_findings_sort_by_location_then_rule():
+    findings = [
+        Finding("b.py", 1, 0, "r", "m"),
+        Finding("a.py", 2, 0, "r", "m"),
+        Finding("a.py", 1, 5, "r", "m"),
+        Finding("a.py", 1, 0, "z", "m"),
+        Finding("a.py", 1, 0, "r", "m"),
+    ]
+    ordered = sorted(findings)
+    assert [(f.path, f.line, f.col, f.rule) for f in ordered] == [
+        ("a.py", 1, 0, "r"),
+        ("a.py", 1, 0, "z"),
+        ("a.py", 1, 5, "r"),
+        ("a.py", 2, 0, "r"),
+        ("b.py", 1, 0, "r"),
+    ]
+
+
+def test_line_pragma_suppresses_only_named_rule():
+    suppressions = Suppressions("x = f()  # repro: allow(every-call) reason\n")
+    waived = Finding("m.py", 1, 4, "every-call", "call site")
+    other_rule = Finding("m.py", 1, 4, "determinism", "something")
+    other_line = Finding("m.py", 2, 4, "every-call", "call site")
+    assert suppressions.suppresses(waived)
+    assert not suppressions.suppresses(other_rule)
+    assert not suppressions.suppresses(other_line)
+
+
+def test_line_pragma_accepts_rule_list():
+    suppressions = Suppressions("x = f()  # repro: allow(a, b) why\n")
+    assert suppressions.suppresses(Finding("m.py", 1, 0, "a", "m"))
+    assert suppressions.suppresses(Finding("m.py", 1, 0, "b", "m"))
+    assert not suppressions.suppresses(Finding("m.py", 1, 0, "c", "m"))
+
+
+def test_file_pragma_suppresses_every_line():
+    suppressions = Suppressions("# repro: allow-file(every-call) whole module\nf()\ng()\n")
+    assert suppressions.suppresses(Finding("m.py", 2, 0, "every-call", "m"))
+    assert suppressions.suppresses(Finding("m.py", 3, 0, "every-call", "m"))
+    assert not suppressions.suppresses(Finding("m.py", 2, 0, "other", "m"))
+
+
+def test_run_passes_splits_active_from_suppressed(tmp_path):
+    _write_module(
+        tmp_path,
+        "pkg/mod.py",
+        "f()\ng()  # repro: allow(every-call) justified\n",
+    )
+    project = Project(tmp_path, relative_roots=("pkg",))
+    active, suppressed = run_passes(project, [_EveryCallPass()])
+    assert [f.line for f in active] == [1]
+    assert [f.line for f in suppressed] == [2]
+
+
+def test_run_passes_output_is_sorted_and_deduplicated(tmp_path):
+    _write_module(tmp_path, "pkg/b.py", "f()\n")
+    _write_module(tmp_path, "pkg/a.py", "g()\nh()\n")
+    project = Project(tmp_path, relative_roots=("pkg",))
+    # Running the same pass twice must not duplicate findings.
+    active, _ = run_passes(project, [_EveryCallPass(), _EveryCallPass()])
+    assert [(f.path, f.line) for f in active] == [
+        ("pkg/a.py", 1),
+        ("pkg/a.py", 2),
+        ("pkg/b.py", 1),
+    ]
+
+
+def test_project_modules_sorted_and_lookup(tmp_path):
+    _write_module(tmp_path, "pkg/z.py", "x = 1\n")
+    _write_module(tmp_path, "pkg/sub/a.py", "y = 2\n")
+    project = Project(tmp_path, relative_roots=("pkg",))
+    assert [m.relpath for m in project.modules()] == ["pkg/sub/a.py", "pkg/z.py"]
+    assert project.module("pkg/z.py") is not None
+    assert project.module("pkg/missing.py") is None
+
+
+def test_module_source_parses_and_records_relpath(tmp_path):
+    _write_module(tmp_path, "pkg/m.py", "value = 1\n")
+    module = ModuleSource.load(tmp_path / "pkg" / "m.py", tmp_path)
+    assert module.relpath == "pkg/m.py"
+    assert isinstance(module.tree, ast.Module)
+
+
+def test_dotted_and_terminal_name_helpers():
+    node = ast.parse("a.b.c", mode="eval").body
+    assert dotted_name(node) == "a.b.c"
+    assert terminal_name(node) == "c"
+    call = ast.parse("f()", mode="eval").body
+    assert dotted_name(call) is None
+    assert terminal_name(call) is None

@@ -1,0 +1,143 @@
+"""Exception-classification audit: raises must be registered in the table."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.core import Project, run_passes
+from repro.analysis.exceptions import ExceptionClassificationPass
+
+
+def _project(tmp_path, files: dict[str, str]) -> Project:
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return Project(tmp_path, relative_roots=("pkg",))
+
+
+def _run(project):
+    active, _ = run_passes(
+        project,
+        [
+            ExceptionClassificationPass(
+                table_module="pkg/retry.py", scope_prefix="pkg/"
+            )
+        ],
+    )
+    return active
+
+
+TABLE = """
+EXCEPTION_CLASSIFICATION = {
+    "WorkerUnavailable": "retryable",
+    "ValueError": "fatal",
+}
+"""
+
+ANNOTATED_TABLE = """
+EXCEPTION_CLASSIFICATION: dict[str, str] = {
+    "WorkerUnavailable": "retryable",
+    "ValueError": "fatal",
+}
+"""
+
+
+def test_unregistered_raise_is_flagged(tmp_path):
+    project = _project(
+        tmp_path,
+        {
+            "pkg/retry.py": TABLE,
+            "pkg/store.py": "def f():\n    raise StoreConstraintError('dup')\n",
+        },
+    )
+    active = _run(project)
+    assert len(active) == 1
+    assert active[0].rule == "exception-classification"
+    assert "StoreConstraintError" in active[0].message
+
+
+def test_registered_raise_is_clean(tmp_path):
+    project = _project(
+        tmp_path,
+        {
+            "pkg/retry.py": TABLE,
+            "pkg/store.py": (
+                "def f():\n"
+                "    raise WorkerUnavailable(0, 'dead')\n"
+                "def g():\n"
+                "    raise ValueError('bad')\n"
+            ),
+        },
+    )
+    assert _run(project) == []
+
+
+def test_annotated_assignment_table_is_found(tmp_path):
+    # retry.py declares the table as ``NAME: dict[str, str] = {...}``.
+    project = _project(
+        tmp_path,
+        {
+            "pkg/retry.py": ANNOTATED_TABLE,
+            "pkg/store.py": "def f():\n    raise WorkerUnavailable(0)\n",
+        },
+    )
+    assert _run(project) == []
+
+
+def test_missing_table_is_one_finding_at_the_table_module(tmp_path):
+    project = _project(
+        tmp_path,
+        {
+            "pkg/retry.py": "RETRYABLE = 'retryable'\n",
+            "pkg/store.py": "def f():\n    raise ValueError('bad')\n",
+        },
+    )
+    active = _run(project)
+    assert len(active) == 1
+    assert active[0].path == "pkg/retry.py"
+    assert "not found" in active[0].message
+
+
+def test_bare_reraise_and_variable_raise_pass_through(tmp_path):
+    project = _project(
+        tmp_path,
+        {
+            "pkg/retry.py": TABLE,
+            "pkg/store.py": (
+                "def f(last_error):\n"
+                "    try:\n"
+                "        pass\n"
+                "    except Exception:\n"
+                "        raise\n"
+                "    raise last_error\n"
+            ),
+        },
+    )
+    assert _run(project) == []
+
+
+def test_out_of_scope_raise_is_ignored(tmp_path):
+    project = _project(
+        tmp_path,
+        {
+            "pkg/retry.py": TABLE,
+            "pkg/store.py": "x = 1\n",
+            "other/mod.py": "def f():\n    raise Unregistered('x')\n",
+        },
+    )
+    # other/ is outside scope_prefix (and outside the scanned roots).
+    assert _run(project) == []
+
+
+def test_live_tree_table_matches_runtime_classifier():
+    """The statically-read table is the same object classify_error consults."""
+    from pathlib import Path
+
+    from repro.analysis.core import ModuleSource
+    from repro.analysis.exceptions import registered_exceptions
+    from repro.storage import retry
+
+    root = Path(__file__).resolve().parents[2]
+    module = ModuleSource.load(root / "src/repro/storage/retry.py", root)
+    assert registered_exceptions(module) == set(retry.EXCEPTION_CLASSIFICATION)

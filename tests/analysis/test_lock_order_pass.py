@@ -1,0 +1,132 @@
+"""Lock-order pass: acquisition sites must be provably sorted."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.core import Project, run_passes
+from repro.analysis.lock_order import LockOrderPass
+
+
+def _findings(tmp_path, source: str):
+    path = tmp_path / "pkg" / "mod.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    project = Project(tmp_path, relative_roots=("pkg",))
+    active, _ = run_passes(project, [LockOrderPass(targets=("pkg/mod.py",))])
+    return active
+
+
+def test_unsorted_token_list_is_flagged(tmp_path):
+    active = _findings(
+        tmp_path,
+        """
+        def commit(self, tokens):
+            self.locks.acquire(tokens)
+        """,
+    )
+    assert len(active) == 1
+    assert active[0].rule == "lock-order"
+    assert "not provably sorted" in active[0].message
+
+
+def test_direct_sorted_call_is_safe(tmp_path):
+    active = _findings(
+        tmp_path,
+        """
+        def commit(self, tokens):
+            self.locks.acquire(sorted(tokens, key=repr))
+        """,
+    )
+    assert active == []
+
+
+def test_sorted_producer_function_is_safe(tmp_path):
+    active = _findings(
+        tmp_path,
+        """
+        def write_lock_tokens(batches):
+            return sorted(batches, key=repr)
+
+        def commit(self, batches):
+            self.locks.acquire(write_lock_tokens(batches))
+        """,
+    )
+    assert active == []
+
+
+def test_producer_delegating_to_producer_is_safe(tmp_path):
+    # One fixpoint round: _tokens returns write_lock_tokens' result.
+    active = _findings(
+        tmp_path,
+        """
+        def write_lock_tokens(batches):
+            return sorted(batches, key=repr)
+
+        def _tokens(self, tuple_id):
+            return write_lock_tokens([tuple_id])
+
+        def copy(self, tuple_id):
+            self.locks.acquire(self._tokens(tuple_id))
+        """,
+    )
+    assert active == []
+
+
+def test_name_resolved_through_conditional_assignment(tmp_path):
+    active = _findings(
+        tmp_path,
+        """
+        def commit(self, batches, schema):
+            tokens = sorted(batches, key=repr) if schema is not None else []
+            self.locks.acquire(tokens)
+        """,
+    )
+    assert active == []
+
+
+def test_name_with_unsorted_assignment_is_flagged(tmp_path):
+    active = _findings(
+        tmp_path,
+        """
+        def commit(self, batches):
+            tokens = [make_token(batch) for batch in batches]
+            self.locks.acquire(tokens)
+        """,
+    )
+    assert len(active) == 1
+
+
+def test_single_element_literal_is_trivially_ordered(tmp_path):
+    active = _findings(
+        tmp_path,
+        """
+        def lone(self, token):
+            self.locks.acquire([token])
+
+        def empty(self):
+            self.locks.acquire([])
+        """,
+    )
+    assert active == []
+
+
+def test_out_of_scope_module_is_ignored(tmp_path):
+    path = tmp_path / "pkg" / "other.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("def f(self, t):\n    self.locks.acquire(t)\n", encoding="utf-8")
+    project = Project(tmp_path, relative_roots=("pkg",))
+    active, _ = run_passes(project, [LockOrderPass(targets=("pkg/mod.py",))])
+    assert active == []
+
+
+def test_non_lock_acquire_calls_are_ignored(tmp_path):
+    # Semaphore.acquire() and friends are not token-lock sites.
+    active = _findings(
+        tmp_path,
+        """
+        def wait(self, semaphore):
+            semaphore.acquire(timeout)
+        """,
+    )
+    assert active == []

@@ -224,3 +224,52 @@ def test_zero_retries_budget_fails_on_first_retryable_error():
         policy.run("read", "k", lambda: (_ for _ in ()).throw(WorkerTimeout(0, "read", 0.5)))
     assert info.value.attempts == 1
     assert slept == []
+
+
+# -- the classification table (audited by the exception-classification pass) --------
+
+
+def test_every_storage_exception_type_is_registered():
+    """The table is total over the layer's own exception types, by name."""
+    from repro.storage.coordinator import InDoubtError
+    from repro.storage.retry import EXCEPTION_CLASSIFICATION
+    from repro.storage.sql import UnsupportedStatementError
+
+    for klass in (
+        WorkerUnavailable,
+        WorkerTimeout,
+        RemoteStoreError,
+        StoreConstraintError,
+        UnsupportedStatementError,
+        RetryBudgetExhausted,
+        InDoubtError,
+    ):
+        assert klass.__name__ in EXCEPTION_CLASSIFICATION, klass.__name__
+
+
+def test_classification_walks_the_mro():
+    # ConnectionResetError is unregistered itself; it inherits
+    # ConnectionError's RETRYABLE through the MRO walk.
+    assert classify_error(ConnectionResetError("peer reset")) == RETRYABLE
+    # StoreConstraintError registers itself FATAL ahead of its ValueError base.
+    assert classify_error(StoreConstraintError("UNIQUE constraint failed")) == FATAL
+
+
+def test_remote_store_error_carries_its_own_kind():
+    assert classify_error(RemoteStoreError(0, RETRYABLE, "disk io")) == RETRYABLE
+    assert classify_error(RemoteStoreError(0, FATAL, "duplicate key")) == FATAL
+
+
+def test_unregistered_exception_defaults_to_fatal():
+    class NovelError(Exception):
+        pass
+
+    assert classify_error(NovelError("brand new")) == FATAL
+
+
+def test_terminal_policy_outcomes_are_fatal():
+    from repro.storage.coordinator import InDoubtError
+
+    exhausted = RetryBudgetExhausted("apply", 3, WorkerTimeout(0, "apply", 0.5))
+    assert classify_error(exhausted) == FATAL
+    assert classify_error(InDoubtError("txn-1 outcome unknown")) == FATAL

@@ -1,0 +1,23 @@
+"""Shared reporting/exit-code helper for the repo's checker CLIs.
+
+``check_docs.py``, ``check_metrics.py`` and ``check_invariants.py`` all
+follow the same contract: print one ``FAIL <problem>`` line per finding, a
+trailing count, and exit 1 — or print a single OK line and exit 0.  Keeping
+the rendering here means the three checkers stay grep-able with one pattern
+in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def report_problems(problems: Sequence[str], ok_message: str, *, label: str = "FAIL") -> int:
+    """Print ``problems`` (or ``ok_message``); return the exit code (1/0)."""
+    for problem in problems:
+        print(f"{label} {problem}")
+    if problems:
+        print(f"{len(problems)} problem(s)")
+        return 1
+    print(ok_message)
+    return 0

@@ -26,6 +26,10 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from _common import report_problems  # noqa: E402
 
 #: markdown files whose links must stay valid.
 MARKDOWN_FILES = ("README.md", "ROADMAP.md", "PAPER.md", "PAPERS.md", "CHANGES.md")
@@ -109,13 +113,7 @@ def check_doctests() -> list[str]:
 
 def main() -> int:
     problems = check_links() + check_doctests()
-    for problem in problems:
-        print(f"FAIL {problem}")
-    if problems:
-        print(f"{len(problems)} docs problem(s)")
-        return 1
-    print("docs check: links and doctests ok")
-    return 0
+    return report_problems(problems, "docs check: links and doctests ok")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Run the invariant-analysis suite (``repro.analysis``) over the tree.
+
+Four passes — determinism lint, lock-order checker, exception-classification
+audit, journal-discipline — walk ``src/repro`` and report every violation
+not waived by a ``# repro: allow(<rule>)`` pragma.  CI's ``invariants`` job
+runs ``--strict`` on both array backends; the findings (and the ``--json``
+payload) are byte-deterministic, so two runs over the same tree always
+compare equal.
+
+Usage::
+
+    python tools/check_invariants.py [--strict] [--json] [--list]
+                                     [--rule NAME ...] [--root PATH]
+
+Exit status: 0 when clean (always, without ``--strict``); 1 on any
+unsuppressed finding under ``--strict``; 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from _common import report_problems  # noqa: E402
+from repro.analysis import analyze, default_registry  # noqa: E402
+from repro.utils.canonical_json import dumps_canonical  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_invariants.py",
+        description="static invariant analysis over the repo's own source",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any unsuppressed finding (the CI mode)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical-JSON findings payload instead of text",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the registered passes and exit"
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named pass (repeatable)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=REPO_ROOT,
+        help="repository root to analyse (default: this checkout)",
+    )
+    options = parser.parse_args(argv)
+
+    registry = default_registry()
+    if options.list:
+        for invariant_pass in registry:
+            print(f"{invariant_pass.name}: {invariant_pass.description}")
+        return 0
+    try:
+        active, suppressed = analyze(options.root, registry, options.rule)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if options.json:
+        payload = {
+            "version": 1,
+            "passes": [invariant_pass.name for invariant_pass in registry],
+            "findings": [finding.to_payload() for finding in active],
+            "suppressed": [finding.to_payload() for finding in suppressed],
+        }
+        sys.stdout.write(dumps_canonical(payload) + "\n")
+        return 1 if (options.strict and active) else 0
+
+    ok = (
+        f"invariants check: {len(registry) if not options.rule else len(options.rule)}"
+        f" pass(es) clean, {len(suppressed)} pragma-waived finding(s)"
+    )
+    code = report_problems([finding.format() for finding in active], ok)
+    return code if options.strict else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -30,7 +30,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
 
+from _common import report_problems  # noqa: E402
 from repro.obs.schema import iter_errors  # noqa: E402
 
 
@@ -69,14 +72,12 @@ def main(argv: list[str]) -> int:
             return 2
         schema["properties"]["families"]["required"] = profiles[profile]
     errors = list(iter_errors(snapshot, schema))
-    if errors:
-        for message in errors:
-            print(f"FAIL {snapshot_path}: {message}")
-        return 1
     families = snapshot.get("families", {})
     series = sum(len(family.get("series", ())) for family in families.values())
-    print(f"OK {snapshot_path}: {len(families)} families, {series} series")
-    return 0
+    return report_problems(
+        [f"{snapshot_path}: {message}" for message in errors],
+        f"OK {snapshot_path}: {len(families)} families, {series} series",
+    )
 
 
 if __name__ == "__main__":
